@@ -1,0 +1,30 @@
+"""Ablation: the naive charge-everything strawman and the periodic plan.
+
+Two claims are quantified here:
+
+1. The paper's Section III.C remark — "a naive strategy of charging all
+   sensors per round will significantly increase the service cost" — as a
+   measured multiple rather than an assertion.
+2. A structural finding: per-sensor periodic charging *without* the
+   power-of-two merging coincides exactly with Greedy under the paper's
+   defaults (both charge sensor i every floor(tau_i / tau_min) * tau_min),
+   so the merging is the entire source of MinTotalDistance's advantage.
+"""
+
+import numpy as np
+
+
+def test_ablation_baselines(run_figure_bench):
+    result = run_figure_bench("abl-baselines")
+
+    for alg in result.algorithms:
+        assert all(result.deaths(alg) == 0)
+
+    # (1) naive is several times the cost of everything else.
+    naive_over_greedy = result.ratio_series("naive", "greedy")
+    assert float(naive_over_greedy.min()) > 2.0
+    assert float(result.ratio_series("mtd", "naive").max()) < 0.5
+
+    # (2) periodic-without-merging lands exactly on greedy.
+    per_over_greedy = result.ratio_series("periodic", "greedy")
+    np.testing.assert_allclose(per_over_greedy, 1.0, rtol=1e-6)

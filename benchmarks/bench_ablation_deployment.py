@@ -1,0 +1,25 @@
+"""Ablation: does the win survive non-uniform deployments?
+
+The paper evaluates uniform-random sensor placement only. The class
+structure MinTotalDistance exploits lives in the *cycles*, not the
+coordinates, so the advantage should survive clustered (hotspot) and grid
+(engineered) layouts — this bench checks that, using the same linear cycle
+distribution over each geometry.
+"""
+
+
+def test_ablation_deployment_patterns(run_figure_bench):
+    result = run_figure_bench("abl-deployment")
+
+    for alg in ("mtd", "greedy"):
+        assert all(result.deaths(alg) == 0)
+
+    ratios = result.ratio_series("mtd", "greedy")
+    labels = list(result.values)
+    by_label = dict(zip(labels, ratios))
+    # A clear win on every layout.
+    for label, ratio in by_label.items():
+        assert ratio < 0.80, f"{label}: ratio {ratio:.3f} too close to greedy"
+    # Uniform is the paper's headline number; the others stay in its vicinity.
+    assert abs(by_label["clustered"] - by_label["uniform"]) < 0.25
+    assert abs(by_label["grid"] - by_label["uniform"]) < 0.25

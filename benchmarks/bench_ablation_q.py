@@ -1,0 +1,32 @@
+"""Ablation: sensitivity to the number of chargers/depots q.
+
+The paper fixes q = 5 (one depot on the base station, the rest uniform).
+This bench sweeps q and shows a finding the paper does not report: the
+planned algorithm is almost insensitive to fleet size — its depot-0
+co-location plus power-of-two batching already captures most of the value —
+while Greedy's unbatched emergency tours benefit more from extra depots.
+"""
+
+import numpy as np
+
+
+def test_ablation_charger_count(run_figure_bench):
+    result = run_figure_bench("abl-q")
+    values = np.asarray(result.values, dtype=float)
+    _, mtd = result.series("mtd")
+    _, greedy = result.series("greedy")
+
+    # Feasibility at every fleet size, including the q=1 degenerate case.
+    for alg in ("mtd", "greedy"):
+        assert all(result.deaths(alg) == 0)
+
+    # MTD's q-sensitivity is small: max-to-min spread under 15%.
+    assert mtd.max() / mtd.min() < 1.15
+
+    # Greedy improves more from q=1 to q=max than MTD does (relative).
+    mtd_gain = mtd[values == 1.0][0] / mtd[-1]
+    greedy_gain = greedy[values == 1.0][0] / greedy[-1]
+    assert greedy_gain >= mtd_gain * 0.98  # allow ties within noise
+
+    # MTD wins at every q.
+    assert float(result.ratio_series("mtd", "greedy").max()) < 0.9

@@ -1,0 +1,26 @@
+"""Ablation: what does 2-opt refinement of Algorithm 2's tours buy?
+
+The paper's tours come from MST doubling (provably <= 2x optimal). A 2-opt
+post-pass keeps the guarantee (strict-improvement acceptance) while
+shrinking real tours; this bench measures by how much, for both the
+planned algorithm and the greedy baseline.
+"""
+
+
+def test_ablation_refinement(run_figure_bench):
+    result = run_figure_bench("abl-refine")
+
+    ratio_mtd = result.ratio_series("mtd+2opt", "mtd")
+    ratio_greedy = result.ratio_series("greedy+2opt", "greedy")
+    # Refinement must help and must never hurt.
+    assert float(ratio_mtd.max()) <= 1.0 + 1e-9
+    assert float(ratio_greedy.max()) <= 1.0 + 1e-9
+    assert float(ratio_mtd.mean()) < 0.97, "2-opt should shave a few percent"
+
+    # Refinement preserves feasibility.
+    for alg in result.algorithms:
+        assert all(result.deaths(alg) == 0)
+
+    # The refined planner must still beat refined greedy (the paper's win is
+    # structural, not an artefact of sloppy tours).
+    assert float(result.ratio_series("mtd+2opt", "greedy+2opt").mean()) < 0.80

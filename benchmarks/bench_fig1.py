@@ -1,0 +1,28 @@
+"""Fig. 1 — service cost vs network size, fixed cycles (both panels).
+
+Paper: under the linear distribution MinTotalDistance costs 55–60% of
+Greedy (panel a); under the random distribution 87–93% (panel b).
+"""
+
+
+def test_fig1a_linear_distribution(run_figure_bench):
+    result = run_figure_bench("fig1a")
+    ratios = result.ratio_series("mtd", "greedy")
+    # Shape assertions, tolerant of coarse-grid noise.
+    assert float(ratios.mean()) < 0.75, "MTD must clearly beat Greedy (paper: 0.55-0.60)"
+    assert all(result.deaths("mtd") == 0)
+    assert all(result.deaths("greedy") == 0)
+    # Costs grow with network size for both algorithms.
+    _, mtd = result.series("mtd")
+    _, greedy = result.series("greedy")
+    assert mtd[-1] > mtd[0]
+    assert greedy[-1] > greedy[0]
+
+
+def test_fig1b_random_distribution(run_figure_bench):
+    result = run_figure_bench("fig1b")
+    ratios = result.ratio_series("mtd", "greedy")
+    # Paper: only a marginal win (87-93%); the gap must be small but real.
+    assert 0.70 <= float(ratios.mean()) <= 1.02
+    assert all(result.deaths("mtd") == 0)
+    assert all(result.deaths("greedy") == 0)

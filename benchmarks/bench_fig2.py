@@ -1,0 +1,33 @@
+"""Fig. 2 — service cost vs tau_max, fixed cycles, n = 200 (both panels).
+
+Paper: under the linear distribution the algorithms are near-identical for
+tau_max <= 10 and MinTotalDistance wins increasingly beyond (panel a);
+under the random distribution the difference stays marginal (panel b).
+"""
+
+import numpy as np
+
+
+def test_fig2a_linear_distribution(run_figure_bench):
+    result = run_figure_bench("fig2a")
+    values = np.asarray(result.values, dtype=float)
+    ratios = result.ratio_series("mtd", "greedy")
+    small = ratios[values <= 10]
+    large = ratios[values >= 35]
+    # Near-parity at small tau_max, clear win at large tau_max.
+    assert float(small.mean()) > 0.85
+    assert float(large.mean()) < 0.70
+    # The gap widens monotonically in the aggregate.
+    assert float(large.mean()) < float(small.mean())
+    for alg in ("mtd", "greedy"):
+        assert all(result.deaths(alg) == 0)
+
+
+def test_fig2b_random_distribution(run_figure_bench):
+    result = run_figure_bench("fig2b")
+    ratios = result.ratio_series("mtd", "greedy")
+    # Paper: "only marginally different" at every tau_max.
+    assert float(ratios.mean()) > 0.75
+    assert float(ratios.max()) <= 1.05
+    for alg in ("mtd", "greedy"):
+        assert all(result.deaths(alg) == 0)

@@ -1,0 +1,18 @@
+"""Fig. 3 — service cost vs network size, VARIABLE cycles (ΔT=10, σ=2).
+
+Paper: MinTotalDistance-var "is still competitive as it did under fixed
+maximum charging cycles" — a clear win over Greedy across n = 100..500.
+"""
+
+
+def test_fig3_variable_cycles_vs_n(run_figure_bench):
+    result = run_figure_bench("fig3")
+    ratios = result.ratio_series("mtd-var", "greedy")
+    assert float(ratios.mean()) < 0.85, \
+        "MTD-var must stay clearly cheaper than Greedy under ΔT=10, sigma=2"
+    # Perpetual operation is the hard constraint — zero deaths everywhere.
+    assert all(result.deaths("mtd-var") == 0)
+    assert all(result.deaths("greedy") == 0)
+    # Cost grows with n for both.
+    _, var_costs = result.series("mtd-var")
+    assert var_costs[-1] > var_costs[0]

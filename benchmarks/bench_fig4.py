@@ -1,0 +1,20 @@
+"""Fig. 4 — service cost vs tau_max, VARIABLE cycles (n=200, ΔT=10, σ=2).
+
+Paper: the Fig. 2(a) shape survives the move to variable cycles —
+near-parity at small tau_max, a growing win for MinTotalDistance-var after.
+"""
+
+import numpy as np
+
+
+def test_fig4_variable_cycles_vs_tau_max(run_figure_bench):
+    result = run_figure_bench("fig4")
+    values = np.asarray(result.values, dtype=float)
+    ratios = result.ratio_series("mtd-var", "greedy")
+    small = ratios[values <= 10]
+    large = ratios[values >= 35]
+    assert float(large.mean()) < float(small.mean()), \
+        "the win must grow with tau_max"
+    assert float(large.mean()) < 0.80
+    assert all(result.deaths("mtd-var") == 0)
+    assert all(result.deaths("greedy") == 0)

@@ -1,0 +1,32 @@
+"""Fig. 5 — service cost vs slot length ΔT (n=200, τ=[1,50], σ=2).
+
+Paper: at ΔT=1 (extremely unstable cycles) MinTotalDistance-var is almost
+identical to Greedy; both costs fall as ΔT grows, and the adaptive
+algorithm is already clearly ahead by ΔT=4 ("can quickly adapt").
+"""
+
+import numpy as np
+
+
+def test_fig5_workload_stability(run_figure_bench):
+    result = run_figure_bench("fig5")
+    values = np.asarray(result.values, dtype=float)
+    ratios = result.ratio_series("mtd-var", "greedy")
+
+    at_1 = float(ratios[values == 1.0][0])
+    stable = float(ratios[values >= 10].mean())
+    # The gap narrows sharply under extreme instability (the paper reports
+    # near-parity; measured values land 0.80-1.0 depending on topology mix)...
+    assert at_1 > 0.75
+    # ...and a clear win once slots are moderately stable.
+    assert stable < 0.70
+    assert stable < at_1 - 0.15, "the ratio must climb materially toward ΔT=1"
+    # The ratio series is monotone non-increasing in ΔT (up to small noise).
+    assert all(ratios[i + 1] <= ratios[i] + 0.05 for i in range(len(ratios) - 1))
+
+    # Both algorithms' absolute costs decrease with stability.
+    _, var_costs = result.series("mtd-var")
+    assert var_costs[values >= 10].mean() < var_costs[values == 1.0][0]
+
+    assert all(result.deaths("mtd-var") == 0)
+    assert all(result.deaths("greedy") == 0)

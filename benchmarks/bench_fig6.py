@@ -1,0 +1,30 @@
+"""Fig. 6 — service cost vs cycle variance σ (n=200, τ=[1,50], ΔT=10).
+
+Paper: both algorithms' costs increase with σ, and MinTotalDistance-var's
+cost approaches Greedy's as σ reaches 50 (far sensors can then draw short
+cycles, destroying the geometric structure the algorithm exploits).
+"""
+
+import numpy as np
+
+
+def test_fig6_cycle_variance(run_figure_bench):
+    result = run_figure_bench("fig6")
+    values = np.asarray(result.values, dtype=float)
+    ratios = result.ratio_series("mtd-var", "greedy")
+
+    # Costs rise with sigma for both algorithms.
+    _, var_costs = result.series("mtd-var")
+    _, greedy_costs = result.series("greedy")
+    assert var_costs[-1] > var_costs[0] * 1.5
+    assert greedy_costs[-1] > greedy_costs[0] * 1.5
+
+    # The win shrinks as sigma grows: ratio at sigma=50 close to 1, clearly
+    # larger than at the paper default sigma=2.
+    at_low = float(ratios[values <= 2].mean())
+    at_50 = float(ratios[values == 50.0][0])
+    assert at_50 > at_low
+    assert at_50 > 0.85
+
+    assert all(result.deaths("mtd-var") == 0)
+    assert all(result.deaths("greedy") == 0)

@@ -1,0 +1,49 @@
+"""Micro-benchmarks: serialisation throughput.
+
+Plans repeat tour sets, and the encoder deduplicates them; these benches
+verify round-trips stay cheap even for season-long plans (thousands of
+schedulings), i.e. that the dedup actually bites.
+"""
+
+import pytest
+
+from repro.core.mintotal import min_total_distance
+from repro.io.network_json import network_from_dict, network_to_dict
+from repro.io.plan_json import plan_from_dict, plan_to_dict
+from repro.network.builder import build_paper_network
+
+
+@pytest.fixture(scope="module")
+def big_instance():
+    net = build_paper_network(n=300, q=5, seed=13)
+    plan = min_total_distance(net, 1000.0).plan
+    return net, plan
+
+
+def test_bench_network_encode(benchmark, big_instance):
+    net, _ = big_instance
+    data = benchmark(network_to_dict, net)
+    assert len(data["sensors"]) == 300
+
+
+def test_bench_network_decode(benchmark, big_instance):
+    net, _ = big_instance
+    data = network_to_dict(net)
+    loaded = benchmark(network_from_dict, data)
+    assert loaded.n == 300
+
+
+def test_bench_plan_encode(benchmark, big_instance):
+    _, plan = big_instance
+    data = benchmark(plan_to_dict, plan)
+    # Dedup must collapse ~1000 schedulings into a handful of tour sets.
+    assert len(data["schedulings"]) == len(plan)
+    assert len(data["tour_sets"]) <= 10
+
+
+def test_bench_plan_decode(benchmark, big_instance):
+    net, plan = big_instance
+    data = plan_to_dict(plan)
+    loaded = benchmark(plan_from_dict, data)
+    assert len(loaded) == len(plan)
+    assert loaded.total_cost(net.dist) == pytest.approx(plan.total_cost(net.dist))

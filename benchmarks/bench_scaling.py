@@ -1,0 +1,56 @@
+"""Micro-benchmarks: runtime scaling of the core algorithms.
+
+These are proper pytest-benchmark measurements (many rounds) of the three
+algorithmic layers, sized to the paper's largest instances:
+
+* Algorithm 1 (q-rooted MSF) — the paper charges O(n^2);
+* Algorithm 2 (q-rooted TSP) — O(n^2) on top of the MSF;
+* Algorithm 3 (MinTotalDistance) — O((tau_max/tau_min) n^2 + (T/tau_min) n).
+
+Regressions here mean someone de-vectorised a kernel.
+"""
+
+import pytest
+
+from repro.core.mintotal import min_total_distance
+from repro.network.builder import build_paper_network
+from repro.rooted.msf import q_rooted_msf
+from repro.rooted.qtsp import q_rooted_tsp
+from repro.tsp.improve import two_opt
+
+
+@pytest.fixture(scope="module", params=[100, 300, 500])
+def sized_network(request):
+    return build_paper_network(n=request.param, q=5, seed=42)
+
+
+def test_scaling_q_rooted_msf(benchmark, sized_network):
+    net = sized_network
+    sensors = [int(i) for i in net.sensor_indices]
+    depots = [int(i) for i in net.depot_indices]
+    forest = benchmark(q_rooted_msf, net.dist, sensors, depots)
+    assert forest.all_nodes() >= set(sensors)
+
+
+def test_scaling_q_rooted_tsp(benchmark, sized_network):
+    net = sized_network
+    sensors = [int(i) for i in net.sensor_indices]
+    depots = [int(i) for i in net.depot_indices]
+    tours = benchmark(q_rooted_tsp, net.dist, sensors, depots)
+    assert sum(t.n_stops for t in tours) == net.n
+
+
+def test_scaling_min_total_distance(benchmark, sized_network):
+    net = sized_network
+    result = benchmark.pedantic(
+        min_total_distance, args=(net, 1000.0), rounds=3, iterations=1)
+    assert len(result.plan) > 0
+
+
+def test_scaling_two_opt(benchmark):
+    net = build_paper_network(n=200, q=1, seed=7)
+    tours = q_rooted_tsp(net.dist,
+                         [int(i) for i in net.sensor_indices],
+                         [int(i) for i in net.depot_indices])
+    improved = benchmark(two_opt, net.dist, tours[0])
+    assert improved.cost(net.dist) <= tours[0].cost(net.dist) + 1e-9

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Operating a constrained fleet: charging windows and vehicle range.
+
+The paper's model lets every charger drive arbitrarily far in a charging
+round. Two practical constraints its companion works study (its references
+[16] and [7]) are implemented as extensions in :mod:`repro.rooted`:
+
+1. **Charging window** — a round must finish within W hours; chargers drive
+   in parallel, so the binding metric is the *longest* tour (makespan), not
+   the total. `minmax_q_rooted_tours` rebalances Algorithm 2's tours.
+2. **Vehicle range** — a charger can drive at most R metres per trip before
+   returning to its depot. `split_tour_by_budget` turns any tour into a
+   sequence of within-range trips.
+
+This example runs both on the paper's full-coverage scheduling (the most
+demanding round: all n sensors at once).
+
+Run:  python examples/constrained_fleet.py
+"""
+
+from repro import build_paper_network
+from repro.rooted import (
+    makespan,
+    minmax_q_rooted_tours,
+    q_rooted_tsp,
+    split_tours_by_budget,
+    tours_total_cost,
+)
+
+SPEED_M_PER_MIN = 100.0  # 6 km/h service vehicle
+
+
+def main() -> None:
+    net = build_paper_network(n=150, q=5, seed=21)
+    sensors = [int(i) for i in net.sensor_indices]
+    depots = [int(i) for i in net.depot_indices]
+
+    # ---- baseline: the paper's min-total tours -----------------------------
+    tours = q_rooted_tsp(net.dist, sensors, depots, refine=True)
+    total = tours_total_cost(net.dist, tours)
+    span = makespan(net.dist, tours)
+    print("full-coverage round, min-TOTAL objective (the paper's):")
+    print(f"  total distance {total:,.0f} m; longest tour {span:,.0f} m "
+          f"(~{span / SPEED_M_PER_MIN:.0f} min at {SPEED_M_PER_MIN:.0f} m/min)")
+    per = sorted(round(t.cost(net.dist)) for t in tours)
+    print(f"  per-charger tour lengths: {per}")
+
+    # ---- constraint 1: finish the round within a window --------------------
+    balanced = minmax_q_rooted_tours(net.dist, sensors, depots)
+    print("\nmin-MAX rebalancing (charging-window objective):")
+    print(f"  makespan {balanced.initial_makespan:,.0f} -> "
+          f"{balanced.final_makespan:,.0f} m "
+          f"({balanced.improvement:.0%} shorter round, {balanced.moves} relocations)")
+    new_total = tours_total_cost(net.dist, balanced.tours)
+    print(f"  total distance cost of balancing: {total:,.0f} -> {new_total:,.0f} m "
+          f"({(new_total / total - 1):+.1%})")
+
+    # ---- constraint 2: vehicle range ----------------------------------------
+    budget = max(0.6 * balanced.final_makespan,
+                 max(2 * net.dist[t.depot, s]
+                     for t in balanced.tours for s in t.stops()))
+    results = split_tours_by_budget(net.dist, balanced.tours, budget)
+    n_trips = sum(r.n_trips for r in results)
+    split_total = sum(r.total_cost for r in results)
+    print(f"\nrange limit R = {budget:,.0f} m per trip:")
+    print(f"  {len(balanced.tours)} tours -> {n_trips} within-range trips; "
+          f"total distance {split_total:,.0f} m "
+          f"({(split_total / new_total - 1):+.1%} overhead for returning to refuel)")
+    worst = max(trip.cost(net.dist) for r in results for trip in r.trips)
+    assert worst <= budget * (1 + 1e-6)
+    print(f"  longest single trip {worst:,.0f} m (within budget)")
+
+
+if __name__ == "__main__":
+    main()

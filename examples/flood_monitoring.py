@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Flood-detection WSN with storms: the paper's motivating variable workload.
+
+The paper's introduction argues for decoupling charging from routing with a
+flood-detection example: "high data sampling rates of sensors are required
+to better monitor water levels ... when there is a storm". This example
+builds exactly that scenario:
+
+* a 150-sensor network monitoring a river basin (linear cycle distribution —
+  sensors near the sink relay the most),
+* two storms sweeping through during the monitoring period, tripling the
+  drain rate of every sensor within 300 m of the storm centre,
+* the adaptive MinTotalDistance-var policy (Section VI) versus the greedy
+  on-demand baseline, both facing the same ground truth.
+
+The interesting part is the *replan trail*: the adaptive policy keeps its
+plan through calm stretches and re-plans (with patch schedulings) when a
+storm hits or clears.
+
+Run:  python examples/flood_monitoring.py
+"""
+
+from repro import GreedyOnDemandPolicy, MinTotalDistanceVarPolicy, build_paper_network, simulate
+from repro.sim import StormWorkload
+
+HORIZON = 600.0
+STORMS = (
+    # (t_start, t_end, centre_x, centre_y, radius, drain factor)
+    (100.0, 180.0, 300.0, 700.0, 300.0, 3.0),   # storm over the north-west
+    (350.0, 420.0, 750.0, 250.0, 300.0, 3.0),   # storm over the south-east
+)
+
+
+def main() -> None:
+    net = build_paper_network(n=150, q=5, seed=7)
+    workload = StormWorkload(network=net, storms=STORMS, slot_duration=10.0)
+    print(f"flood basin: n={net.n} sensors, {len(STORMS)} storms over T={HORIZON:g}")
+    for i, (t0, t1, cx, cy, r, f) in enumerate(STORMS):
+        print(f"  storm {i + 1}: t in [{t0:g}, {t1:g}), centre ({cx:g}, {cy:g}), "
+              f"radius {r:g} m, {f:g}x drain")
+
+    adaptive = MinTotalDistanceVarPolicy()
+    var = simulate(net, adaptive, workload, HORIZON)
+    # A 3x storm pushes the hottest sensors' effective cycle to tau_min / 3,
+    # *below* greedy's default decision grid of Δl = tau_min — sensors would
+    # die between epochs. The operator must provision greedy's reaction time
+    # for the worst storm (decision_interval <= tau_min / factor); the
+    # adaptive policy needs no such tuning, its patch step re-times charges
+    # automatically.
+    greedy = simulate(net, GreedyOnDemandPolicy(decision_interval=0.25),
+                      workload, HORIZON)
+
+    print(f"\nMinTotalDistance-var: {var.metrics.summary()} "
+          f"({adaptive.n_replans} replans)")
+    print(f"Greedy on-demand    : {greedy.metrics.summary()} "
+          f"(decision grid tightened to 0.25 to survive the storms)")
+    assert var.metrics.perpetual, "adaptive policy must keep every sensor alive"
+    assert greedy.metrics.perpetual
+
+    ratio = var.metrics.service_cost / greedy.metrics.service_cost
+    print(f"\nservice-cost ratio var/greedy = {ratio:.3f}")
+    print("during storms the adaptive policy front-loads charges for the "
+          "affected region (patch schedulings), then relaxes back to the "
+          "cheap periodic plan once the storm passes")
+
+    # Show how often each sensor group got charged.
+    charges = var.metrics.charges_per_sensor(net.n)
+    hot = charges.argmax()
+    print(f"most-charged sensor: #{hot} with {charges[hot]} charges "
+          f"(cycle {net.cycles[hot]:.1f}); median charges "
+          f"{int(sorted(charges)[net.n // 2])}")
+
+
+if __name__ == "__main__":
+    main()

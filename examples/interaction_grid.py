@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Exploring parameter interactions with a grid sweep.
+
+The paper varies one parameter at a time. This example asks an interaction
+question its evaluation leaves open: *does the value of extra chargers
+depend on network size?* — by sweeping the (n, q) grid and printing the
+MTD/Greedy cost-ratio heatmap as text.
+
+Run:  python examples/interaction_grid.py
+"""
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.grid import grid_sweep
+from repro.reporting import format_table
+
+N_VALUES = [100, 200, 300]
+Q_VALUES = [1, 3, 5, 8]
+
+
+def main() -> None:
+    base = ExperimentConfig(horizon=500.0, n_topologies=2, seed=33,
+                            algorithms=("mtd", "greedy"))
+    print(f"grid: n in {N_VALUES} x q in {Q_VALUES} "
+          f"({base.n_topologies} topologies per cell) ...\n")
+    grid = grid_sweep(base, {"n": N_VALUES, "q": Q_VALUES})
+
+    ratios = grid.ratio_tensor("mtd", "greedy")
+    rows = [[n] + [float(ratios[i, j]) for j in range(len(Q_VALUES))]
+            for i, n in enumerate(N_VALUES)]
+    print("MTD/Greedy mean cost ratio (rows: n, columns: q):")
+    print(format_table(["n \\ q"] + [str(q) for q in Q_VALUES], rows,
+                       precision=3))
+
+    costs = grid.cost_tensor("mtd")
+    rows = [[n] + [float(costs[i, j]) / 1000.0 for j in range(len(Q_VALUES))]
+            for i, n in enumerate(N_VALUES)]
+    print("\nMTD mean service cost (km):")
+    print(format_table(["n \\ q"] + [str(q) for q in Q_VALUES], rows,
+                       precision=0))
+
+    print("\nreading: the ratio is remarkably flat across the grid — the "
+          "merging advantage is a property of the cycle structure, not of "
+          "fleet size or density. MTD's absolute cost barely moves with q "
+          "(depot #1 on the base station plus batching do the work), so "
+          "the paper's q=5 is a safe but not critical choice.")
+
+
+if __name__ == "__main__":
+    main()

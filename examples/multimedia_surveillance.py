@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Multimedia surveillance WSN: the paper's *random* cycle distribution.
+
+Camera sensors spend most of their energy on local image processing, so a
+sensor's drain rate is unrelated to its distance from the sink (paper,
+Section VII.A). Under this regime the paper finds MinTotalDistance's
+advantage shrinks to 87-93% of greedy — the short-cycle sensors are
+scattered, so every algorithm must sweep the whole field often.
+
+This example reproduces that contrast on a single pair of topologies that
+differ *only* in the cycle distribution, and also reports the naive
+charge-everything strawman for scale.
+
+Run:  python examples/multimedia_surveillance.py
+"""
+
+from repro import (
+    FixedWorkload,
+    GreedyOnDemandPolicy,
+    LinearCycleDistribution,
+    NaiveChargeAllPolicy,
+    PlannedPolicy,
+    RandomCycleDistribution,
+    build_paper_network,
+    min_total_distance,
+    simulate,
+)
+
+HORIZON = 1000.0
+N = 150
+SEED = 11
+
+
+def run_one(label: str, distribution) -> None:
+    net = build_paper_network(n=N, q=5, distribution=distribution, seed=SEED)
+    workload = FixedWorkload.from_network(net)
+    plan = min_total_distance(net, HORIZON).plan
+    mtd = simulate(net, PlannedPolicy(plan), workload, HORIZON)
+    greedy = simulate(net, GreedyOnDemandPolicy(), workload, HORIZON)
+    naive = simulate(net, NaiveChargeAllPolicy(), workload, HORIZON)
+    assert mtd.metrics.perpetual and greedy.metrics.perpetual and naive.metrics.perpetual
+    r = mtd.metrics.service_cost / greedy.metrics.service_cost
+    print(f"{label}:")
+    print(f"  MinTotalDistance : {mtd.metrics.service_cost:12,.0f} m")
+    print(f"  Greedy on-demand : {greedy.metrics.service_cost:12,.0f} m "
+          f"(MTD/Greedy = {r:.3f})")
+    print(f"  Naive charge-all : {naive.metrics.service_cost:12,.0f} m "
+          f"({naive.metrics.service_cost / greedy.metrics.service_cost:.1f}x greedy)")
+
+
+def main() -> None:
+    print(f"n={N} sensors, q=5 chargers, T={HORIZON:g}, same geometry seed, "
+          f"two energy regimes\n")
+    run_one("data-gathering regime (linear cycles — relay load dominates)",
+            LinearCycleDistribution(tau_min=1, tau_max=50, sigma=2))
+    print()
+    run_one("multimedia regime (random cycles — local processing dominates)",
+            RandomCycleDistribution(tau_min=1, tau_max=50))
+    print("\npaper's finding: the win is large in the first regime (0.55-0.60) "
+          "and marginal in the second (0.87-0.93) — short-cycle sensors near "
+          "the sink cluster onto cheap tours only when drain follows distance")
+
+
+if __name__ == "__main__":
+    main()

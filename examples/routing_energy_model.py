@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Deriving charging cycles from a physical routing model.
+
+The paper *postulates* its linear cycle distribution ("sensors near the
+base station relay data for remote sensors, so their cycles are shorter").
+This example derives the same structure from first principles using the
+library's routing substrate:
+
+1. build the unit-disk communication graph over sensors + base station,
+2. route everyone to the sink along a minimum-hop shortest-path tree,
+3. compute per-sensor relay load (own packets + subtree packets),
+4. convert load to a drain rate with a first-order radio model and hence to
+   a maximum charging cycle,
+
+then verifies the emergent cycles correlate with distance-to-sink the way
+the linear distribution assumes, and runs MinTotalDistance on them.
+
+Run:  python examples/routing_energy_model.py
+"""
+
+import numpy as np
+
+from repro import (
+    FixedWorkload,
+    GreedyOnDemandPolicy,
+    PlannedPolicy,
+    build_paper_network,
+    min_total_distance,
+    simulate,
+)
+from repro.network import RoutingCycleDistribution
+from repro.network.routing import CommunicationGraph, RoutingTree, relay_loads
+
+HORIZON = 1000.0
+COMM_RANGE = 180.0  # metres; dense enough for connectivity at n=150
+
+
+def main() -> None:
+    # Geometry first (cycles get replaced below).
+    base_net = build_paper_network(n=150, q=5, seed=5)
+    coords = base_net.coordinates[: base_net.n]
+    bs = base_net.base_station.position
+
+    # ---- the physical story -------------------------------------------------
+    graph = CommunicationGraph(
+        coords=np.vstack([coords, [bs.x, bs.y]]), comm_range=COMM_RANGE)
+    print(f"unit-disk graph at range {COMM_RANGE:g} m: "
+          f"connected={graph.is_connected()}")
+    tree = RoutingTree.shortest_path(graph, metric="hops")
+    loads = relay_loads(tree)
+    print(f"relay load: max={loads.max():.0f} packets/round "
+          f"(a sink-adjacent sensor), median={np.median(loads):.0f}")
+
+    # ---- emergent cycles ----------------------------------------------------
+    dist = RoutingCycleDistribution(
+        comm_range=COMM_RANGE, tau_min=1.0, tau_max=50.0,
+        coords=tuple((float(x), float(y)) for x, y in coords),
+        base_position=(bs.x, bs.y))
+    cycles = dist.sample(base_net.base_distances, np.random.default_rng(5))
+    corr = np.corrcoef(base_net.base_distances, cycles)[0, 1]
+    print(f"correlation(cycle, distance to sink) = {corr:.2f} "
+          f"(the linear distribution postulates ~1.0; routing gives the "
+          f"same direction with realistic noise)")
+
+    net = base_net.with_cycles(cycles)
+
+    # ---- schedule against the derived cycles --------------------------------
+    result = min_total_distance(net, HORIZON)
+    workload = FixedWorkload.from_network(net)
+    mtd = simulate(net, PlannedPolicy(result.plan), workload, HORIZON)
+    greedy = simulate(net, GreedyOnDemandPolicy(), workload, HORIZON)
+    assert mtd.metrics.perpetual and greedy.metrics.perpetual
+    print(f"\nMinTotalDistance: {mtd.metrics.summary()}")
+    print(f"Greedy          : {greedy.metrics.summary()}")
+    print(f"ratio = {mtd.metrics.service_cost / greedy.metrics.service_cost:.3f}")
+    print("reading: minimum-hop routing concentrates relay load on a few "
+          "bottleneck sensors, so most cycles end up long and the few short "
+          "ones are scattered — closer to the paper's *random* regime "
+          "(ratio ~0.9-1.0) than its linear one. The size of "
+          "MinTotalDistance's win is governed by how strongly drain "
+          "correlates with sink distance, which is exactly the paper's "
+          "stated rationale for evaluating both distributions.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""The variable-cycle heuristic, ``MinTotalDistance-var`` (Section VI).
+
+* :mod:`~repro.adaptive.predictor` — the paper's EWMA consumption-rate
+  predictor ``rho_hat(t+1) = gamma * rho(t) + (1 - gamma) * rho_hat(t)``.
+* :mod:`~repro.adaptive.monitor` — sensor-side variation thresholding:
+  a sensor only reports a new maximum charging cycle when it moved by more
+  than a relative threshold.
+* :mod:`~repro.adaptive.patch` — the re-plan repair step: sensors whose
+  residual energy cannot reach their first scheduled charge are spliced
+  into the earliest schedulings via iterated q-rooted MSF over auxiliary
+  graphs whose roots are *scheduling supernodes*.
+* :mod:`~repro.adaptive.mintotal_var` — the full online policy tying it all
+  together, runnable by the simulator next to the baselines.
+"""
+
+from repro.adaptive.mintotal_var import MinTotalDistanceVarPolicy
+from repro.adaptive.monitor import VariationMonitor
+from repro.adaptive.patch import PatchResult, build_patch
+from repro.adaptive.predictor import EwmaRatePredictor
+
+__all__ = [
+    "EwmaRatePredictor",
+    "MinTotalDistanceVarPolicy",
+    "PatchResult",
+    "VariationMonitor",
+    "build_patch",
+]

@@ -1,0 +1,68 @@
+"""Sensor-side variation thresholding (Section VI.A, last paragraph).
+
+"We assume that there is a variation threshold of maximum charging cycle at
+each sensor; if the variation is under the pre-defined threshold, nothing is
+to be done. Otherwise the sensor sends an updating request to the base
+station." This module models exactly that filter: the base station's view
+of each sensor's cycle only moves when the underlying estimate moved by
+more than a relative threshold, which suppresses re-planning churn under
+small fluctuations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["VariationMonitor"]
+
+
+class VariationMonitor:
+    """Per-sensor dead-band filter on estimated maximum charging cycles.
+
+    Parameters
+    ----------
+    threshold:
+        Relative dead-band: a new estimate ``tau_new`` replaces the reported
+        value ``tau_rep`` only when
+        ``|tau_new - tau_rep| > threshold * tau_rep``. ``0`` reports every
+        change (the policy default — the paper's experiments sweep workload
+        volatility, not the threshold, so the filter is off unless asked).
+    """
+
+    def __init__(self, threshold: float = 0.0) -> None:
+        if threshold < 0:
+            raise ConfigError(f"threshold must be non-negative, got {threshold}")
+        self.threshold = threshold
+        self._reported: np.ndarray | None = None
+
+    @property
+    def reported(self) -> np.ndarray:
+        """The base station's current view of the cycles (copy)."""
+        if self._reported is None:
+            raise ConfigError("monitor queried before any update")
+        return self._reported.copy()
+
+    def update(self, estimated_cycles: np.ndarray) -> np.ndarray:
+        """Filter a fresh estimate vector; returns the (possibly unchanged)
+        reported view and a side effect of updating it where the dead-band
+        was exceeded."""
+        est = np.asarray(estimated_cycles, dtype=np.float64)
+        if self._reported is None:
+            self._reported = est.copy()
+            return self.reported
+        if est.shape != self._reported.shape:
+            raise ConfigError(
+                f"estimate shape {est.shape} != state {self._reported.shape}")
+        if self.threshold == 0.0:
+            self._reported = est.copy()
+            return self.reported
+        moved = np.abs(est - self._reported) > self.threshold * self._reported
+        self._reported[moved] = est[moved]
+        return self.reported
+
+    def changed_since(self, previous: np.ndarray) -> np.ndarray:
+        """Boolean mask of sensors whose reported cycle differs from
+        ``previous`` (helper for replan triggers)."""
+        return ~np.isclose(self.reported, np.asarray(previous), rtol=1e-12, atol=0.0)

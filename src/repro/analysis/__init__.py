@@ -1,0 +1,13 @@
+"""Analysis utilities: validating the paper's modelling assumptions.
+
+* :mod:`~repro.analysis.timescale` — the paper ignores tour travel time on
+  the grounds that a charging task completes "several orders of magnitude"
+  faster than a fully-charged sensor's lifetime. These helpers *measure*
+  that separation for any concrete plan and vehicle speed, so a user can
+  check whether the assumption holds for their deployment before trusting
+  the schedule.
+"""
+
+from repro.analysis.timescale import TimescaleReport, validate_timescales
+
+__all__ = ["TimescaleReport", "validate_timescales"]

@@ -1,0 +1,23 @@
+"""Baseline charging algorithms.
+
+* :class:`~repro.baselines.greedy.GreedyOnDemandPolicy` — the paper's
+  comparator (Section VII.A): sensors request charging when their estimated
+  residual lifetime drops below ``Δl = tau_min``; the base station then
+  dispatches the q chargers over the requesting set via the q-rooted TSP.
+* :class:`~repro.baselines.naive.NaiveChargeAllPolicy` — the "charge every
+  sensor each round" strawman the paper's problem statement dismisses.
+* :func:`~repro.baselines.periodic.periodic_per_sensor_plan` — per-sensor
+  periodic charging on a ``tau_min`` grid *without* the power-of-two class
+  merging; isolates how much of MinTotalDistance's win comes from the
+  geometric grouping (ablation).
+"""
+
+from repro.baselines.greedy import GreedyOnDemandPolicy
+from repro.baselines.naive import NaiveChargeAllPolicy
+from repro.baselines.periodic import periodic_per_sensor_plan
+
+__all__ = [
+    "GreedyOnDemandPolicy",
+    "NaiveChargeAllPolicy",
+    "periodic_per_sensor_plan",
+]

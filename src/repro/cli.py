@@ -1,0 +1,230 @@
+"""Command-line interface.
+
+::
+
+    repro list                         # catalogue of reproducible figures
+    repro run fig1a                    # run a figure (coarse grid)
+    repro run fig2a --full --reps 100  # the paper-dense version
+    repro run fig3 --csv out/fig3.csv  # also export the series
+    repro demo                         # 30-second end-to-end demo
+
+Also available as ``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.figures import FIGURES, get_figure
+from repro.reporting.csvio import sweep_to_csv
+from repro.reporting.summary import figure_report
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction of 'Towards Perpetual Sensor Networks via "
+                     "Deploying Multiple Mobile Wireless Chargers' (ICPP 2014)"),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="catalogue of reproducible figures/ablations")
+
+    run = sub.add_parser("run", help="run one registered figure")
+    run.add_argument("figure", help=f"figure id, one of: {', '.join(sorted(FIGURES))}")
+    run.add_argument("--reps", type=int, default=None,
+                     help="topologies per point (default: figure's setting; paper uses 100)")
+    run.add_argument("--full", action="store_true",
+                     help="use the paper-dense sweep grid")
+    run.add_argument("--csv", default=None, metavar="PATH",
+                     help="export the series to a CSV file")
+    run.add_argument("--quiet", action="store_true", help="suppress progress lines")
+
+    sub.add_parser("demo", help="end-to-end demo on one small topology")
+
+    report = sub.add_parser(
+        "report", help="run figures and write a paper-vs-measured markdown report")
+    report.add_argument("--figures", nargs="+", default=None, metavar="ID",
+                        help="figure ids to include (default: the 8 paper panels)")
+    report.add_argument("--reps", type=int, default=None,
+                        help="topologies per point (default: figure settings)")
+    report.add_argument("--full", action="store_true",
+                        help="paper-dense sweep grids")
+    report.add_argument("--out", default="EXPERIMENTS.md", metavar="PATH",
+                        help="output markdown file (default: EXPERIMENTS.md)")
+    report.add_argument("--quiet", action="store_true")
+
+    plan = sub.add_parser(
+        "plan", help="build a topology, plan it with MinTotalDistance, save both")
+    plan.add_argument("--n", type=int, default=100, help="sensors (default 100)")
+    plan.add_argument("--q", type=int, default=5, help="chargers (default 5)")
+    plan.add_argument("--horizon", type=float, default=1000.0,
+                      help="monitoring period T (default 1000)")
+    plan.add_argument("--seed", type=int, default=2014)
+    plan.add_argument("--distribution", choices=["linear", "random"],
+                      default="linear")
+    plan.add_argument("--refine", action="store_true",
+                      help="2-opt refine all tours")
+    plan.add_argument("--network-out", default="network.json", metavar="PATH")
+    plan.add_argument("--plan-out", default="plan.json", metavar="PATH")
+
+    simulate_p = sub.add_parser(
+        "simulate", help="replay a saved plan against its saved network")
+    simulate_p.add_argument("--network", required=True, metavar="PATH")
+    simulate_p.add_argument("--plan", required=True, metavar="PATH")
+    simulate_p.add_argument("--speed", type=float, default=None,
+                            help="vehicle speed for the timescale check "
+                                 "(distance units per time unit)")
+    return parser
+
+
+def _cmd_list() -> int:
+    width = max(len(k) for k in FIGURES)
+    for fid in sorted(FIGURES):
+        spec = FIGURES[fid]
+        print(f"{fid.ljust(width)}  {spec.title}")
+        print(f"{' ' * width}  paper: {spec.paper_claim}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = get_figure(args.figure)
+    progress = None if args.quiet else (lambda msg: print(msg, flush=True))
+    t0 = time.perf_counter()
+    result = spec.run(n_topologies=args.reps, full=args.full, progress=progress)
+    elapsed = time.perf_counter() - t0
+    print()
+    print(figure_report(spec, result))
+    print(f"(completed in {elapsed:.1f}s)")
+    if args.csv:
+        path = sweep_to_csv(result, args.csv)
+        print(f"series written to {path}")
+    return 0
+
+
+def _cmd_demo() -> int:
+    from repro.baselines.greedy import GreedyOnDemandPolicy
+    from repro.core.bounds import empirical_ratio, lemma3_lower_bound
+    from repro.core.mintotal import min_total_distance
+    from repro.network.builder import build_paper_network
+    from repro.sim.engine import simulate
+    from repro.sim.policies import PlannedPolicy
+    from repro.sim.workload import FixedWorkload
+
+    print("Building one paper topology: n=100 sensors, q=5 chargers, "
+          "1000m x 1000m, linear cycles in [1, 50] ...")
+    net = build_paper_network(n=100, q=5, seed=2014)
+    horizon = 1000.0
+    workload = FixedWorkload.from_network(net)
+
+    result = min_total_distance(net, horizon)
+    print(f"MinTotalDistance: K={result.quantization.K}, "
+          f"{len(result.plan)} schedulings, guarantee 2(K+2) = "
+          f"{2 * (result.quantization.K + 2)}x")
+    mtd = simulate(net, PlannedPolicy(result.plan), workload, horizon)
+    greedy = simulate(net, GreedyOnDemandPolicy(), workload, horizon)
+    lb = lemma3_lower_bound(net, horizon)
+    print(f"MinTotalDistance service cost: {mtd.metrics.service_cost:,.0f} m "
+          f"({mtd.metrics.summary()})")
+    print(f"Greedy           service cost: {greedy.metrics.service_cost:,.0f} m "
+          f"({greedy.metrics.summary()})")
+    print(f"cost ratio MTD/Greedy: "
+          f"{mtd.metrics.service_cost / greedy.metrics.service_cost:.3f} "
+          f"(paper: 0.55-0.60 under the linear distribution)")
+    print(f"Lemma-3 lower bound: {lb.bound:,.0f} m -> empirical approximation "
+          f"ratio {empirical_ratio(mtd.metrics.service_cost, lb):.2f}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.reporting.experiments_md import PAPER_PANELS, experiments_markdown
+
+    ids = args.figures if args.figures else list(PAPER_PANELS)
+    for fid in ids:
+        get_figure(fid)  # validate before the long run
+    progress = None if args.quiet else (lambda msg: print(msg, flush=True))
+    text = experiments_markdown(ids, n_topologies=args.reps, full=args.full,
+                                progress=progress)
+    out = Path(args.out)
+    out.write_text(text)
+    print(f"report written to {out.resolve()}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core.feasibility import check_feasibility
+    from repro.core.mintotal import min_total_distance
+    from repro.io import save_network, save_plan
+    from repro.network.builder import build_paper_network
+    from repro.network.cycles import LinearCycleDistribution, RandomCycleDistribution
+
+    dist = (LinearCycleDistribution() if args.distribution == "linear"
+            else RandomCycleDistribution())
+    net = build_paper_network(n=args.n, q=args.q, distribution=dist,
+                              seed=args.seed)
+    result = min_total_distance(net, args.horizon, refine=args.refine)
+    report = check_feasibility(result.plan, net.cycles)
+    if not report.feasible:  # cannot happen by Lemma 2; belt and braces
+        print(report.summary())
+        return 1
+    net_path = save_network(net, args.network_out)
+    plan_path = save_plan(result.plan, args.plan_out)
+    cost = result.plan.total_cost(net.dist)
+    print(f"topology : n={net.n} q={net.q} seed={args.seed} "
+          f"({args.distribution} cycles) -> {net_path}")
+    print(f"plan     : {len(result.plan)} schedulings over T={args.horizon:g}, "
+          f"K={result.quantization.K}, service cost {cost:,.0f} m -> {plan_path}")
+    print(f"guarantee: within 2(K+2) = {2 * (result.quantization.K + 2)}x of optimal; "
+          f"{report.summary()}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.io import load_network, load_plan
+    from repro.reporting.timeline import run_digest
+    from repro.sim.engine import simulate as run_sim
+    from repro.sim.policies import PlannedPolicy
+    from repro.sim.workload import FixedWorkload
+
+    net = load_network(args.network)
+    plan = load_plan(args.plan)
+    plan.validate_for(net)  # catch mismatched files before simulating
+    out = run_sim(net, PlannedPolicy(plan), FixedWorkload.from_network(net),
+                  plan.horizon)
+    print(run_digest(out.metrics, plan.horizon))
+    if args.speed is not None:
+        from repro.analysis.timescale import validate_timescales
+
+        report = validate_timescales(plan, net.dist, net.cycles,
+                                     speed=args.speed)
+        print(report.summary())
+    return 0 if out.metrics.perpetual else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "demo":
+        return _cmd_demo()
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    return 2  # unreachable: argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

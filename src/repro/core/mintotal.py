@@ -1,0 +1,138 @@
+"""Algorithm 3 — ``MinTotalDistance``: the 2(K+2)-approximation.
+
+Given fixed maximum charging cycles, the algorithm:
+
+1. Quantises cycles into power-of-two classes ``V_0 .. V_K``
+   (:mod:`repro.core.quantize`), with base cycle ``tau_1``.
+2. Builds one *block* of ``2^K`` tour sets: scheduling ``j`` (dispatched at
+   ``j * tau_1``) covers ``R ∪ ⋃ {V_k : j mod 2^k = 0}``, each solved with
+   the q-rooted TSP 2-approximation (Algorithm 2).
+3. Repeats the block across the monitoring period: the scheduling at global
+   index ``j`` reuses tour set ``((j-1) mod 2^K) + 1``. No dispatch happens
+   at time ``T`` itself (nothing after it needs the charge).
+
+The cost guarantee (paper's Theorem 2) is ``2(K+2) * OPT`` with
+``K = floor(log2(tau_max / tau_min))``; in practice the ratio against the
+Lemma-3 lower bound is far smaller (see ``benchmarks/bench_ablation_lowerbound.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.quantize import Quantization, quantize_cycles
+from repro.core.schedule import ChargingScheduling, SchedulePlan
+from repro.errors import ScheduleError
+from repro.network.model import SensorNetwork
+from repro.rooted.qtsp import q_rooted_tsp
+from repro.tsp.tour import Tour
+
+__all__ = ["MinTotalDistanceResult", "min_total_distance", "build_block"]
+
+
+@dataclass(frozen=True)
+class MinTotalDistanceResult:
+    """Everything Algorithm 3 produces.
+
+    Parameters
+    ----------
+    plan:
+        The full series of charging schedulings for the period.
+    quantization:
+        The class structure the plan is built on (exposed for analysis and
+        for the adaptive heuristic, which reuses it).
+    block:
+        The ``2^K`` distinct tour sets; ``block[j - 1]`` is the tour tuple of
+        within-block scheduling ``j``. Shared by reference into ``plan``.
+    """
+
+    plan: SchedulePlan
+    quantization: Quantization
+    block: tuple[tuple[Tour, ...], ...]
+
+    def block_costs(self, dist: np.ndarray) -> np.ndarray:
+        """``(2^K,)`` cost of each distinct tour set."""
+        d = np.asarray(dist)
+        return np.asarray(
+            [sum(t.cost(d) for t in tours) for tours in self.block], dtype=np.float64)
+
+
+def build_block(network: SensorNetwork, quant: Quantization,
+                *, refine: bool = False) -> tuple[tuple[Tour, ...], ...]:
+    """The ``2^K`` distinct tour sets of one scheduling block.
+
+    Scheduling ``j`` covers every class whose assigned cycle divides
+    ``j * tau_1``; its tours come from Algorithm 2 on the induced subgraph.
+    Identical sensor sets across different ``j`` (common: any ``j`` with the
+    same divisor pattern) are solved once and shared.
+    """
+    depots = [int(i) for i in network.depot_indices]
+    cache: dict[frozenset[int], tuple[Tour, ...]] = {}
+    block: list[tuple[Tour, ...]] = []
+    for j in range(1, quant.block_size + 1):
+        due = quant.sensors_due_at(j)
+        key = frozenset(int(s) for s in due)
+        if key not in cache:
+            tours = q_rooted_tsp(network.dist, sorted(key), depots, refine=refine)
+            cache[key] = tuple(tours)
+        block.append(cache[key])
+    return tuple(block)
+
+
+def min_total_distance(network: SensorNetwork, horizon: float,
+                       *, cycles: np.ndarray | None = None,
+                       refine: bool = False,
+                       start_time: float = 0.0,
+                       base: int = 2) -> MinTotalDistanceResult:
+    """Run Algorithm 3.
+
+    Parameters
+    ----------
+    network:
+        The WSN instance (geometry + nominal cycles).
+    horizon:
+        Monitoring period ``T``; schedulings are dispatched at
+        ``start_time + j * tau_1`` for every ``j >= 1`` with that time
+        strictly before ``horizon``. All sensors are assumed fully charged
+        at ``start_time``.
+    cycles:
+        Override for the maximum charging cycles (defaults to the network's
+        nominal ones). The adaptive heuristic passes updated estimates here.
+    refine:
+        Forwarded to the q-rooted TSP solver (2-opt post-pass).
+    start_time:
+        Offset for re-planning mid-period; ``0`` for the offline case.
+    base:
+        Geometric base of the cycle quantisation (the paper's algorithm is
+        ``base = 2``; the ``abl-base`` bench explores larger bases).
+
+    Returns
+    -------
+    MinTotalDistanceResult
+        Plan + quantisation + the distinct block. The plan is feasible by
+        construction (paper's Lemma 2): every sensor in ``V_k`` is charged
+        exactly every ``2^k tau_1 <= tau_i``.
+    """
+    if horizon <= start_time:
+        raise ScheduleError(
+            f"min_total_distance: horizon {horizon} must exceed start_time {start_time}")
+    tau = network.cycles if cycles is None else np.asarray(cycles, dtype=np.float64)
+    if tau.shape != (network.n,):
+        raise ScheduleError(
+            f"min_total_distance: expected {network.n} cycles, got shape {tau.shape}")
+    quant = quantize_cycles(tau, base=base)
+    block = build_block(network, quant, refine=refine)
+
+    schedulings: list[ChargingScheduling] = []
+    j = 1
+    while True:
+        t = start_time + j * quant.tau1
+        if t >= horizon:
+            break
+        tours = block[(j - 1) % quant.block_size]
+        schedulings.append(ChargingScheduling(time=t, tours=tours))
+        j += 1
+    plan = SchedulePlan(schedulings=tuple(schedulings), horizon=horizon)
+    return MinTotalDistanceResult(plan=plan, quantization=quant, block=block)

@@ -1,0 +1,88 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything produced by this package with a single ``except`` clause
+while still letting programming errors (``TypeError`` et al.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GeometryError",
+    "NetworkModelError",
+    "GraphError",
+    "TourError",
+    "ScheduleError",
+    "InfeasiblePlanError",
+    "SimulationError",
+    "SensorDeathError",
+    "ConfigError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric input (bad coordinates, empty point sets, ...)."""
+
+
+class NetworkModelError(ReproError):
+    """Inconsistent sensor-network model (duplicate ids, bad cycles, ...)."""
+
+
+class GraphError(ReproError):
+    """Invalid graph operation (disconnected input to MST, bad root, ...)."""
+
+
+class TourError(ReproError):
+    """Invalid tour (missing depot, repeated node, non-closed, ...)."""
+
+
+class ScheduleError(ReproError):
+    """Malformed charging schedule or plan."""
+
+
+class InfeasiblePlanError(ScheduleError):
+    """A charging plan lets at least one sensor run out of energy.
+
+    Attributes
+    ----------
+    sensor_id:
+        Identifier of the first sensor found to violate feasibility.
+    time:
+        The time at which the violation occurs.
+    """
+
+    def __init__(self, message: str, *, sensor_id: int | None = None,
+                 time: float | None = None) -> None:
+        super().__init__(message)
+        self.sensor_id = sensor_id
+        self.time = time
+
+
+class SimulationError(ReproError):
+    """The simulator was driven into an invalid state."""
+
+
+class SensorDeathError(SimulationError):
+    """A sensor ran out of energy during a simulation configured as strict.
+
+    Attributes
+    ----------
+    sensor_id:
+        Identifier of the dead sensor.
+    time:
+        Simulation time of the death event.
+    """
+
+    def __init__(self, message: str, *, sensor_id: int, time: float) -> None:
+        super().__init__(message)
+        self.sensor_id = sensor_id
+        self.time = time
+
+
+class ConfigError(ReproError):
+    """Invalid experiment or algorithm configuration."""

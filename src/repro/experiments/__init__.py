@@ -1,0 +1,34 @@
+"""Experiment harness: configs, runners, sweeps and the figure registry.
+
+One :class:`~repro.experiments.config.ExperimentConfig` describes a single
+evaluation *cell* (network size, distribution, workload volatility,
+algorithms, repetition count); :func:`~repro.experiments.runner.run_cell`
+executes it over independent topologies and aggregates;
+:func:`~repro.experiments.sweeps.sweep` varies one parameter across a cell
+and produces the series a paper figure plots; and
+:mod:`~repro.experiments.figures` registers one pre-configured sweep per
+panel of the paper's evaluation (Figs. 1–6) plus the ablations listed in
+DESIGN.md.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import FIGURES, FigureSpec, get_figure, run_figure
+from repro.experiments.runner import AlgorithmResult, CellResult, run_cell
+from repro.experiments.stats import ConfidenceInterval, mean_ci, paired_ratio_ci
+from repro.experiments.sweeps import SweepResult, sweep
+
+__all__ = [
+    "FIGURES",
+    "AlgorithmResult",
+    "CellResult",
+    "ConfidenceInterval",
+    "ExperimentConfig",
+    "FigureSpec",
+    "SweepResult",
+    "get_figure",
+    "mean_ci",
+    "paired_ratio_ci",
+    "run_cell",
+    "run_figure",
+    "sweep",
+]

@@ -1,0 +1,146 @@
+"""Experiment configuration.
+
+Defaults reproduce the paper's Section VII environment exactly:
+1000 m x 1000 m area, base station at the centre, ``q = 5`` depots (first
+co-located with the base station), ``T = 1000``, ``tau in [1, 50]``,
+``sigma = 2``, ``ΔT = 10``, greedy threshold ``Δl = tau_min``. The paper
+averages each point over 100 random topologies; ``n_topologies`` defaults
+lower so benches finish in minutes — the CLI exposes the full setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.network.cycles import (
+    CycleDistribution,
+    LinearCycleDistribution,
+    RandomCycleDistribution,
+)
+
+__all__ = ["ExperimentConfig"]
+
+#: Algorithms the runner knows how to instantiate.
+KNOWN_ALGORITHMS = (
+    "mtd",          # Algorithm 3 (offline plan), fixed cycles
+    "mtd+2opt",     # Algorithm 3 with tour refinement (ablation)
+    "mtd-var",        # Section VI adaptive policy (paper-faithful ties)
+    "mtd-var+2opt",
+    "mtd-var-defer",  # same, with the deferring patch tie-break (improvement)
+    "greedy",       # the paper's comparator
+    "greedy+2opt",
+    "naive",        # charge-everything strawman
+    "periodic",     # per-sensor periodic plan without power-of-2 merging
+)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One evaluation cell.
+
+    Parameters
+    ----------
+    n, q:
+        Network size and charger count.
+    side:
+        Deployment square side (metres).
+    horizon:
+        Monitoring period ``T``.
+    distribution:
+        ``"linear"`` or ``"random"`` (Section VII.A's two models).
+    tau_min, tau_max, sigma:
+        Cycle-distribution parameters.
+    variable:
+        False = fixed cycles (Figs. 1–2); True = cycles resampled every
+        ``slot_duration`` (Figs. 3–6).
+    slot_duration:
+        ``ΔT`` for variable workloads.
+    algorithms:
+        Names from :data:`KNOWN_ALGORITHMS` to run on each topology.
+    n_topologies:
+        Independent random topologies to average over.
+    seed:
+        Master seed; topology ``r`` uses child stream ``r``.
+    strict:
+        Raise on any sensor death instead of recording it.
+    quantization_base:
+        Geometric base of Algorithm 3's cycle classes (paper: 2; the
+        ``abl-base`` ablation sweeps it).
+    deployment:
+        Sensor layout: ``"uniform"`` (paper), ``"clustered"`` or ``"grid"``
+        (the ``abl-deployment`` ablation).
+    """
+
+    n: int = 200
+    q: int = 5
+    side: float = 1000.0
+    horizon: float = 1000.0
+    distribution: str = "linear"
+    tau_min: float = 1.0
+    tau_max: float = 50.0
+    sigma: float = 2.0
+    variable: bool = False
+    slot_duration: float = 10.0
+    algorithms: tuple[str, ...] = ("mtd", "greedy")
+    n_topologies: int = 5
+    seed: int = 2014
+    strict: bool = False
+    quantization_base: int = 2
+    deployment: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.n <= 0 or self.q <= 0:
+            raise ConfigError(f"n and q must be positive, got n={self.n}, q={self.q}")
+        if self.horizon <= 0:
+            raise ConfigError(f"horizon must be positive, got {self.horizon}")
+        if self.distribution not in ("linear", "random"):
+            raise ConfigError(
+                f"distribution must be 'linear' or 'random', got {self.distribution!r}")
+        if self.tau_min <= 0 or self.tau_max < self.tau_min:
+            raise ConfigError(
+                f"need 0 < tau_min <= tau_max, got [{self.tau_min}, {self.tau_max}]")
+        if self.sigma < 0:
+            raise ConfigError(f"sigma must be non-negative, got {self.sigma}")
+        if self.slot_duration <= 0:
+            raise ConfigError(
+                f"slot_duration must be positive, got {self.slot_duration}")
+        if self.n_topologies <= 0:
+            raise ConfigError(
+                f"n_topologies must be positive, got {self.n_topologies}")
+        if self.deployment not in ("uniform", "clustered", "grid"):
+            raise ConfigError(
+                f"deployment must be 'uniform', 'clustered' or 'grid', "
+                f"got {self.deployment!r}")
+        if (not isinstance(self.quantization_base, int)
+                or self.quantization_base < 2):
+            raise ConfigError(
+                f"quantization_base must be an integer >= 2, "
+                f"got {self.quantization_base!r}")
+        unknown = set(self.algorithms) - set(KNOWN_ALGORITHMS)
+        if unknown:
+            raise ConfigError(
+                f"unknown algorithms {sorted(unknown)}; known: {KNOWN_ALGORITHMS}")
+        for alg in self.algorithms:
+            if alg.startswith("mtd-var") and not self.variable:
+                raise ConfigError(
+                    f"{alg} requires a variable workload (set variable=True)")
+
+    def with_(self, **overrides: Any) -> "ExperimentConfig":
+        """Functional update (``dataclasses.replace`` with validation)."""
+        return replace(self, **overrides)
+
+    def make_distribution(self) -> CycleDistribution:
+        """Instantiate the configured cycle distribution."""
+        if self.distribution == "linear":
+            return LinearCycleDistribution(
+                tau_min=self.tau_min, tau_max=self.tau_max, sigma=self.sigma)
+        return RandomCycleDistribution(tau_min=self.tau_min, tau_max=self.tau_max)
+
+    def describe(self) -> str:
+        """Short label used in tables and logs."""
+        mode = f"var(ΔT={self.slot_duration:g})" if self.variable else "fixed"
+        return (f"n={self.n} q={self.q} {self.distribution} "
+                f"tau=[{self.tau_min:g},{self.tau_max:g}] sigma={self.sigma:g} "
+                f"{mode} T={self.horizon:g} reps={self.n_topologies}")

@@ -1,0 +1,112 @@
+"""Multi-parameter grid sweeps.
+
+One-parameter sweeps (:mod:`repro.experiments.sweeps`) regenerate the
+paper's figures; exploring *interactions* — does the fleet-size effect
+depend on network size? does the tau_max crossover move with q? — needs a
+cartesian grid. :func:`grid_sweep` runs a cell at every combination and
+:class:`GridResult` exposes the results as labelled axes plus a dense cost
+tensor per algorithm, ready for pivot tables or heatmaps.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import CellResult, run_cell
+
+__all__ = ["GridResult", "grid_sweep"]
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """Outcome of a cartesian sweep.
+
+    Parameters
+    ----------
+    parameters:
+        The swept field names, in axis order.
+    values:
+        One value tuple per parameter, aligned with ``parameters``.
+    cells:
+        Dict from value-combination tuple to its cell result.
+    """
+
+    parameters: tuple[str, ...]
+    values: tuple[tuple[Any, ...], ...]
+    cells: Mapping[tuple[Any, ...], CellResult]
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(len(v) for v in self.values)
+
+    def cell(self, **coords: Any) -> CellResult:
+        """Look up one cell by parameter values, e.g. ``grid.cell(n=200, q=5)``."""
+        try:
+            key = tuple(coords[p] for p in self.parameters)
+        except KeyError as exc:
+            raise ConfigError(
+                f"cell lookup needs all of {self.parameters}, missing {exc}") from exc
+        if key not in self.cells:
+            raise ConfigError(f"no cell at {dict(zip(self.parameters, key))}")
+        return self.cells[key]
+
+    def cost_tensor(self, algorithm: str) -> np.ndarray:
+        """Dense mean-cost array of shape :attr:`shape` for one algorithm."""
+        out = np.empty(self.shape, dtype=np.float64)
+        for idx, combo in zip(np.ndindex(*self.shape),
+                              itertools.product(*self.values)):
+            out[idx] = self.cells[combo].by_name(algorithm).mean_cost
+        return out
+
+    def ratio_tensor(self, num: str, den: str) -> np.ndarray:
+        """Dense mean-cost-ratio array of shape :attr:`shape`."""
+        return self.cost_tensor(num) / self.cost_tensor(den)
+
+    def rows(self, algorithms: Sequence[str] | None = None) -> list[list[Any]]:
+        """Long-format rows: one per combination, columns = parameter values
+        then per-algorithm mean costs (for CSV export)."""
+        algs = (list(algorithms) if algorithms is not None
+                else list(next(iter(self.cells.values())).config.algorithms))
+        out = []
+        for combo in itertools.product(*self.values):
+            cell = self.cells[combo]
+            out.append(list(combo) + [cell.by_name(a).mean_cost for a in algs])
+        return out
+
+
+def grid_sweep(base: ExperimentConfig, axes: Mapping[str, Sequence[Any]],
+               *, progress: Callable[[str], None] | None = None) -> GridResult:
+    """Run ``base`` at every combination of the given axes.
+
+    Parameters
+    ----------
+    base:
+        The cell template.
+    axes:
+        Map from config field name to the values it sweeps. Insertion order
+        fixes the axis order of the result tensors.
+    progress:
+        Optional per-cell progress callback.
+    """
+    if not axes:
+        raise ConfigError("grid_sweep: need at least one axis")
+    for name, vals in axes.items():
+        if not hasattr(base, name):
+            raise ConfigError(f"grid_sweep: ExperimentConfig has no field {name!r}")
+        if not vals:
+            raise ConfigError(f"grid_sweep: axis {name!r} has no values")
+    parameters = tuple(axes.keys())
+    values = tuple(tuple(v) for v in axes.values())
+    cells: dict[tuple[Any, ...], CellResult] = {}
+    for combo in itertools.product(*values):
+        cfg = base.with_(**dict(zip(parameters, combo)))
+        if progress is not None:
+            progress(f"[grid {dict(zip(parameters, combo))}] {cfg.describe()}")
+        cells[combo] = run_cell(cfg)
+    return GridResult(parameters=parameters, values=values, cells=cells)

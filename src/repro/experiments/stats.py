@@ -1,0 +1,102 @@
+"""Statistics for experiment cells: paired ratios and confidence intervals.
+
+Because every algorithm in a cell runs on the *same* topologies and
+workload realisations (common random numbers), the right uncertainty
+statement for "MTD costs X% of Greedy" is a **paired** analysis: compute
+the ratio per topology, then summarise. These helpers implement that plus
+a plain t-interval for means, without depending on scipy (the t quantiles
+needed — small samples, 95% — are tabulated; larger samples fall back to
+the normal quantile, which is what the t converges to).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["ConfidenceInterval", "mean_ci", "paired_ratio_ci"]
+
+#: Two-sided 95% Student-t quantiles for 1..30 degrees of freedom.
+_T95 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+_Z95 = 1.960
+
+
+def _t95(dof: int) -> float:
+    if dof < 1:
+        raise ConfigError("confidence interval needs at least 2 samples")
+    return _T95[dof - 1] if dof <= len(_T95) else _Z95
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a symmetric 95% interval.
+
+    Parameters
+    ----------
+    mean:
+        The point estimate.
+    lower, upper:
+        Interval endpoints (``mean ± half_width``).
+    n:
+        Sample size behind the estimate.
+    """
+
+    mean: float
+    lower: float
+    upper: float
+    n: int
+
+    @property
+    def half_width(self) -> float:
+        return (self.upper - self.lower) / 2.0
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.half_width:.2g} (95% CI, n={self.n})"
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.lower <= value <= self.upper
+
+
+def mean_ci(samples: np.ndarray) -> ConfidenceInterval:
+    """95% t-interval for the mean of ``samples``.
+
+    A single sample yields a degenerate zero-width interval (there is no
+    variance estimate to widen it with) — callers that need honesty about
+    n=1 should check ``ci.n``.
+    """
+    x = np.asarray(samples, dtype=np.float64)
+    if x.ndim != 1 or x.size == 0:
+        raise ConfigError(f"mean_ci: need a non-empty 1-D sample, got shape {x.shape}")
+    m = float(x.mean())
+    if x.size == 1:
+        return ConfidenceInterval(mean=m, lower=m, upper=m, n=1)
+    sem = float(x.std(ddof=1)) / math.sqrt(x.size)
+    h = _t95(x.size - 1) * sem
+    return ConfidenceInterval(mean=m, lower=m - h, upper=m + h, n=int(x.size))
+
+
+def paired_ratio_ci(numerator: np.ndarray,
+                    denominator: np.ndarray) -> ConfidenceInterval:
+    """95% interval for the mean per-topology cost ratio ``num_i / den_i``.
+
+    The pairing removes between-topology variance, which is why the paper's
+    curves are smooth at 100 repetitions — and why this interval is much
+    tighter than dividing two independent means.
+    """
+    a = np.asarray(numerator, dtype=np.float64)
+    b = np.asarray(denominator, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ConfigError(
+            f"paired_ratio_ci: mismatched shapes {a.shape} vs {b.shape}")
+    if np.any(b <= 0):
+        raise ConfigError("paired_ratio_ci: non-positive denominator cost")
+    return mean_ci(a / b)

@@ -1,0 +1,102 @@
+"""Parameter sweeps: the series a paper figure plots.
+
+A sweep varies one :class:`~repro.experiments.config.ExperimentConfig`
+field across a list of values and runs the cell at each; the result holds
+one :class:`~repro.experiments.runner.CellResult` per value plus helpers to
+extract ``(x, mean_cost)`` series per algorithm — exactly what the paper's
+figures show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import CellResult, run_cell
+
+__all__ = ["SweepResult", "sweep"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of a one-parameter sweep.
+
+    Parameters
+    ----------
+    parameter:
+        The swept config field (or virtual parameter name).
+    values:
+        The sweep values, in run order.
+    cells:
+        One cell result per value.
+    """
+
+    parameter: str
+    values: tuple[Any, ...]
+    cells: tuple[CellResult, ...]
+
+    @property
+    def algorithms(self) -> tuple[str, ...]:
+        return self.cells[0].config.algorithms if self.cells else ()
+
+    def series(self, algorithm: str) -> tuple[np.ndarray, np.ndarray]:
+        """``(x, mean_cost)`` arrays for one algorithm across the sweep."""
+        x = np.asarray(self.values, dtype=np.float64)
+        y = np.asarray([c.by_name(algorithm).mean_cost for c in self.cells])
+        return x, y
+
+    def ratio_series(self, num: str, den: str) -> np.ndarray:
+        """Per-value mean-cost ratio ``num / den``."""
+        return np.asarray([c.ratio(num, den) for c in self.cells])
+
+    def deaths(self, algorithm: str) -> np.ndarray:
+        """Per-value total death counts (should be all zero)."""
+        return np.asarray([c.by_name(algorithm).total_deaths for c in self.cells])
+
+    def rows(self) -> list[list[Any]]:
+        """Table rows: one per sweep value, columns = mean cost (and deaths
+        if any) per algorithm. Used by the reporting layer and the CLI."""
+        out: list[list[Any]] = []
+        for v, cell in zip(self.values, self.cells):
+            row: list[Any] = [v]
+            for alg in self.algorithms:
+                r = cell.by_name(alg)
+                row.append(r.mean_cost)
+            out.append(row)
+        return out
+
+    def header(self) -> list[str]:
+        return [self.parameter] + [f"{a} (mean cost)" for a in self.algorithms]
+
+
+def sweep(base: ExperimentConfig, parameter: str, values: Sequence[Any],
+          *, progress: Callable[[str], None] | None = None) -> SweepResult:
+    """Run ``base`` once per value of ``parameter``.
+
+    Parameters
+    ----------
+    base:
+        The cell template.
+    parameter:
+        Name of an :class:`ExperimentConfig` field to vary.
+    values:
+        Values to assign (validated by the config's ``__post_init__``).
+    progress:
+        Optional callback invoked with a human-readable line before each
+        cell (the CLI passes ``print``).
+    """
+    if not values:
+        raise ConfigError("sweep: empty value list")
+    if not hasattr(base, parameter):
+        raise ConfigError(f"sweep: ExperimentConfig has no field {parameter!r}")
+    cells: list[CellResult] = []
+    for v in values:
+        cfg = base.with_(**{parameter: v})
+        if progress is not None:
+            progress(f"[sweep {parameter}={v}] {cfg.describe()}")
+        cells.append(run_cell(cfg))
+    return SweepResult(parameter=parameter, values=tuple(values), cells=tuple(cells))

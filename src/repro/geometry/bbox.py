@@ -1,0 +1,95 @@
+"""Rectangular deployment areas.
+
+The paper deploys sensors uniformly at random in a 1000 m x 1000 m square;
+:class:`Rect` generalises that to any axis-aligned rectangle and provides the
+uniform sampler and membership test the deployment generators use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.rng import make_rng
+
+__all__ = ["Rect"]
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """Axis-aligned rectangle ``[x0, x1] x [y0, y1]``.
+
+    Parameters
+    ----------
+    x0, y0:
+        Lower-left corner.
+    x1, y1:
+        Upper-right corner; must satisfy ``x1 > x0`` and ``y1 > y0``.
+    """
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if not (self.x1 > self.x0 and self.y1 > self.y0):
+            raise GeometryError(
+                f"degenerate rectangle [{self.x0}, {self.x1}] x [{self.y0}, {self.y1}]"
+            )
+
+    @classmethod
+    def square(cls, side: float, *, origin: tuple[float, float] = (0.0, 0.0)) -> "Rect":
+        """Square of the given ``side`` with lower-left corner at ``origin``.
+
+        ``Rect.square(1000.0)`` is the paper's deployment area.
+        """
+        if side <= 0:
+            raise GeometryError(f"square side must be positive, got {side}")
+        ox, oy = origin
+        return cls(ox, oy, ox + side, oy + side)
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        """Centre of the rectangle — where the paper places the base station."""
+        return Point((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the rectangle's diagonal (an upper bound on any
+        pairwise distance inside it)."""
+        return float(np.hypot(self.width, self.height))
+
+    def contains(self, p: Point, *, tol: float = 1e-9) -> bool:
+        """Whether ``p`` lies inside the rectangle (closed, with tolerance)."""
+        return (self.x0 - tol <= p.x <= self.x1 + tol
+                and self.y0 - tol <= p.y <= self.y1 + tol)
+
+    def sample(self, n: int, rng: int | np.random.Generator | None = None) -> np.ndarray:
+        """``(n, 2)`` array of points drawn uniformly at random in the rect."""
+        if n < 0:
+            raise GeometryError(f"sample size must be non-negative, got {n}")
+        gen = make_rng(rng)
+        xs = gen.uniform(self.x0, self.x1, size=n)
+        ys = gen.uniform(self.y0, self.y1, size=n)
+        return np.column_stack([xs, ys])
+
+    def sample_points(self, n: int,
+                      rng: int | np.random.Generator | None = None) -> list[Point]:
+        """Like :meth:`sample` but returning :class:`Point` objects."""
+        return [Point(float(x), float(y)) for x, y in self.sample(n, rng)]

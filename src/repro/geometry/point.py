@@ -1,0 +1,73 @@
+"""Immutable 2-D points and conversions to NumPy coordinate arrays."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+__all__ = ["Point", "points_to_array"]
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point in the plane.
+
+    Frozen so points can be dictionary keys and shared freely between the
+    network model, schedules, and the simulator without defensive copies.
+
+    Parameters
+    ----------
+    x, y:
+        Cartesian coordinates in metres.
+    """
+
+    x: float
+    y: float
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.x) and math.isfinite(self.y)):
+            raise GeometryError(f"point coordinates must be finite, got ({self.x}, {self.y})")
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """Point halfway between ``self`` and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A copy shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """``(x, y)`` tuple, convenient for NumPy construction."""
+        return (self.x, self.y)
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+
+def points_to_array(points: Iterable[Point] | Sequence[Point]) -> np.ndarray:
+    """Stack points into an ``(n, 2)`` float64 array.
+
+    The inverse direction (array row -> :class:`Point`) is a one-liner at the
+    call sites; this helper exists because the packing direction is the hot
+    one (every distance-matrix build goes through it).
+
+    Raises
+    ------
+    GeometryError
+        If the iterable is empty — a zero-point geometry is always a caller
+        bug in this library.
+    """
+    arr = np.asarray([(p.x, p.y) for p in points], dtype=np.float64)
+    if arr.size == 0:
+        raise GeometryError("points_to_array: empty point collection")
+    return arr

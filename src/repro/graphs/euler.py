@@ -1,0 +1,82 @@
+"""Eulerian circuits on even-degree multigraphs (Hierholzer's algorithm).
+
+Algorithm 2 in the paper doubles every edge of a tree — giving a connected
+multigraph in which every degree is even — and walks an Eulerian circuit.
+Lemma 3's proof glues several closed tours sharing a depot into one Eulerian
+multigraph the same way. This module implements the general primitive; the
+tree case also has the cheaper :func:`repro.graphs.traversal.preorder`
+shortcut used on the hot path.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from repro.errors import GraphError
+
+__all__ = ["eulerian_circuit"]
+
+
+def eulerian_circuit(edges: Sequence[tuple[int, int]], start: int) -> list[int]:
+    """Eulerian circuit of the undirected multigraph ``edges`` from ``start``.
+
+    Parameters
+    ----------
+    edges:
+        Multiset of undirected edges; parallel edges and self-loops allowed.
+        Every vertex must have even degree and all edges must lie in one
+        connected component containing ``start``.
+    start:
+        First (and last) vertex of the returned circuit.
+
+    Returns
+    -------
+    list[int]
+        Vertex sequence ``[start, ..., start]`` using every edge exactly
+        once; ``[start]`` if there are no edges.
+
+    Raises
+    ------
+    GraphError
+        If a vertex has odd degree or some edges are unreachable from
+        ``start`` (either condition makes a circuit impossible).
+    """
+    if not edges:
+        return [start]
+
+    # Adjacency as lists of (neighbour, edge_id); a used[] bitmap marks
+    # consumed edges so parallel edges are handled individually.
+    adj: dict[int, list[tuple[int, int]]] = defaultdict(list)
+    for eid, (u, v) in enumerate(edges):
+        adj[u].append((v, eid))
+        adj[v].append((u, eid))
+    if start not in adj:
+        raise GraphError(f"eulerian_circuit: start {start} has no incident edges")
+    for node, nbrs in adj.items():
+        if len(nbrs) % 2 != 0:
+            raise GraphError(f"eulerian_circuit: vertex {node} has odd degree {len(nbrs)}")
+
+    used = [False] * len(edges)
+    # ptr[v]: index into adj[v] of the next candidate edge, so each adjacency
+    # list is scanned once overall (linear-time Hierholzer).
+    ptr: dict[int, int] = defaultdict(int)
+    stack = [start]
+    circuit: list[int] = []
+    while stack:
+        v = stack[-1]
+        nbrs = adj[v]
+        i = ptr[v]
+        while i < len(nbrs) and used[nbrs[i][1]]:
+            i += 1
+        ptr[v] = i
+        if i == len(nbrs):
+            circuit.append(stack.pop())
+        else:
+            u, eid = nbrs[i]
+            used[eid] = True
+            stack.append(u)
+    if not all(used):
+        raise GraphError("eulerian_circuit: graph is disconnected from start")
+    circuit.reverse()
+    return circuit

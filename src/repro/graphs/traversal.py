@@ -1,0 +1,73 @@
+"""Tree traversals and adjacency construction."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import GraphError
+
+__all__ = ["adjacency_from_edges", "preorder"]
+
+
+def adjacency_from_edges(edges: Iterable[tuple[int, int]],
+                         *, nodes: Iterable[int] | None = None) -> dict[int, list[int]]:
+    """Undirected adjacency lists from an edge list.
+
+    Parameters
+    ----------
+    edges:
+        ``(u, v)`` pairs; both directions are recorded.
+    nodes:
+        Optional extra node ids to include with (possibly) empty neighbour
+        lists — needed for isolated roots in the q-rooted forest.
+
+    Neighbour lists preserve insertion order, so traversals over them are
+    deterministic given a deterministic edge order.
+    """
+    adj: dict[int, list[int]] = {}
+    if nodes is not None:
+        for u in nodes:
+            adj.setdefault(u, [])
+    for u, v in edges:
+        adj.setdefault(u, []).append(v)
+        adj.setdefault(v, []).append(u)
+    return adj
+
+
+def preorder(adj: dict[int, Sequence[int]], root: int) -> list[int]:
+    """Iterative DFS preorder of the tree ``adj`` starting at ``root``.
+
+    For a tree, visiting nodes in DFS preorder and short-cutting between
+    consecutive first visits is exactly the "double every edge, take an
+    Eulerian circuit, skip repeats" construction of Algorithm 2 — so the
+    preorder *is* the 2-approximate tour order (minus the closing edge).
+
+    Raises
+    ------
+    GraphError
+        If ``root`` is not a node of ``adj``. Cycles in the input are not
+        detected (nodes are visited once, so the output is still a valid
+        vertex ordering) — callers pass trees.
+    """
+    if root not in adj:
+        raise GraphError(f"preorder: root {root} not present in adjacency")
+    seen = {root}
+    order = [root]
+    # Explicit stack; children pushed in reverse so the leftmost neighbour
+    # is visited first, matching the recursive formulation.
+    stack = [iter(adj[root])]
+    path = [root]
+    while stack:
+        try:
+            nxt = next(stack[-1])
+        except StopIteration:
+            stack.pop()
+            path.pop()
+            continue
+        if nxt in seen:
+            continue
+        seen.add(nxt)
+        order.append(nxt)
+        path.append(nxt)
+        stack.append(iter(adj[nxt]))
+    return order

@@ -1,0 +1,72 @@
+"""Disjoint-set (union-find) with path halving and union by size."""
+
+from __future__ import annotations
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Classic disjoint-set forest over the integers ``0..n-1``.
+
+    ``find`` uses path halving (single-pass, no recursion) and ``union`` is
+    by size, giving the usual near-constant amortised complexity. Used by
+    Kruskal's algorithm and by connectivity checks in tests.
+    """
+
+    __slots__ = ("_parent", "_size", "_n_components")
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"UnionFind size must be non-negative, got {n}")
+        self._parent = list(range(n))
+        self._size = [1] * n
+        self._n_components = n
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    @property
+    def n_components(self) -> int:
+        """Number of disjoint sets currently represented."""
+        return self._n_components
+
+    def find(self, x: int) -> int:
+        """Representative of the set containing ``x``."""
+        parent = self._parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]  # path halving
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``.
+
+        Returns
+        -------
+        bool
+            True if a merge happened, False if they were already together.
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self._n_components -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        """Whether ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def component_size(self, x: int) -> int:
+        """Size of the set containing ``x``."""
+        return self._size[self.find(x)]
+
+    def components(self) -> dict[int, list[int]]:
+        """Map from representative to sorted member list (test helper)."""
+        out: dict[int, list[int]] = {}
+        for x in range(len(self._parent)):
+            out.setdefault(self.find(x), []).append(x)
+        return out

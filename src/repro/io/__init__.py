@@ -1,0 +1,39 @@
+"""Serialisation: JSON round-trips for networks, plans and results.
+
+Lets users pin down a topology, archive the exact plan an algorithm
+produced, and reload both later for inspection or re-simulation — the
+operational workflow a real deployment needs (plan on a workstation,
+ship the schedule to the depot controller).
+
+* :func:`~repro.io.network_json.network_to_dict` /
+  :func:`~repro.io.network_json.network_from_dict` — full
+  :class:`~repro.network.model.SensorNetwork` round-trip.
+* :func:`~repro.io.plan_json.plan_to_dict` /
+  :func:`~repro.io.plan_json.plan_from_dict` — full
+  :class:`~repro.core.schedule.SchedulePlan` round-trip (tour sharing is
+  restored, so repeated blocks stay cheap after reload).
+* :func:`~repro.io.files.save_json` / :func:`~repro.io.files.load_json` —
+  thin file helpers used by both.
+"""
+
+from repro.io.files import load_json, save_json
+from repro.io.network_json import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+from repro.io.plan_json import load_plan, plan_from_dict, plan_to_dict, save_plan
+
+__all__ = [
+    "load_json",
+    "load_network",
+    "load_plan",
+    "network_from_dict",
+    "network_to_dict",
+    "plan_from_dict",
+    "plan_to_dict",
+    "save_json",
+    "save_network",
+    "save_plan",
+]

@@ -1,0 +1,54 @@
+"""File-level JSON helpers with format versioning."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError
+
+__all__ = ["save_json", "load_json", "FORMAT_VERSION"]
+
+#: Bumped whenever a serialised structure changes incompatibly.
+FORMAT_VERSION = 1
+
+
+def save_json(path: str | Path, kind: str, payload: dict[str, Any]) -> Path:
+    """Write ``payload`` wrapped in a ``{kind, version, data}`` envelope.
+
+    Parent directories are created; returns the resolved path.
+    """
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    envelope = {"kind": kind, "version": FORMAT_VERSION, "data": payload}
+    with p.open("w") as fh:
+        json.dump(envelope, fh, indent=2)
+        fh.write("\n")
+    return p.resolve()
+
+
+def load_json(path: str | Path, kind: str) -> dict[str, Any]:
+    """Read an envelope written by :func:`save_json`, checking kind/version.
+
+    Raises
+    ------
+    ReproError
+        On a missing file, wrong kind, or unsupported version — with a
+        message saying which.
+    """
+    p = Path(path)
+    if not p.exists():
+        raise ReproError(f"load_json: no such file {p}")
+    with p.open() as fh:
+        envelope = json.load(fh)
+    if not isinstance(envelope, dict) or "kind" not in envelope:
+        raise ReproError(f"load_json: {p} is not a repro JSON envelope")
+    if envelope["kind"] != kind:
+        raise ReproError(
+            f"load_json: {p} holds a {envelope['kind']!r}, expected {kind!r}")
+    if envelope.get("version") != FORMAT_VERSION:
+        raise ReproError(
+            f"load_json: {p} is format version {envelope.get('version')}, "
+            f"this library reads version {FORMAT_VERSION}")
+    return envelope["data"]

@@ -1,0 +1,69 @@
+"""JSON round-trip for :class:`~repro.network.model.SensorNetwork`."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError
+from repro.geometry.bbox import Rect
+from repro.geometry.point import Point
+from repro.network.depot import BaseStation, Depot
+from repro.network.model import SensorNetwork
+from repro.network.sensor import Sensor
+
+__all__ = ["network_to_dict", "network_from_dict", "save_network", "load_network"]
+
+from repro.io.files import load_json, save_json
+
+
+def network_to_dict(network: SensorNetwork) -> dict[str, Any]:
+    """Plain-JSON-types representation of a network (exact: coordinates,
+    cycles and batteries are stored at full float precision)."""
+    return {
+        "area": [network.area.x0, network.area.y0,
+                 network.area.x1, network.area.y1],
+        "base_station": list(network.base_station.position.as_tuple()),
+        "sensors": [
+            {"x": s.position.x, "y": s.position.y,
+             "cycle": s.cycle, "battery": s.battery}
+            for s in network.sensors
+        ],
+        "depots": [list(d.position.as_tuple()) for d in network.depots],
+    }
+
+
+def network_from_dict(data: dict[str, Any]) -> SensorNetwork:
+    """Inverse of :func:`network_to_dict`.
+
+    Raises
+    ------
+    ReproError
+        On structurally invalid input (missing keys, wrong shapes).
+    """
+    try:
+        area = Rect(*[float(v) for v in data["area"]])
+        base = BaseStation(position=Point(*[float(v) for v in data["base_station"]]))
+        sensors = tuple(
+            Sensor(id=i, position=Point(float(s["x"]), float(s["y"])),
+                   cycle=float(s["cycle"]), battery=float(s["battery"]))
+            for i, s in enumerate(data["sensors"])
+        )
+        depots = tuple(
+            Depot(id=i, position=Point(float(x), float(y)))
+            for i, (x, y) in enumerate(data["depots"])
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"network_from_dict: malformed network data ({exc})") from exc
+    return SensorNetwork(sensors=sensors, depots=depots, base_station=base,
+                         area=area)
+
+
+def save_network(network: SensorNetwork, path: str | Path) -> Path:
+    """Serialise a network to ``path``; returns the resolved path."""
+    return save_json(path, "sensor-network", network_to_dict(network))
+
+
+def load_network(path: str | Path) -> SensorNetwork:
+    """Load a network previously written by :func:`save_network`."""
+    return network_from_dict(load_json(path, "sensor-network"))

@@ -1,0 +1,57 @@
+"""Wireless-sensor-network model: sensors, depots, deployments, cycles.
+
+This package is the paper's Section III ("Preliminaries") made concrete:
+
+* :class:`~repro.network.sensor.Sensor` / :class:`~repro.network.depot.Depot`
+  / :class:`~repro.network.depot.BaseStation` — the node types.
+* :class:`~repro.network.model.SensorNetwork` — an immutable network
+  instance exposing the complete metric graph ``G = (V ∪ R, E; w)`` as a
+  dense distance matrix with the convention *sensors first, depots after*.
+* :mod:`~repro.network.deployment` — uniform random deployment in the
+  1000 m x 1000 m area, one depot co-located with the central base station.
+* :mod:`~repro.network.cycles` — the two charging-cycle distributions of
+  Section VII (linear-in-distance and uniform-random), plus a
+  routing-derived distribution built on :mod:`~repro.network.routing`.
+* :mod:`~repro.network.routing` — unit-disk communication graph and
+  shortest-path-tree relay loads, the physical story behind the linear
+  distribution ("sensors near the base station relay more and drain faster").
+* :mod:`~repro.network.builder` — fluent builder + one-call constructors
+  used by examples, tests and the experiment runner.
+"""
+
+from repro.network.builder import NetworkBuilder, build_paper_network
+from repro.network.cycles import (
+    CycleDistribution,
+    ExplicitCycles,
+    LinearCycleDistribution,
+    RandomCycleDistribution,
+    RoutingCycleDistribution,
+)
+from repro.network.deployment import deploy_sensors, place_depots
+from repro.network.depot import BaseStation, Depot
+from repro.network.energy import EnergyProfile, cycles_from_rates, rates_from_cycles
+from repro.network.model import SensorNetwork
+from repro.network.routing import CommunicationGraph, RoutingTree, relay_loads
+from repro.network.sensor import Sensor
+
+__all__ = [
+    "BaseStation",
+    "CommunicationGraph",
+    "CycleDistribution",
+    "Depot",
+    "EnergyProfile",
+    "ExplicitCycles",
+    "LinearCycleDistribution",
+    "NetworkBuilder",
+    "RandomCycleDistribution",
+    "RoutingCycleDistribution",
+    "RoutingTree",
+    "Sensor",
+    "SensorNetwork",
+    "build_paper_network",
+    "cycles_from_rates",
+    "deploy_sensors",
+    "place_depots",
+    "rates_from_cycles",
+    "relay_loads",
+]

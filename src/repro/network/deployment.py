@@ -1,0 +1,139 @@
+"""Random deployments matching the paper's experimental environment.
+
+Section VII: sensors are "randomly deployed" in a 1000 m x 1000 m square;
+the base station is at the centre; there are ``q = 5`` depots, *one
+co-located with the base station* (because the hungriest sensors cluster
+around the sink) and the remaining ``q - 1`` uniformly random.
+
+Beyond the paper, :func:`deploy_clustered` and :func:`deploy_grid` provide
+the two other canonical WSN layouts (hotspot monitoring and engineered
+installations) so users can test the algorithms off the uniform assumption.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import NetworkModelError
+from repro.geometry.bbox import Rect
+from repro.geometry.point import Point
+from repro.geometry.rng import make_rng
+from repro.network.depot import BaseStation, Depot
+
+__all__ = ["deploy_sensors", "deploy_clustered", "deploy_grid", "place_depots"]
+
+
+def deploy_sensors(n: int, area: Rect,
+                   rng: int | np.random.Generator | None = None) -> list[Point]:
+    """``n`` sensor positions drawn uniformly at random in ``area``."""
+    if n <= 0:
+        raise NetworkModelError(f"deploy_sensors: n must be positive, got {n}")
+    return area.sample_points(n, make_rng(rng))
+
+
+def deploy_clustered(n: int, area: Rect, *, n_clusters: int = 4,
+                     spread: float | None = None,
+                     rng: int | np.random.Generator | None = None) -> list[Point]:
+    """``n`` sensors in Gaussian clusters around random hotspot centres.
+
+    Models hotspot-driven deployments (wildlife corridors, structural
+    joints): ``n_clusters`` centres are drawn uniformly, and each sensor is
+    a Gaussian draw around a uniformly chosen centre, rejected back into
+    the area.
+
+    Parameters
+    ----------
+    n:
+        Number of sensors.
+    area:
+        Deployment rectangle.
+    n_clusters:
+        Number of hotspot centres.
+    spread:
+        Gaussian standard deviation around a centre; defaults to one tenth
+        of the area's shorter side.
+    rng:
+        Seed or generator.
+    """
+    if n <= 0:
+        raise NetworkModelError(f"deploy_clustered: n must be positive, got {n}")
+    if n_clusters <= 0:
+        raise NetworkModelError(
+            f"deploy_clustered: n_clusters must be positive, got {n_clusters}")
+    gen = make_rng(rng)
+    sd = spread if spread is not None else min(area.width, area.height) / 10.0
+    if sd <= 0:
+        raise NetworkModelError(f"deploy_clustered: spread must be positive, got {sd}")
+    centers = area.sample(n_clusters, gen)
+    points: list[Point] = []
+    while len(points) < n:
+        c = centers[int(gen.integers(n_clusters))]
+        x = float(gen.normal(c[0], sd))
+        y = float(gen.normal(c[1], sd))
+        # Reject draws outside the field; clusters near edges stay inside.
+        if area.x0 <= x <= area.x1 and area.y0 <= y <= area.y1:
+            points.append(Point(x, y))
+    return points
+
+
+def deploy_grid(n: int, area: Rect, *, jitter: float = 0.0,
+                rng: int | np.random.Generator | None = None) -> list[Point]:
+    """``n`` sensors on a near-square grid, optionally jittered.
+
+    Models engineered installations (pipelines, smart buildings). The grid
+    has ``ceil(sqrt(n))`` columns; the first ``n`` cells (row-major) hold a
+    sensor at the cell centre, displaced uniformly by up to
+    ``jitter * cell_size`` in each axis (clipped back into the area).
+    """
+    if n <= 0:
+        raise NetworkModelError(f"deploy_grid: n must be positive, got {n}")
+    if not (0.0 <= jitter <= 0.5):
+        raise NetworkModelError(
+            f"deploy_grid: jitter must be in [0, 0.5], got {jitter}")
+    gen = make_rng(rng)
+    cols = math.ceil(math.sqrt(n))
+    rows = math.ceil(n / cols)
+    dx, dy = area.width / cols, area.height / rows
+    points: list[Point] = []
+    for i in range(n):
+        r, c = divmod(i, cols)
+        x = area.x0 + (c + 0.5) * dx
+        y = area.y0 + (r + 0.5) * dy
+        if jitter > 0:
+            x += float(gen.uniform(-jitter, jitter)) * dx
+            y += float(gen.uniform(-jitter, jitter)) * dy
+        x = min(max(x, area.x0), area.x1)
+        y = min(max(y, area.y0), area.y1)
+        points.append(Point(x, y))
+    return points
+
+
+def place_depots(q: int, area: Rect, base_station: BaseStation,
+                 rng: int | np.random.Generator | None = None,
+                 *, colocate_first: bool = True) -> list[Depot]:
+    """Place ``q`` depots in ``area``.
+
+    Parameters
+    ----------
+    q:
+        Number of depots / mobile chargers.
+    area:
+        Deployment rectangle.
+    base_station:
+        The sink; when ``colocate_first`` is true, depot 0 is placed exactly
+        at its position (the paper's setup).
+    rng:
+        Seed or generator for the uniformly random remaining depots.
+    colocate_first:
+        Disable to place all ``q`` depots uniformly at random instead.
+    """
+    if q <= 0:
+        raise NetworkModelError(f"place_depots: q must be positive, got {q}")
+    gen = make_rng(rng)
+    positions: list[Point] = []
+    if colocate_first:
+        positions.append(base_station.position)
+    positions.extend(area.sample_points(q - len(positions), gen))
+    return [Depot(id=i, position=p) for i, p in enumerate(positions)]

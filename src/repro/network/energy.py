@@ -1,0 +1,78 @@
+"""Conversions between batteries, consumption rates and charging cycles.
+
+The paper's quantities are linked by ``tau_i = B_i / rho_i``: a sensor with
+battery ``B_i`` draining at rate ``rho_i`` survives exactly ``tau_i`` after
+a full charge. These helpers keep the conversion in one vectorised place and
+define :class:`EnergyProfile`, the bundle the simulator consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NetworkModelError
+
+__all__ = ["rates_from_cycles", "cycles_from_rates", "EnergyProfile"]
+
+
+def rates_from_cycles(cycles: np.ndarray, batteries: np.ndarray | float = 1.0) -> np.ndarray:
+    """Element-wise ``rho = B / tau``.
+
+    Raises
+    ------
+    NetworkModelError
+        On non-positive cycles (a zero cycle would mean an infinite rate).
+    """
+    tau = np.asarray(cycles, dtype=np.float64)
+    if np.any(tau <= 0) or not np.all(np.isfinite(tau)):
+        raise NetworkModelError("rates_from_cycles: cycles must be positive and finite")
+    return np.broadcast_to(np.asarray(batteries, dtype=np.float64), tau.shape) / tau
+
+
+def cycles_from_rates(rates: np.ndarray, batteries: np.ndarray | float = 1.0) -> np.ndarray:
+    """Element-wise ``tau = B / rho``."""
+    rho = np.asarray(rates, dtype=np.float64)
+    if np.any(rho <= 0) or not np.all(np.isfinite(rho)):
+        raise NetworkModelError("cycles_from_rates: rates must be positive and finite")
+    return np.broadcast_to(np.asarray(batteries, dtype=np.float64), rho.shape) / rho
+
+
+@dataclass(frozen=True)
+class EnergyProfile:
+    """Per-sensor energy parameters as parallel arrays.
+
+    Parameters
+    ----------
+    batteries:
+        ``(n,)`` battery capacities ``B_i``.
+    cycles:
+        ``(n,)`` maximum charging cycles ``tau_i``.
+
+    The derived ``rates`` property gives ``rho_i``. Immutable; workloads that
+    vary rates produce per-slot rate arrays instead of mutating this.
+    """
+
+    batteries: np.ndarray
+    cycles: np.ndarray
+
+    def __post_init__(self) -> None:
+        b = np.asarray(self.batteries, dtype=np.float64)
+        c = np.asarray(self.cycles, dtype=np.float64)
+        if b.shape != c.shape or b.ndim != 1:
+            raise NetworkModelError(
+                f"EnergyProfile: shape mismatch {b.shape} vs {c.shape}")
+        if np.any(b <= 0) or np.any(c <= 0):
+            raise NetworkModelError("EnergyProfile: batteries and cycles must be positive")
+        object.__setattr__(self, "batteries", b)
+        object.__setattr__(self, "cycles", c)
+
+    @property
+    def n(self) -> int:
+        return self.batteries.shape[0]
+
+    @property
+    def rates(self) -> np.ndarray:
+        """``(n,)`` consumption rates ``rho_i = B_i / tau_i``."""
+        return self.batteries / self.cycles

@@ -1,0 +1,221 @@
+"""Multihop-routing substrate: unit-disk graphs and relay loads.
+
+The paper motivates its *linear* cycle distribution physically: sensors near
+the base station relay everyone else's traffic, drain faster, and therefore
+have shorter maximum charging cycles. This module builds that story from
+first principles so the library can *derive* cycles from a routing model
+rather than only postulating them:
+
+1. :class:`CommunicationGraph` — the unit-disk graph over sensors + base
+   station (an edge wherever two nodes are within communication range).
+2. :class:`RoutingTree` — a shortest-path tree (Dijkstra on hop-count or
+   distance) towards the base station, i.e. the canonical data-gathering
+   tree.
+3. :func:`relay_loads` — packets per round each sensor forwards (its own
+   plus all descendants'), from which an energy rate and hence a cycle
+   follows via a simple first-order radio model.
+
+Used by :class:`repro.network.cycles.RoutingCycleDistribution` and the
+``examples/routing_energy_model.py`` walkthrough.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import NetworkModelError
+from repro.geometry.distance import distance_matrix
+
+__all__ = ["CommunicationGraph", "RoutingTree", "relay_loads"]
+
+#: Node index of the base station inside a CommunicationGraph: it is always
+#: appended after the n sensors.
+_BS_OFFSET = 0
+
+
+@dataclass(frozen=True)
+class CommunicationGraph:
+    """Unit-disk communication graph over ``n`` sensors and the base station.
+
+    Node indexing: sensors ``0..n-1``, base station ``n``.
+
+    Parameters
+    ----------
+    coords:
+        ``(n+1, 2)`` coordinates, sensors first, base station last.
+    comm_range:
+        Maximum link length in metres; pairs farther apart have no edge.
+    """
+
+    coords: np.ndarray
+    comm_range: float
+
+    def __post_init__(self) -> None:
+        c = np.asarray(self.coords, dtype=np.float64)
+        if c.ndim != 2 or c.shape[1] != 2 or c.shape[0] < 2:
+            raise NetworkModelError(
+                f"CommunicationGraph: expected (n+1, 2) coords with n>=1, got {c.shape}")
+        if self.comm_range <= 0:
+            raise NetworkModelError(
+                f"CommunicationGraph: comm_range must be positive, got {self.comm_range}")
+        object.__setattr__(self, "coords", c)
+
+    @property
+    def n_sensors(self) -> int:
+        return self.coords.shape[0] - 1
+
+    @property
+    def base_index(self) -> int:
+        """Graph index of the base station (always the last node)."""
+        return self.coords.shape[0] - 1
+
+    @cached_property
+    def dist(self) -> np.ndarray:
+        """Dense distances with out-of-range pairs set to ``inf``."""
+        d = distance_matrix(self.coords)
+        d[d > self.comm_range] = np.inf
+        np.fill_diagonal(d, 0.0)
+        d.setflags(write=False)
+        return d
+
+    def is_connected(self) -> bool:
+        """Whether every sensor can reach the base station (BFS)."""
+        reach = self._reachable_from_base()
+        return bool(reach.all())
+
+    def _reachable_from_base(self) -> np.ndarray:
+        n_tot = self.coords.shape[0]
+        adj = np.isfinite(self.dist) & ~np.eye(n_tot, dtype=bool)
+        seen = np.zeros(n_tot, dtype=bool)
+        frontier = [self.base_index]
+        seen[self.base_index] = True
+        while frontier:
+            u = frontier.pop()
+            nbrs = np.nonzero(adj[u] & ~seen)[0]
+            seen[nbrs] = True
+            frontier.extend(int(v) for v in nbrs)
+        return seen
+
+
+@dataclass(frozen=True)
+class RoutingTree:
+    """Shortest-path data-gathering tree rooted at the base station.
+
+    Parameters
+    ----------
+    parent:
+        ``(n,)`` array; ``parent[i]`` is the next hop of sensor ``i``
+        (a sensor index, or the base-station index). ``-1`` marks a sensor
+        disconnected from the sink.
+    cost:
+        ``(n,)`` shortest-path cost from each sensor to the base station
+        (``inf`` if disconnected).
+    base_index:
+        The sink's node index (``n``).
+    """
+
+    parent: np.ndarray
+    cost: np.ndarray
+    base_index: int
+
+    @property
+    def n_sensors(self) -> int:
+        return self.parent.shape[0]
+
+    def connected_mask(self) -> np.ndarray:
+        """Boolean mask of sensors with a route to the sink."""
+        return self.parent >= 0
+
+    def hops_of(self, i: int) -> int:
+        """Hop count from sensor ``i`` to the base station.
+
+        Raises :class:`NetworkModelError` for disconnected sensors.
+        """
+        if self.parent[i] < 0:
+            raise NetworkModelError(f"sensor {i} has no route to the base station")
+        hops = 0
+        node = i
+        while node != self.base_index:
+            node = int(self.parent[node])
+            hops += 1
+            if hops > self.n_sensors + 1:
+                raise NetworkModelError("routing tree contains a cycle")
+        return hops
+
+    @classmethod
+    def shortest_path(cls, graph: CommunicationGraph,
+                      *, metric: str = "distance") -> "RoutingTree":
+        """Dijkstra from the base station over the communication graph.
+
+        Parameters
+        ----------
+        graph:
+            The unit-disk graph.
+        metric:
+            ``"distance"`` minimises total metres (energy-proportional under
+            a linear radio model); ``"hops"`` minimises hop count (classic
+            minimum-hop routing). Ties broken by node index for determinism.
+        """
+        if metric not in ("distance", "hops"):
+            raise NetworkModelError(f"unknown routing metric {metric!r}")
+        d = graph.dist
+        n_tot = d.shape[0]
+        bs = graph.base_index
+        weight = d if metric == "distance" else np.where(np.isfinite(d), 1.0, np.inf)
+
+        cost = np.full(n_tot, np.inf)
+        parent = np.full(n_tot, -1, dtype=np.intp)
+        cost[bs] = 0.0
+        done = np.zeros(n_tot, dtype=bool)
+        heap: list[tuple[float, int]] = [(0.0, bs)]
+        while heap:
+            cu, u = heapq.heappop(heap)
+            if done[u]:
+                continue
+            done[u] = True
+            row = weight[u]
+            for v in range(n_tot):
+                if done[v] or not np.isfinite(row[v]) or v == u:
+                    continue
+                nc = cu + row[v]
+                if nc < cost[v] - 1e-15:
+                    cost[v] = nc
+                    parent[v] = u
+                    heapq.heappush(heap, (nc, v))
+        return cls(parent=parent[: graph.n_sensors].copy(),
+                   cost=cost[: graph.n_sensors].copy(), base_index=bs)
+
+
+def relay_loads(tree: RoutingTree, generation: np.ndarray | float = 1.0) -> np.ndarray:
+    """Traffic each sensor transmits per round under ``tree``.
+
+    Sensor ``i`` transmits its own generated packets plus everything its
+    subtree generates. Computed by accumulating along parent pointers in
+    decreasing-cost order (children are strictly farther from the sink than
+    their parents in a shortest-path tree, so one sorted pass suffices).
+
+    Parameters
+    ----------
+    tree:
+        Routing tree; disconnected sensors get load 0.
+    generation:
+        Per-sensor packet generation per round (scalar or ``(n,)``).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n,)`` transmitted load per sensor.
+    """
+    n = tree.n_sensors
+    gen = np.broadcast_to(np.asarray(generation, dtype=np.float64), (n,)).copy()
+    load = np.where(tree.connected_mask(), gen, 0.0)
+    order = np.argsort(-np.where(np.isfinite(tree.cost), tree.cost, -np.inf))
+    for i in order:
+        p = int(tree.parent[i])
+        if p >= 0 and p != tree.base_index:
+            load[p] += load[i]
+    return load

@@ -1,0 +1,49 @@
+"""CSV export of sweep results (stdlib :mod:`csv` only)."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Sequence
+
+__all__ = ["write_csv", "sweep_to_csv"]
+
+
+def write_csv(path: str | Path, header: Sequence[str],
+              rows: Sequence[Sequence[Any]]) -> Path:
+    """Write a header + rows to ``path`` (parent directories created).
+
+    Returns the resolved path for logging convenience.
+    """
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(header))
+        writer.writerows(rows)
+    return p.resolve()
+
+
+def sweep_to_csv(result, path: str | Path,
+                 *, with_deaths: bool = True) -> Path:
+    """Export a :class:`~repro.experiments.sweeps.SweepResult`.
+
+    Columns: the swept parameter, then per-algorithm mean cost, cost std,
+    and (optionally) total deaths — everything needed to re-plot a paper
+    panel without re-running it.
+    """
+    header: list[str] = [result.parameter]
+    for alg in result.algorithms:
+        header.extend([f"{alg}_mean_cost", f"{alg}_std_cost"])
+        if with_deaths:
+            header.append(f"{alg}_deaths")
+    rows: list[list] = []
+    for v, cell in zip(result.values, result.cells):
+        row: list = [v]
+        for alg in result.algorithms:
+            r = cell.by_name(alg)
+            row.extend([r.mean_cost, r.std_cost])
+            if with_deaths:
+                row.append(r.total_deaths)
+        rows.append(row)
+    return write_csv(path, header, rows)

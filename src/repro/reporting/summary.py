@@ -1,0 +1,60 @@
+"""Paper-vs-measured summaries.
+
+Turns a finished sweep into the prose block EXPERIMENTS.md records for each
+panel: the measured series, the headline ratio, whether any sensor ever
+died, and whether the figure's registered qualitative check passed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import FigureSpec
+from repro.experiments.sweeps import SweepResult
+from repro.reporting.table import render_sweep
+
+__all__ = ["headline_pair", "sweep_summary", "figure_report"]
+
+
+def headline_pair(result: SweepResult) -> tuple[str, str] | None:
+    """The (algorithm, baseline) pair whose ratio a panel reports:
+    the first configured algorithm against 'greedy' when present."""
+    algs = result.algorithms
+    if "greedy" in algs:
+        for a in algs:
+            if a != "greedy":
+                return a, "greedy"
+    if len(algs) >= 2:
+        return algs[0], algs[1]
+    return None
+
+
+def sweep_summary(result: SweepResult) -> str:
+    """Table plus headline-ratio line for any sweep."""
+    pair = headline_pair(result)
+    text = render_sweep(result, with_ratio=pair)
+    if pair is not None:
+        ratios = result.ratio_series(*pair)
+        text += (f"\nmean {pair[0]}/{pair[1]} ratio over the sweep: "
+                 f"{float(np.mean(ratios)):.3f} "
+                 f"(min {ratios.min():.3f}, max {ratios.max():.3f})")
+    total_deaths = sum(int(result.deaths(a).sum()) for a in result.algorithms)
+    text += ("\nno sensor ever ran out of energy" if total_deaths == 0
+             else f"\nWARNING: {total_deaths} sensor deaths recorded")
+    return text
+
+
+def figure_report(spec: FigureSpec, result: SweepResult) -> str:
+    """Full paper-vs-measured block for one registered figure."""
+    setup = result.cells[0].config if result.cells else spec.base
+    lines = [
+        f"== {spec.figure_id}: {spec.title} ==",
+        f"paper claim : {spec.paper_claim}",
+        f"setup       : {setup.describe()} | sweep {spec.parameter} over "
+        f"{list(result.values)}",
+        sweep_summary(result),
+    ]
+    if spec.check is not None:
+        verdict = "PASS" if spec.check(result) else "FAIL"
+        lines.append(f"registered shape check: {verdict}")
+    return "\n".join(lines)

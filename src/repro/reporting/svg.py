@@ -1,0 +1,119 @@
+"""SVG rendering of networks and tours (no plotting dependencies).
+
+Produces a self-contained SVG: sensors as dots (colour-graded by maximum
+charging cycle — hot short-cycle sensors in red), depots as squares, the
+base station as a star, and optionally one polyline loop per charging tour.
+Useful for READMEs, debugging tour shapes, and eyeballing deployments.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.network.model import SensorNetwork
+from repro.tsp.tour import Tour
+
+__all__ = ["network_svg", "save_network_svg"]
+
+#: Distinct stroke colours for up to 10 chargers (cycled beyond).
+_TOUR_COLORS = ("#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+                "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf")
+
+
+def _cycle_color(frac: float) -> str:
+    """Red (short cycle, hot) -> blue (long cycle, relaxed)."""
+    frac = min(max(frac, 0.0), 1.0)
+    r = int(220 - 160 * frac)
+    b = int(60 + 160 * frac)
+    return f"rgb({r},70,{b})"
+
+
+def network_svg(network: SensorNetwork, tours: Sequence[Tour] | None = None,
+                *, size: int = 640, label: str | None = None) -> str:
+    """Render the network (and optional tours) as an SVG string.
+
+    Parameters
+    ----------
+    network:
+        The WSN instance; the viewport is its deployment area.
+    tours:
+        Closed tours to draw (e.g. one scheduling's `.tours`); colours cycle
+        per charger. Empty tours are skipped.
+    size:
+        Pixel width (height scales by the area's aspect ratio).
+    label:
+        Optional caption drawn in the top-left corner.
+    """
+    if size <= 0:
+        raise ConfigError(f"svg size must be positive, got {size}")
+    area = network.area
+    scale = size / area.width
+    height = int(round(area.height * scale))
+
+    def sx(x: float) -> float:
+        return (x - area.x0) * scale
+
+    def sy(y: float) -> float:
+        return height - (y - area.y0) * scale  # SVG y grows downward
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" '
+        f'height="{height}" viewBox="0 0 {size} {height}">',
+        f'<rect width="{size}" height="{height}" fill="#fcfcfc" '
+        f'stroke="#999"/>',
+    ]
+
+    # Tours underneath the markers.
+    if tours:
+        for l, tour in enumerate(tours):
+            if tour.is_empty:
+                continue
+            coords = network.coordinates[list(tour.order) + [tour.order[0]]]
+            points = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in coords)
+            color = _TOUR_COLORS[l % len(_TOUR_COLORS)]
+            parts.append(f'<polyline points="{points}" fill="none" '
+                         f'stroke="{color}" stroke-width="1.5" opacity="0.85"/>')
+
+    # Sensors, colour-graded by cycle.
+    tau = network.cycles
+    lo, hi = float(tau.min()), float(tau.max())
+    span = hi - lo
+    for i in range(network.n):
+        x, y = network.coordinates[i]
+        frac = (float(tau[i]) - lo) / span if span > 0 else 1.0
+        parts.append(f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="3" '
+                     f'fill="{_cycle_color(frac)}"/>')
+
+    # Depots as squares.
+    for d in network.depots:
+        x, y = sx(d.position.x), sy(d.position.y)
+        parts.append(f'<rect x="{x - 5:.1f}" y="{y - 5:.1f}" width="10" '
+                     f'height="10" fill="#222" stroke="#fff"/>')
+
+    # Base station as a diamond.
+    bx, by = sx(network.base_station.position.x), sy(network.base_station.position.y)
+    parts.append(f'<path d="M {bx:.1f} {by - 8:.1f} L {bx + 8:.1f} {by:.1f} '
+                 f'L {bx:.1f} {by + 8:.1f} L {bx - 8:.1f} {by:.1f} Z" '
+                 f'fill="#f1c40f" stroke="#333"/>')
+
+    if label:
+        safe = (label.replace("&", "&amp;").replace("<", "&lt;")
+                .replace(">", "&gt;"))
+        parts.append(f'<text x="8" y="18" font-family="sans-serif" '
+                     f'font-size="13" fill="#333">{safe}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_network_svg(network: SensorNetwork, path: str | Path,
+                     tours: Sequence[Tour] | None = None, *, size: int = 640,
+                     label: str | None = None) -> Path:
+    """Write :func:`network_svg` output to ``path``; returns the resolved path."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(network_svg(network, tours, size=size, label=label))
+    return p.resolve()

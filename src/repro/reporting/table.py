@@ -1,0 +1,72 @@
+"""Plain-text tables (no third-party dependencies).
+
+The benches print each reproduced figure as a table of the same series the
+paper plots; these helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "render_sweep"]
+
+
+def _fmt(value: Any, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence[Any]],
+                 *, precision: int = 1, indent: str = "") -> str:
+    """Render rows as a column-aligned ASCII table.
+
+    Parameters
+    ----------
+    header:
+        Column names.
+    rows:
+        Cell values; floats are formatted to ``precision`` decimals.
+    precision:
+        Decimal places for floats.
+    indent:
+        Prefix prepended to every output line.
+    """
+    cells = [[_fmt(v, precision) for v in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in cells:
+        for i, c in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(c))
+            else:
+                widths.append(len(c))
+
+    def line(parts: Sequence[str]) -> str:
+        padded = [p.rjust(widths[i]) for i, p in enumerate(parts)]
+        return indent + "  ".join(padded)
+
+    sep = indent + "  ".join("-" * w for w in widths)
+    out = [line(list(header)), sep]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def render_sweep(result, *, precision: int = 1, with_ratio: tuple[str, str] | None = None) -> str:
+    """Table for a :class:`~repro.experiments.sweeps.SweepResult`.
+
+    Parameters
+    ----------
+    result:
+        The sweep.
+    with_ratio:
+        Optional ``(numerator, denominator)`` algorithm pair; appends a
+        ratio column (the headline number of most paper figures).
+    """
+    header = result.header()
+    rows = result.rows()
+    if with_ratio is not None:
+        num, den = with_ratio
+        header = header + [f"{num}/{den}"]
+        ratios = result.ratio_series(num, den)
+        rows = [row + [float(r)] for row, r in zip(rows, ratios)]
+    return format_table(header, rows, precision=precision)

@@ -1,0 +1,86 @@
+"""Text timelines of simulation runs.
+
+Renders what a run *did* — dispatch density, cost per stretch of time,
+deaths — as plain text, for terminals and logs. Complements the aggregate
+:class:`~repro.sim.metrics.Metrics`: the timeline shows the paper's block
+periodicity (Algorithm 3's plans pulse with period ``2^K tau_1``) and the
+adaptive policy's storm responses at a glance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.sim.metrics import Metrics
+
+__all__ = ["dispatch_timeline", "cost_histogram", "run_digest"]
+
+#: Unicode block characters from empty to full, for one-line histograms.
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def _bin_edges(horizon: float, bins: int) -> np.ndarray:
+    if bins < 1:
+        raise ConfigError(f"need at least one bin, got {bins}")
+    if horizon <= 0:
+        raise ConfigError(f"horizon must be positive, got {horizon}")
+    return np.linspace(0.0, horizon, bins + 1)
+
+
+def _sparkline(values: np.ndarray) -> str:
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0:
+        return ""
+    top = v.max()
+    if top <= 0:
+        return _BARS[0] * v.size
+    idx = np.minimum((v / top * (len(_BARS) - 1)).astype(int), len(_BARS) - 1)
+    return "".join(_BARS[i] for i in idx)
+
+
+def dispatch_timeline(metrics: Metrics, horizon: float, *, bins: int = 60) -> str:
+    """One-line sparkline of dispatch *cost* over time, plus death markers.
+
+    Each column is one time bin; bar height is the total tour length
+    dispatched in the bin (relative to the busiest bin). A second line
+    marks bins containing sensor deaths with ``x``.
+    """
+    edges = _bin_edges(horizon, bins)
+    costs = np.zeros(bins)
+    for ev in metrics.dispatches:
+        b = min(int(np.searchsorted(edges, ev.time, side="right")) - 1, bins - 1)
+        costs[max(b, 0)] += ev.cost
+    line = _sparkline(costs)
+    if metrics.deaths:
+        marks = [" "] * bins
+        for ev in metrics.deaths:
+            b = min(int(np.searchsorted(edges, ev.time, side="right")) - 1, bins - 1)
+            marks[max(b, 0)] = "x"
+        return line + "\n" + "".join(marks)
+    return line
+
+
+def cost_histogram(metrics: Metrics, horizon: float, *, bins: int = 10) -> list[tuple[float, float, float]]:
+    """Binned dispatch cost: list of ``(t_start, t_end, cost)`` rows."""
+    edges = _bin_edges(horizon, bins)
+    costs = np.zeros(bins)
+    for ev in metrics.dispatches:
+        b = min(int(np.searchsorted(edges, ev.time, side="right")) - 1, bins - 1)
+        costs[max(b, 0)] += ev.cost
+    return [(float(edges[i]), float(edges[i + 1]), float(costs[i]))
+            for i in range(bins)]
+
+
+def run_digest(metrics: Metrics, horizon: float, *, bins: int = 60) -> str:
+    """Multi-line human digest: summary line + timeline + extremes."""
+    lines = [metrics.summary(), dispatch_timeline(metrics, horizon, bins=bins)]
+    if metrics.dispatches:
+        biggest = max(metrics.dispatches, key=lambda e: e.cost)
+        lines.append(
+            f"busiest dispatch: t={biggest.time:g}, {biggest.n_sensors} sensors, "
+            f"{biggest.cost:,.0f} m across {biggest.n_active_chargers} chargers")
+    if metrics.deaths:
+        first = metrics.deaths[0]
+        lines.append(f"FIRST DEATH: sensor {first.sensor} at t={first.time:g}")
+    return "\n".join(lines)

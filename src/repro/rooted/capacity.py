@@ -1,0 +1,114 @@
+"""Charger-range constraints: split tours that exceed a travel budget.
+
+The paper assumes "each mobile charger has enough energy to replenish all
+sensors if needed in each charging tour". Real vehicles have a range; the
+companion work it cites as [7] (Liang et al., LCN 2014) studies exactly
+this constraint. This extension adapts any tour to a range budget by the
+classic tour-splitting construction:
+
+Walk the tour's stop sequence; greedily extend the current *trip* while the
+closed trip (depot -> stops so far -> depot) stays within the budget; when
+the next stop would overflow, close the trip at the depot and start a new
+one. On a metric, each trip's length is at most ``budget`` whenever every
+individual stop is reachable at all (``2 * d(depot, stop) <= budget``), and
+the number of trips is within a constant factor of the minimum possible for
+budgets at least twice the tour's radius (the standard splitting argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import TourError
+from repro.tsp.tour import Tour
+
+__all__ = ["SplitResult", "split_tour_by_budget", "split_tours_by_budget"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class SplitResult:
+    """Outcome of splitting one tour.
+
+    Parameters
+    ----------
+    trips:
+        The resulting closed trips, each anchored at the original depot and
+        each within the budget. A single trip means no split was needed.
+    total_cost:
+        Sum of trip lengths (>= the unsplit tour's cost; the overhead is
+        the price of the range constraint).
+    """
+
+    trips: tuple[Tour, ...]
+    total_cost: float
+
+    @property
+    def n_trips(self) -> int:
+        return len(self.trips)
+
+
+def split_tour_by_budget(dist: np.ndarray, tour: Tour, budget: float) -> SplitResult:
+    """Split ``tour`` into depot-anchored trips each of length <= ``budget``.
+
+    Parameters
+    ----------
+    dist:
+        Full distance matrix.
+    tour:
+        The tour to split (its stop *order* is preserved across trips —
+        keeping the orders of a 2-approximate tour keeps the splitting
+        argument's guarantees).
+    budget:
+        Maximum closed-trip length. Must admit every stop individually:
+        ``2 * d(depot, stop) <= budget`` for all stops, else the constraint
+        is infeasible and a :class:`~repro.errors.TourError` is raised.
+
+    Returns
+    -------
+    SplitResult
+    """
+    d = np.asarray(dist)
+    if budget <= 0:
+        raise TourError(f"split budget must be positive, got {budget}")
+    depot = tour.depot
+    stops = list(tour.stops())
+    if not stops:
+        return SplitResult(trips=(Tour.empty(depot),), total_cost=0.0)
+
+    unreachable = [s for s in stops if 2.0 * d[depot, s] > budget * (1 + _EPS)]
+    if unreachable:
+        raise TourError(
+            f"budget {budget} cannot reach stops {unreachable} "
+            f"(round trip exceeds the budget)")
+
+    trips: list[Tour] = []
+    current: list[int] = []
+    current_len = 0.0  # open path length: depot -> ... -> current[-1]
+    for s in stops:
+        last = current[-1] if current else depot
+        extended = current_len + d[last, s]
+        if current and extended + d[s, depot] > budget * (1 + _EPS):
+            trips.append(Tour(depot=depot, order=(depot, *current)))
+            current = [s]
+            current_len = d[depot, s]
+        else:
+            current.append(s)
+            current_len = extended
+    trips.append(Tour(depot=depot, order=(depot, *current)))
+
+    total = float(sum(t.cost(d) for t in trips))
+    for t in trips:
+        if t.cost(d) > budget * (1 + 1e-6):
+            raise TourError("internal error: emitted trip exceeds the budget")
+    return SplitResult(trips=tuple(trips), total_cost=total)
+
+
+def split_tours_by_budget(dist: np.ndarray, tours: Sequence[Tour],
+                          budget: float) -> list[SplitResult]:
+    """Apply :func:`split_tour_by_budget` to a whole fleet's tours."""
+    return [split_tour_by_budget(dist, t, budget) for t in tours]

@@ -1,0 +1,156 @@
+"""Min-max q-rooted tours: balance the fleet's workload.
+
+The paper minimises the *total* travel distance; its companion work
+(Xu, Liang, Lin, "Approximation algorithms for min-max cycle cover
+problems", cited as [16]) minimises the *longest* tour instead — the right
+objective when a charging round must finish within a time window and the
+chargers drive in parallel.
+
+This module provides that objective as an extension:
+:func:`minmax_q_rooted_tours` starts from the cost-optimal-ish Algorithm 2
+solution and rebalances it with a best-improvement relocation local search:
+repeatedly take the longest tour and move one of its stops to the position
+(in any other tour) that most reduces the makespan. Every accepted move
+strictly reduces the makespan, so termination is guaranteed; coverage and
+the one-tour-per-depot structure are preserved throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import TourError
+from repro.rooted.qtsp import q_rooted_tsp
+from repro.tsp.improve import two_opt
+from repro.tsp.tour import Tour
+
+__all__ = ["MinMaxResult", "minmax_q_rooted_tours", "makespan"]
+
+_EPS = 1e-9
+
+
+def makespan(dist: np.ndarray, tours: Sequence[Tour]) -> float:
+    """The longest tour's length — the fleet's parallel completion metric."""
+    d = np.asarray(dist)
+    return max((t.cost(d) for t in tours), default=0.0)
+
+
+@dataclass(frozen=True)
+class MinMaxResult:
+    """Outcome of the balancing heuristic.
+
+    Parameters
+    ----------
+    tours:
+        The balanced tours, one per depot.
+    initial_makespan / final_makespan:
+        Longest-tour length before and after balancing.
+    moves:
+        Number of accepted relocations.
+    """
+
+    tours: tuple[Tour, ...]
+    initial_makespan: float
+    final_makespan: float
+    moves: int
+
+    @property
+    def improvement(self) -> float:
+        """Relative makespan reduction in ``[0, 1)``."""
+        if self.initial_makespan <= 0:
+            return 0.0
+        return 1.0 - self.final_makespan / self.initial_makespan
+
+
+def _best_insertion(d: np.ndarray, tour: Tour, node: int) -> tuple[float, int]:
+    """Cheapest insertion of ``node`` into ``tour``: (cost delta, position).
+
+    Position ``p`` means "insert after ``order[p]``".
+    """
+    order = tour.order
+    k = len(order)
+    arr = np.asarray(order, dtype=np.intp)
+    nxt = np.roll(arr, -1)
+    deltas = d[arr, node] + d[node, nxt] - d[arr, nxt]
+    p = int(np.argmin(deltas))
+    return float(deltas[p]), p
+
+
+def _remove_stop(tour: Tour, node: int) -> Tour:
+    if node == tour.depot:
+        raise TourError("cannot remove the depot from a tour")
+    return tour.with_order([v for v in tour.order if v != node])
+
+
+def _insert_stop(tour: Tour, node: int, after_pos: int) -> Tour:
+    order = list(tour.order)
+    order.insert(after_pos + 1, node)
+    return tour.with_order(order)
+
+
+def minmax_q_rooted_tours(dist: np.ndarray, sensors: Sequence[int],
+                          depots: Sequence[int], *, refine: bool = True,
+                          max_moves: int = 10_000) -> MinMaxResult:
+    """Balanced q-rooted tours covering ``sensors``.
+
+    Parameters
+    ----------
+    dist:
+        Full distance matrix.
+    sensors / depots:
+        Graph indices, as for :func:`~repro.rooted.qtsp.q_rooted_tsp`.
+    refine:
+        Run 2-opt on each tour before balancing and on every tour modified
+        by a relocation (keeps the per-tour orders tight so makespan
+        comparisons are meaningful).
+    max_moves:
+        Safety cap on accepted relocations.
+
+    Returns
+    -------
+    MinMaxResult
+        Balanced tours plus before/after makespans. The final makespan
+        never exceeds the initial one.
+    """
+    d = np.asarray(dist)
+    tours: list[Tour] = list(q_rooted_tsp(d, sensors, depots, refine=refine))
+    costs = [t.cost(d) for t in tours]
+    initial = max(costs) if costs else 0.0
+    moves = 0
+
+    while moves < max_moves:
+        worst = int(np.argmax(costs))
+        worst_cost = costs[worst]
+        if tours[worst].n_stops == 0:
+            break
+        # Best relocation of any stop of the worst tour into any other tour.
+        best_new_makespan = worst_cost - _EPS
+        best_move: tuple[int, int, int] | None = None  # (node, target, pos)
+        others = [l for l in range(len(tours)) if l != worst]
+        for node in tours[worst].stops():
+            removed_cost = _remove_stop(tours[worst], node).cost(d)
+            for l in others:
+                delta, pos = _best_insertion(d, tours[l], node)
+                candidate = max(removed_cost, costs[l] + delta,
+                                *(costs[m] for m in others if m != l))
+                if candidate < best_new_makespan - _EPS:
+                    best_new_makespan = candidate
+                    best_move = (node, l, pos)
+        if best_move is None:
+            break
+        node, target, pos = best_move
+        tours[worst] = _remove_stop(tours[worst], node)
+        tours[target] = _insert_stop(tours[target], node, pos)
+        if refine:
+            tours[worst] = two_opt(d, tours[worst])
+            tours[target] = two_opt(d, tours[target])
+        costs[worst] = tours[worst].cost(d)
+        costs[target] = tours[target].cost(d)
+        moves += 1
+
+    final = max(costs) if costs else 0.0
+    return MinMaxResult(tours=tuple(tours), initial_makespan=initial,
+                        final_makespan=final, moves=moves)

@@ -1,0 +1,54 @@
+"""Slotted network simulator.
+
+Executes charging plans/policies against ground-truth energy trajectories:
+
+* :mod:`~repro.sim.state` — per-sensor energy state with exact drain,
+  death detection and full-charge operations.
+* :mod:`~repro.sim.workload` — ground-truth consumption-rate processes:
+  fixed rates, per-slot resampling (the paper's variable-cycle model where
+  ``tau_i(t)`` is constant within each slot ``ΔT``), and a bursty "storm"
+  process for the examples.
+* :mod:`~repro.sim.policies` — the :class:`ChargingPolicy` protocol plus
+  :class:`PlannedPolicy` (execute an offline plan verbatim).
+* :mod:`~repro.sim.engine` — the event-driven loop: drain → slot boundary
+  (rates update, policies observe) → dispatch (charge, accumulate cost).
+* :mod:`~repro.sim.events` / :mod:`~repro.sim.metrics` — the event log and
+  the aggregate metrics (service cost, dispatches, deaths, per-charger
+  distance).
+
+Timescale assumptions follow the paper exactly: charging is instantaneous
+and to full capacity; travel time is ignored; only travel *distance* is
+costed.
+"""
+
+from repro.sim.engine import SimulationResult, Simulator, simulate
+from repro.sim.events import ChargeEvent, DeathEvent, DispatchEvent
+from repro.sim.metrics import Metrics
+from repro.sim.policies import ChargingPolicy, PlannedPolicy, SimulationView
+from repro.sim.state import EnergyState
+from repro.sim.workload import (
+    FixedWorkload,
+    ResampledWorkload,
+    StormWorkload,
+    TraceWorkload,
+    Workload,
+)
+
+__all__ = [
+    "ChargeEvent",
+    "ChargingPolicy",
+    "DeathEvent",
+    "DispatchEvent",
+    "EnergyState",
+    "FixedWorkload",
+    "Metrics",
+    "PlannedPolicy",
+    "ResampledWorkload",
+    "SimulationResult",
+    "SimulationView",
+    "Simulator",
+    "StormWorkload",
+    "TraceWorkload",
+    "Workload",
+    "simulate",
+]

@@ -1,0 +1,71 @@
+"""Event records emitted by the simulator.
+
+The engine appends one :class:`DispatchEvent` per executed charging
+scheduling (with per-charger breakdown), one :class:`ChargeEvent` per sensor
+charge, and one :class:`DeathEvent` per energy expiration. Metrics are
+aggregations over this log; tests assert against it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DispatchEvent", "ChargeEvent", "DeathEvent"]
+
+
+@dataclass(frozen=True, slots=True)
+class DispatchEvent:
+    """The q chargers executed one charging scheduling.
+
+    Parameters
+    ----------
+    time:
+        Dispatch time.
+    cost:
+        Total tour length of the scheduling.
+    n_sensors:
+        Number of sensors charged.
+    n_active_chargers:
+        Chargers that actually left their depot (non-empty tours).
+    """
+
+    time: float
+    cost: float
+    n_sensors: int
+    n_active_chargers: int
+
+
+@dataclass(frozen=True, slots=True)
+class ChargeEvent:
+    """One sensor restored to full capacity.
+
+    Parameters
+    ----------
+    time:
+        When it happened.
+    sensor:
+        Sensor id.
+    energy_before:
+        Energy level immediately before the charge (diagnoses how close a
+        policy cuts it — 0 means a knife-edge arrival).
+    """
+
+    time: float
+    sensor: int
+    energy_before: float
+
+
+@dataclass(frozen=True, slots=True)
+class DeathEvent:
+    """A sensor ran out of energy.
+
+    Parameters
+    ----------
+    time:
+        Exact crossing time (interpolated within the drain interval).
+    sensor:
+        Sensor id.
+    """
+
+    time: float
+    sensor: int

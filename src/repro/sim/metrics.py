@@ -1,0 +1,93 @@
+"""Aggregate simulation metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.events import ChargeEvent, DeathEvent, DispatchEvent
+
+__all__ = ["Metrics"]
+
+
+@dataclass
+class Metrics:
+    """Accumulated over one simulation run.
+
+    Attributes
+    ----------
+    service_cost:
+        Total travel distance of all chargers (the paper's objective).
+    per_charger:
+        ``(q,)`` distance per charger.
+    dispatches, charges, deaths:
+        The full event log, in time order.
+    """
+
+    q: int
+    service_cost: float = 0.0
+    energy_delivered: float = 0.0
+    per_charger: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    dispatches: list[DispatchEvent] = field(default_factory=list)
+    charges: list[ChargeEvent] = field(default_factory=list)
+    deaths: list[DeathEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.per_charger.size == 0:
+            self.per_charger = np.zeros(self.q, dtype=np.float64)
+
+    # ----------------------------------------------------------- aggregates
+    @property
+    def n_dispatches(self) -> int:
+        """Number of charging schedulings executed."""
+        return len(self.dispatches)
+
+    @property
+    def n_charges(self) -> int:
+        """Total sensor-charges performed."""
+        return len(self.charges)
+
+    @property
+    def n_deaths(self) -> int:
+        """Number of death events (0 means the run was perpetual)."""
+        return len(self.deaths)
+
+    @property
+    def perpetual(self) -> bool:
+        """True iff no sensor ever ran out of energy."""
+        return not self.deaths
+
+    def mean_dispatch_cost(self) -> float:
+        """Average tour-set length per dispatch (0 if none)."""
+        if not self.dispatches:
+            return 0.0
+        return self.service_cost / len(self.dispatches)
+
+    def cost_per_energy(self) -> float:
+        """Metres driven per unit of energy delivered — the fleet's
+        efficiency (lower is better; ``inf`` if nothing was delivered)."""
+        if self.energy_delivered <= 0:
+            return float("inf")
+        return self.service_cost / self.energy_delivered
+
+    def closest_call(self) -> ChargeEvent | None:
+        """The charge that arrived with the least energy remaining — how
+        tightly the policy cuts its margins (``None`` if no charges)."""
+        if not self.charges:
+            return None
+        return min(self.charges, key=lambda ev: ev.energy_before)
+
+    def charges_per_sensor(self, n: int) -> np.ndarray:
+        """``(n,)`` number of times each sensor was charged."""
+        out = np.zeros(n, dtype=np.int64)
+        for c in self.charges:
+            out[c.sensor] += 1
+        return out
+
+    def summary(self) -> str:
+        """Human-readable digest."""
+        status = "perpetual" if self.perpetual else f"{self.n_deaths} DEATHS"
+        return (f"service_cost={self.service_cost:.1f} "
+                f"dispatches={self.n_dispatches} charges={self.n_charges} "
+                f"[{status}]")

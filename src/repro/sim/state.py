@@ -1,0 +1,136 @@
+"""Ground-truth per-sensor energy state."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["EnergyState"]
+
+#: Sensors whose energy reaches at least ``-_ABS_TOL * battery`` are treated
+#: as alive: "the battery hits zero exactly as the charger arrives" is a
+#: legal knife-edge in the paper's model (gaps may equal tau_i exactly).
+_REL_TOL = 1e-6
+
+
+class EnergyState:
+    """Mutable energy vector with drain / charge / death bookkeeping.
+
+    Parameters
+    ----------
+    batteries:
+        ``(n,)`` battery capacities; sensors start full.
+
+    Notes
+    -----
+    Dead sensors keep draining toward (clamped) zero and *can* be revived by
+    a later charge — the simulator records the death event either way, and
+    strict callers turn any death into an error. This keeps long experiment
+    sweeps running while still reporting every violation.
+    """
+
+    __slots__ = ("_batteries", "_energy", "_ever_died", "_currently_dead",
+                 "_death_times")
+
+    def __init__(self, batteries: np.ndarray) -> None:
+        b = np.asarray(batteries, dtype=np.float64)
+        if b.ndim != 1 or b.size == 0:
+            raise SimulationError(f"EnergyState: need (n,) batteries, got shape {b.shape}")
+        if np.any(b <= 0):
+            raise SimulationError("EnergyState: batteries must be positive")
+        self._batteries = b.copy()
+        self._energy = b.copy()
+        self._ever_died = np.zeros(b.shape[0], dtype=bool)
+        # Dead *now* (cleared by a charge); distinct from the historical
+        # ever_died so a revived sensor's second death is reported again.
+        self._currently_dead = np.zeros(b.shape[0], dtype=bool)
+        self._death_times: list[tuple[int, float]] = []
+
+    # -------------------------------------------------------------- accessors
+    @property
+    def n(self) -> int:
+        return self._batteries.shape[0]
+
+    @property
+    def batteries(self) -> np.ndarray:
+        """Read-only battery capacities."""
+        v = self._batteries.view()
+        v.setflags(write=False)
+        return v
+
+    @property
+    def energy(self) -> np.ndarray:
+        """Read-only current energy levels (clamped at 0)."""
+        v = self._energy.view()
+        v.setflags(write=False)
+        return v
+
+    @property
+    def fraction(self) -> np.ndarray:
+        """Energy as a fraction of capacity."""
+        return self._energy / self._batteries
+
+    def residual_lifetimes(self, rates: np.ndarray) -> np.ndarray:
+        """``(n,)`` time each sensor survives at the given drain rates."""
+        r = np.asarray(rates, dtype=np.float64)
+        return np.divide(self._energy, r, out=np.full(self.n, np.inf), where=r > 0)
+
+    @property
+    def deaths(self) -> list[tuple[int, float]]:
+        """All recorded ``(sensor, time)`` death events, in time order."""
+        return list(self._death_times)
+
+    def ever_died(self) -> np.ndarray:
+        """Boolean mask of sensors that died at least once."""
+        return self._ever_died.copy()
+
+    # ------------------------------------------------------------- transitions
+    def drain(self, rates: np.ndarray, duration: float, t_start: float) -> list[tuple[int, float]]:
+        """Drain all sensors at ``rates`` for ``duration`` starting at
+        ``t_start``; returns the *new* death events ``(sensor, time)`` with
+        exact crossing times.
+
+        A sensor already at zero that keeps a positive rate is not reported
+        again (its death was recorded when it first crossed).
+        """
+        if duration < 0:
+            raise SimulationError(f"drain: negative duration {duration}")
+        if duration == 0:
+            return []
+        r = np.asarray(rates, dtype=np.float64)
+        if r.shape != (self.n,):
+            raise SimulationError(f"drain: rates shape {r.shape} != ({self.n},)")
+        tol = self._batteries * _REL_TOL
+        before = self._energy.copy()
+        self._energy -= r * duration
+        # A death is recorded whenever a not-currently-dead sensor ends the
+        # interval strictly below zero. A sensor parked exactly at zero dies
+        # at the *start* of the next draining interval (before/rate = 0), so
+        # the knife-edge "charged exactly as it empties" stays alive while
+        # "left at zero and kept draining" does not.
+        crossing = ~self._currently_dead & (self._energy < -tol)
+        new_deaths: list[tuple[int, float]] = []
+        if np.any(crossing):
+            idx = np.nonzero(crossing)[0]
+            times = t_start + before[idx] / r[idx]
+            for i, tt in sorted(zip(idx.tolist(), times.tolist()), key=lambda p: p[1]):
+                new_deaths.append((int(i), float(tt)))
+                self._ever_died[i] = True
+                self._currently_dead[i] = True
+            self._death_times.extend(new_deaths)
+        np.clip(self._energy, 0.0, None, out=self._energy)
+        return new_deaths
+
+    def charge_full(self, sensors: Sequence[int] | np.ndarray) -> None:
+        """Instantaneously restore the given sensors to full capacity
+        (the paper's point-to-point charging model)."""
+        idx = np.asarray(list(sensors), dtype=np.intp)
+        if idx.size == 0:
+            return
+        if idx.min() < 0 or idx.max() >= self.n:
+            raise SimulationError(f"charge_full: sensor ids out of range 0..{self.n - 1}")
+        self._energy[idx] = self._batteries[idx]
+        self._currently_dead[idx] = False

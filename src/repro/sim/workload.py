@@ -1,0 +1,227 @@
+"""Ground-truth consumption-rate processes.
+
+The paper's variable-cycle model (Section VII.A): the monitoring period is
+partitioned into slots of length ``ΔT`` and each sensor's maximum charging
+cycle ``tau_i(t)`` is constant within a slot. A workload supplies the *true*
+rate vector for each slot; policies only ever see the rates through the
+simulator's observation hook (i.e. what a sensor could monitor locally).
+
+Implementations:
+
+* :class:`FixedWorkload` — rates never change (Section V's setting).
+* :class:`ResampledWorkload` — cycles redrawn i.i.d. from a
+  :class:`~repro.network.cycles.CycleDistribution` every slot, the paper's
+  experimental model for Figs. 3–6.
+* :class:`StormWorkload` — a fixed baseline with windows during which a
+  geographic region drains several times faster; drives the flood-detection
+  example from the paper's introduction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.network.cycles import CycleDistribution
+from repro.network.model import SensorNetwork
+
+__all__ = ["Workload", "FixedWorkload", "ResampledWorkload", "StormWorkload",
+           "TraceWorkload"]
+
+
+@runtime_checkable
+class Workload(Protocol):
+    """Supplies ground-truth rates per slot.
+
+    Attributes
+    ----------
+    slot_duration:
+        ``ΔT``; ``math.inf`` means rates never change.
+    """
+
+    slot_duration: float
+
+    def rates_at(self, slot: int) -> np.ndarray:
+        """True ``(n,)`` consumption-rate vector during slot ``slot``
+        (slot ``s`` spans ``[s * ΔT, (s+1) * ΔT)``). Must be deterministic
+        per slot index so replays and debugging reproduce exactly."""
+        ...
+
+
+@dataclass(frozen=True)
+class FixedWorkload:
+    """Rates constant for the whole period.
+
+    Parameters
+    ----------
+    rates:
+        ``(n,)`` consumption rates (typically ``network.rates``).
+    """
+
+    rates: np.ndarray
+    slot_duration: float = math.inf
+
+    def __post_init__(self) -> None:
+        r = np.asarray(self.rates, dtype=np.float64)
+        if r.ndim != 1 or np.any(r < 0):
+            raise ConfigError("FixedWorkload: rates must be a non-negative 1-D array")
+        object.__setattr__(self, "rates", r)
+
+    @classmethod
+    def from_network(cls, network: SensorNetwork) -> "FixedWorkload":
+        """Fixed workload at the network's nominal rates."""
+        return cls(rates=network.rates)
+
+    def rates_at(self, slot: int) -> np.ndarray:
+        return self.rates
+
+
+@dataclass
+class ResampledWorkload:
+    """Cycles redrawn from a distribution at every slot boundary.
+
+    Slot ``s``'s cycles are drawn from a child RNG stream keyed by ``s``
+    (seed-sequence spawn), so any slot can be generated independently of
+    the others and the whole process is reproducible from one seed.
+
+    Parameters
+    ----------
+    network:
+        Supplies geometry (base distances) and batteries.
+    distribution:
+        The cycle distribution resampled each slot.
+    slot_duration:
+        ``ΔT``. The paper's default is 10.
+    seed:
+        Master seed of the process.
+    """
+
+    network: SensorNetwork
+    distribution: CycleDistribution
+    slot_duration: float = 10.0
+    seed: int = 0
+    _cache: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not (self.slot_duration > 0):
+            raise ConfigError(
+                f"ResampledWorkload: slot_duration must be positive, got {self.slot_duration}")
+
+    def cycles_at(self, slot: int) -> np.ndarray:
+        """True cycles during ``slot`` (cached, deterministic per slot)."""
+        if slot < 0:
+            raise ConfigError(f"cycles_at: slot must be >= 0, got {slot}")
+        if slot not in self._cache:
+            rng = np.random.default_rng(
+                np.random.SeedSequence(entropy=self.seed, spawn_key=(slot,)))
+            self._cache[slot] = self.distribution.sample(
+                self.network.base_distances, rng)
+        return self._cache[slot]
+
+    def rates_at(self, slot: int) -> np.ndarray:
+        return self.network.batteries / self.cycles_at(slot)
+
+
+@dataclass
+class StormWorkload:
+    """A fixed baseline with storm windows that multiply drain rates in a
+    disc around a storm centre.
+
+    Parameters
+    ----------
+    network:
+        Supplies nominal rates and geometry.
+    storms:
+        ``(t_start, t_end, cx, cy, radius, factor)`` tuples; while
+        ``t in [t_start, t_end)`` every sensor within ``radius`` of
+        ``(cx, cy)`` drains ``factor`` times faster.
+    slot_duration:
+        Granularity at which the simulator re-reads rates; storm edges are
+        rounded to slot boundaries (choose ``slot_duration`` to divide the
+        storm times for exact edges).
+    """
+
+    network: SensorNetwork
+    storms: tuple[tuple[float, float, float, float, float, float], ...]
+    slot_duration: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (self.slot_duration > 0):
+            raise ConfigError("StormWorkload: slot_duration must be positive")
+        for s in self.storms:
+            if len(s) != 6:
+                raise ConfigError(f"StormWorkload: bad storm tuple {s}")
+            t0, t1, _, _, radius, factor = s
+            if t1 <= t0 or radius <= 0 or factor <= 0:
+                raise ConfigError(f"StormWorkload: invalid storm {s}")
+
+    def rates_at(self, slot: int) -> np.ndarray:
+        t = slot * self.slot_duration
+        rates = self.network.rates.copy()
+        coords = self.network.coordinates[: self.network.n]
+        for t0, t1, cx, cy, radius, factor in self.storms:
+            if t0 <= t < t1:
+                d2 = (coords[:, 0] - cx) ** 2 + (coords[:, 1] - cy) ** 2
+                rates[d2 <= radius * radius] *= factor
+        return rates
+
+
+@dataclass(frozen=True)
+class TraceWorkload:
+    """Replay a recorded rate trace.
+
+    The operational workflow: record real (or exported) per-slot rates as a
+    ``(n_slots, n)`` matrix and replay them against any policy — the same
+    ground truth for every algorithm, byte-for-byte. Slots beyond the trace
+    hold the last recorded rates (monitoring typically outlives the trace).
+
+    Parameters
+    ----------
+    trace:
+        ``(n_slots, n)`` non-negative rate matrix; row ``s`` is the truth
+        during ``[s * ΔT, (s+1) * ΔT)``.
+    slot_duration:
+        ``ΔT`` of the recording.
+    """
+
+    trace: np.ndarray
+    slot_duration: float = 10.0
+
+    def __post_init__(self) -> None:
+        t = np.asarray(self.trace, dtype=np.float64)
+        if t.ndim != 2 or t.shape[0] == 0 or t.shape[1] == 0:
+            raise ConfigError(
+                f"TraceWorkload: need a (n_slots, n) matrix, got shape {t.shape}")
+        if np.any(t < 0) or not np.all(np.isfinite(t)):
+            raise ConfigError("TraceWorkload: rates must be finite and non-negative")
+        if not (self.slot_duration > 0):
+            raise ConfigError(
+                f"TraceWorkload: slot_duration must be positive, got {self.slot_duration}")
+        object.__setattr__(self, "trace", t)
+
+    @property
+    def n_slots(self) -> int:
+        return self.trace.shape[0]
+
+    def rates_at(self, slot: int) -> np.ndarray:
+        if slot < 0:
+            raise ConfigError(f"rates_at: slot must be >= 0, got {slot}")
+        return self.trace[min(slot, self.n_slots - 1)]
+
+    @classmethod
+    def record(cls, workload: Workload, n_slots: int, n: int) -> "TraceWorkload":
+        """Materialise the first ``n_slots`` of any workload into a trace
+        (for archiving or cross-machine reproduction)."""
+        if n_slots <= 0:
+            raise ConfigError(f"record: n_slots must be positive, got {n_slots}")
+        rows = np.empty((n_slots, n), dtype=np.float64)
+        for s in range(n_slots):
+            rows[s] = np.asarray(workload.rates_at(s), dtype=np.float64)
+        duration = workload.slot_duration
+        if not math.isfinite(duration):
+            duration = 10.0  # fixed workloads: any slotting reproduces them
+        return cls(trace=rows, slot_duration=duration)

@@ -1,0 +1,137 @@
+"""Local-search tour improvement: 2-opt and Or-opt.
+
+These improvers never worsen a tour (strict-improvement acceptance), so
+applying them after Algorithm 2 keeps every approximation guarantee while
+typically shaving 10–25 % off MST-doubling tours on uniform instances — the
+``abl-refine`` bench quantifies exactly this. The depot stays fixed at
+position 0 throughout; only the visiting order of the stops changes.
+
+Implementation notes (per the HPC guides: vectorise the bottleneck): the
+2-opt inner scan evaluates all candidate ``j`` for a fixed ``i`` in one
+NumPy expression instead of a double Python loop, turning the
+``O(k^2)``-candidate sweep into ``O(k)`` vector operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tsp.tour import Tour
+
+__all__ = ["two_opt", "or_opt"]
+
+#: Minimum gain for a move to be accepted; guards against float-noise loops.
+_EPS = 1e-10
+
+
+def two_opt(dist: np.ndarray, tour: Tour, *, max_rounds: int = 50) -> Tour:
+    """First-improvement 2-opt with vectorised candidate evaluation.
+
+    Repeatedly replaces edge pairs ``(p[i-1], p[i])``, ``(p[j], p[j+1])`` by
+    ``(p[i-1], p[j])``, ``(p[i], p[j+1])`` (reversing the segment between)
+    whenever that shortens the closed tour, until a full pass finds no
+    improving move or ``max_rounds`` passes elapse.
+
+    Parameters
+    ----------
+    dist:
+        Full distance matrix.
+    tour:
+        Tour to improve; returned unchanged if it has fewer than 3 stops.
+    max_rounds:
+        Safety cap on improvement passes (each pass is O(k^2) candidate
+        evaluations in O(k) NumPy calls).
+    """
+    k = len(tour.order)
+    if k < 4:  # depot + <3 stops: no non-trivial 2-opt move exists
+        return tour
+    d = np.asarray(dist)
+    p = np.asarray(tour.order, dtype=np.intp)
+
+    for _ in range(max_rounds):
+        improved = False
+        # i ranges over segment starts (1..k-2), j over segment ends (i+1..k-1).
+        for i in range(1, k - 1):
+            a, b = p[i - 1], p[i]
+            # Candidates j = i+1 .. k-1; successor of p[j] is p[(j+1) % k].
+            js = np.arange(i + 1, k)
+            cs = p[js]
+            ds = p[np.where(js + 1 < k, js + 1, 0)]
+            delta = (d[a, cs] + d[b, ds]) - (d[a, b] + d[cs, ds])
+            best = int(np.argmin(delta))
+            if delta[best] < -_EPS:
+                j = int(js[best])
+                p[i:j + 1] = p[i:j + 1][::-1]
+                improved = True
+        if not improved:
+            break
+    return tour.with_order(p.tolist())
+
+
+def or_opt(dist: np.ndarray, tour: Tour, *, segment_lengths: tuple[int, ...] = (1, 2, 3),
+           max_rounds: int = 20) -> Tour:
+    """Or-opt: relocate short segments to better positions.
+
+    For each segment length ``s`` in ``segment_lengths``, tries moving every
+    consecutive run of ``s`` stops to every other position (both
+    orientations), accepting strict improvements. Complements 2-opt, which
+    cannot express single-node relocations cheaply.
+    """
+    k = len(tour.order)
+    if k < 3:
+        return tour
+    d = np.asarray(dist)
+    p = list(tour.order)
+
+    def closed_gain(seq: list[int], i: int, s: int, j: int, flip: bool) -> float:
+        """Gain (positive = better) of moving seq[i:i+s] after position j."""
+        n = len(seq)
+        seg = seq[i:i + s]
+        pre, post = seq[i - 1], seq[(i + s) % n]
+        # Removal saving.
+        save = d[pre, seg[0]] + d[seg[-1], post] - d[pre, post]
+        # Insertion cost between j and its successor (indices in the list
+        # *after* removal are handled by the caller choosing j outside the
+        # removed span).
+        a, b = seq[j], seq[(j + 1) % n]
+        head, tail = (seg[-1], seg[0]) if flip else (seg[0], seg[-1])
+        add = d[a, head] + d[tail, b] - d[a, b]
+        return float(save - add)
+
+    for _ in range(max_rounds):
+        improved = False
+        n = len(p)
+        for s in segment_lengths:
+            if n - s < 2:
+                continue
+            i = 1
+            while i + s <= n:
+                best_gain, best_j, best_flip = _EPS, -1, False
+                for j in range(0, n):
+                    # j must not touch the removed span [i-1, i+s].
+                    if i - 1 <= j <= i + s - 1:
+                        continue
+                    for flip in (False, True):
+                        g = closed_gain(p, i, s, j, flip)
+                        if g > best_gain:
+                            best_gain, best_j, best_flip = g, j, flip
+                if best_j >= 0:
+                    seg = p[i:i + s]
+                    if best_flip:
+                        seg = seg[::-1]
+                    rest = p[:i] + p[i + s:]
+                    # Recompute insertion anchor position within `rest`.
+                    anchor = p[best_j]
+                    at = rest.index(anchor)
+                    p = rest[:at + 1] + seg + rest[at + 1:]
+                    improved = True
+                    n = len(p)
+                i += 1
+        if not improved:
+            break
+    # Rotate depot back to front if a relocation moved it (it cannot — j
+    # skips the span and i >= 1 — but canonicalise defensively).
+    if p[0] != tour.depot:
+        at = p.index(tour.depot)
+        p = p[at:] + p[:at]
+    return tour.with_order(p)

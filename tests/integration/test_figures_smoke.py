@@ -1,0 +1,42 @@
+"""Tiny-scale smoke runs of the figure registry.
+
+The benches run the registered figures at paper scale; these tests run
+shrunken versions (small n, short horizon, one topology) so ``pytest
+tests/`` alone exercises every figure's *machinery* — config composition,
+sweep, aggregation, reporting — end to end, for each registered figure id.
+"""
+
+import pytest
+
+from repro.experiments.figures import FIGURES
+from repro.experiments.sweeps import sweep
+from repro.reporting.summary import figure_report
+
+#: Per-figure shrunken sweep values (keep variable-cycle figures extra small).
+_SMALL_VALUES = {
+    "n": [20],
+    "tau_max": [10],
+    "slot_duration": [10],
+    "sigma": [2],
+    "q": [2],
+    "quantization_base": [3],
+    "deployment": ["clustered"],
+}
+
+
+@pytest.mark.parametrize("figure_id", sorted(FIGURES))
+def test_figure_machinery_smoke(figure_id):
+    spec = FIGURES[figure_id]
+    base = spec.base.with_(n=20, horizon=60.0, n_topologies=1)
+    values = _SMALL_VALUES[spec.parameter]
+    result = sweep(base, spec.parameter, values)
+
+    # Every configured algorithm produced a positive cost and no deaths.
+    for alg in base.algorithms:
+        assert result.cells[0].by_name(alg).mean_cost > 0
+        assert result.cells[0].by_name(alg).total_deaths == 0
+
+    # The reporting layer renders without error (checks are NOT asserted at
+    # this scale — shapes are a property of paper-scale instances).
+    text = figure_report(spec, result)
+    assert figure_id in text

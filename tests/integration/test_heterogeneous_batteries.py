@@ -1,0 +1,96 @@
+"""Integration: nothing silently assumes unit batteries.
+
+The paper parameterises everything by the cycle ``tau_i = B_i / rho_i``;
+the battery only matters through that ratio. These tests run the full
+pipeline with heterogeneous, non-unit capacities to catch any hidden
+``B = 1`` assumption (energy accounting, lifetime estimates, predictors).
+"""
+
+import numpy as np
+import pytest
+
+from repro.adaptive.mintotal_var import MinTotalDistanceVarPolicy
+from repro.baselines.greedy import GreedyOnDemandPolicy
+from repro.core.feasibility import check_feasibility
+from repro.core.mintotal import min_total_distance
+from repro.geometry.bbox import Rect
+from repro.network.builder import NetworkBuilder
+from repro.network.cycles import LinearCycleDistribution
+from repro.network.deployment import deploy_sensors
+from repro.sim.engine import simulate
+from repro.sim.policies import PlannedPolicy
+from repro.sim.workload import FixedWorkload, ResampledWorkload
+
+HORIZON = 150.0
+
+
+@pytest.fixture(scope="module")
+def hetero_network():
+    """40 sensors with batteries drawn from [0.5, 4.0]."""
+    area = Rect.square(1000.0)
+    rng = np.random.default_rng(99)
+    positions = deploy_sensors(40, area, rng=1)
+    batteries = rng.uniform(0.5, 4.0, size=40)
+    return (NetworkBuilder()
+            .with_area(area)
+            .with_sensors_at(positions)
+            .with_base_station_at_center()
+            .with_random_depots(4, seed=2)
+            .with_cycles_from(LinearCycleDistribution(), seed=3)
+            .with_batteries(batteries)
+            .build())
+
+
+class TestHeterogeneousBatteries:
+    def test_rates_follow_cycles_not_batteries(self, hetero_network):
+        net = hetero_network
+        np.testing.assert_allclose(net.rates * net.cycles, net.batteries)
+
+    def test_planned_pipeline_perpetual(self, hetero_network):
+        net = hetero_network
+        res = min_total_distance(net, HORIZON)
+        assert check_feasibility(res.plan, net.cycles).feasible
+        out = simulate(net, PlannedPolicy(res.plan),
+                       FixedWorkload.from_network(net), HORIZON)
+        assert out.metrics.perpetual
+
+    def test_greedy_perpetual(self, hetero_network):
+        net = hetero_network
+        out = simulate(net, GreedyOnDemandPolicy(),
+                       FixedWorkload.from_network(net), HORIZON)
+        assert out.metrics.perpetual
+
+    def test_adaptive_perpetual_under_resampling(self, hetero_network):
+        net = hetero_network
+        wl = ResampledWorkload(network=net,
+                               distribution=LinearCycleDistribution(),
+                               slot_duration=10.0, seed=7)
+        out = simulate(net, MinTotalDistanceVarPolicy(), wl, HORIZON)
+        assert out.metrics.perpetual
+
+    def test_energy_delivered_respects_capacities(self, hetero_network):
+        net = hetero_network
+        res = min_total_distance(net, HORIZON)
+        out = simulate(net, PlannedPolicy(res.plan),
+                       FixedWorkload.from_network(net), HORIZON)
+        # No single charge can deliver more than the largest battery.
+        biggest = float(net.batteries.max())
+        for ev in out.metrics.charges:
+            assert net.batteries[ev.sensor] - ev.energy_before <= biggest + 1e-9
+
+    def test_battery_scale_invariance_of_cost(self, hetero_network):
+        """Scaling every battery (cycles fixed) must not change the plan or
+        its cost — only cycles enter the optimisation."""
+        net = hetero_network
+        scaled = (NetworkBuilder()
+                  .with_area(net.area)
+                  .with_sensors_at([s.position for s in net.sensors])
+                  .with_base_station_at(net.base_station.position)
+                  .with_depots_at([d.position for d in net.depots])
+                  .with_cycles(net.cycles)
+                  .with_batteries(net.batteries * 3.0)
+                  .build())
+        a = min_total_distance(net, HORIZON)
+        b = min_total_distance(scaled, HORIZON)
+        assert a.plan.total_cost(net.dist) == pytest.approx(
+            b.plan.total_cost(scaled.dist))

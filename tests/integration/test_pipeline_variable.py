@@ -1,0 +1,107 @@
+"""Integration: the variable-cycle pipeline (Section VI end-to-end).
+
+Exercises MinTotalDistance-var against resampled and storm workloads,
+checking perpetuity, adaptation behaviour, and the paper's qualitative
+regime findings (Figs. 5 and 6 endpoints).
+"""
+
+import pytest
+
+from repro.adaptive.mintotal_var import MinTotalDistanceVarPolicy
+from repro.baselines.greedy import GreedyOnDemandPolicy
+from repro.network.cycles import LinearCycleDistribution
+from repro.sim.engine import simulate
+from repro.sim.workload import ResampledWorkload, StormWorkload
+
+HORIZON = 300.0
+
+
+def _workload(net, slot=10.0, sigma=2.0, seed=17):
+    return ResampledWorkload(
+        network=net,
+        distribution=LinearCycleDistribution(sigma=sigma),
+        slot_duration=slot, seed=seed)
+
+
+class TestVariablePipeline:
+    def test_perpetual_under_resampling(self, paper_network_small):
+        net = paper_network_small
+        pol = MinTotalDistanceVarPolicy()
+        out = simulate(net, pol, _workload(net), HORIZON)
+        assert out.metrics.perpetual
+        assert pol.n_replans >= 1
+
+    def test_greedy_perpetual_with_distribution_threshold(self, paper_network_small):
+        net = paper_network_small
+        out = simulate(net, GreedyOnDemandPolicy(threshold=1.0),
+                       _workload(net), HORIZON)
+        assert out.metrics.perpetual
+
+    def test_var_beats_greedy_when_stable(self, paper_network_small):
+        net = paper_network_small
+        wl = _workload(net, slot=20.0)
+        var = simulate(net, MinTotalDistanceVarPolicy(), wl, HORIZON)
+        greedy = simulate(net, GreedyOnDemandPolicy(threshold=1.0), wl, HORIZON)
+        assert var.metrics.perpetual and greedy.metrics.perpetual
+        assert var.metrics.service_cost < greedy.metrics.service_cost
+
+    def test_fig5_endpoint_instability_closes_gap(self, paper_network_small):
+        """At ΔT=1 (extreme instability) the ratio must be close to 1; at
+        ΔT=20 it must show a clear win — the paper's Fig. 5 shape."""
+        net = paper_network_small
+        ratios = {}
+        for slot in (1.0, 20.0):
+            wl = _workload(net, slot=slot)
+            var = simulate(net, MinTotalDistanceVarPolicy(), wl, HORIZON)
+            greedy = simulate(net, GreedyOnDemandPolicy(threshold=1.0), wl,
+                              HORIZON)
+            ratios[slot] = (var.metrics.service_cost
+                            / greedy.metrics.service_cost)
+        assert ratios[1.0] > 0.85      # near-parity when extremely unstable
+        assert ratios[20.0] < 0.80     # clear win when stable
+        assert ratios[20.0] < ratios[1.0]
+
+    def test_fig6_endpoint_large_sigma_closes_gap(self, paper_network_small):
+        net = paper_network_small
+        ratios = {}
+        costs = {}
+        for sigma in (2.0, 50.0):
+            wl = _workload(net, sigma=sigma)
+            var = simulate(net, MinTotalDistanceVarPolicy(), wl, HORIZON)
+            greedy = simulate(net, GreedyOnDemandPolicy(threshold=1.0), wl,
+                              HORIZON)
+            ratios[sigma] = (var.metrics.service_cost
+                             / greedy.metrics.service_cost)
+            costs[sigma] = var.metrics.service_cost
+        assert costs[50.0] > costs[2.0]     # costs rise with variance
+        assert ratios[50.0] > ratios[2.0]   # and the gap closes
+
+    def test_replan_counter_grows_with_instability(self, paper_network_small):
+        net = paper_network_small
+        unstable = MinTotalDistanceVarPolicy()
+        stable = MinTotalDistanceVarPolicy()
+        simulate(net, unstable, _workload(net, slot=2.0), HORIZON)
+        simulate(net, stable, _workload(net, slot=30.0), HORIZON)
+        assert unstable.n_replans > stable.n_replans
+
+
+class TestStormPipeline:
+    def test_storm_survival_and_recovery(self, paper_network_small):
+        net = paper_network_small
+        storms = ((50.0, 80.0, 500.0, 500.0, 400.0, 3.0),)
+        wl = StormWorkload(network=net, storms=storms, slot_duration=10.0)
+        pol = MinTotalDistanceVarPolicy()
+        out = simulate(net, pol, wl, 200.0)
+        assert out.metrics.perpetual
+        assert pol.n_replans >= 1  # storm onset and/or clearance
+
+    def test_storm_raises_cost_vs_calm(self, paper_network_small):
+        net = paper_network_small
+        calm = StormWorkload(network=net, storms=(), slot_duration=10.0)
+        stormy = StormWorkload(
+            network=net, storms=((50.0, 150.0, 500.0, 500.0, 500.0, 4.0),),
+            slot_duration=10.0)
+        out_calm = simulate(net, MinTotalDistanceVarPolicy(), calm, 200.0)
+        out_storm = simulate(net, MinTotalDistanceVarPolicy(), stormy, 200.0)
+        assert out_storm.metrics.perpetual
+        assert out_storm.metrics.service_cost > out_calm.metrics.service_cost

@@ -1,0 +1,73 @@
+"""Property-based tests for the geometry substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.bbox import Rect
+from repro.geometry.distance import check_metric, distance_matrix, path_length
+from repro.geometry.point import Point
+
+finite = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False, width=32)
+
+
+class TestPointProperties:
+    @given(finite, finite, finite, finite)
+    def test_distance_symmetry_and_identity(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert a.distance_to(b) == b.distance_to(a)
+        assert a.distance_to(a) == 0.0
+
+    @given(finite, finite, finite, finite, finite, finite)
+    def test_triangle_inequality(self, x1, y1, x2, y2, x3, y3):
+        a, b, c = Point(x1, y1), Point(x2, y2), Point(x3, y3)
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+    @given(finite, finite, finite, finite)
+    def test_midpoint_equidistant(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        m = a.midpoint(b)
+        assert abs(m.distance_to(a) - m.distance_to(b)) <= 1e-6 * (
+            1 + a.distance_to(b))
+
+
+class TestDistanceMatrixProperties:
+    @given(st.lists(st.tuples(st.floats(0, 1000, allow_nan=False, width=32),
+                              st.floats(0, 1000, allow_nan=False, width=32)),
+                    min_size=2, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_always_a_metric(self, pts):
+        d = distance_matrix(np.asarray(pts, dtype=np.float64))
+        check_metric(d)  # symmetry, non-negativity, zero diagonal, triangle
+
+    @given(st.lists(st.tuples(st.floats(0, 100, allow_nan=False, width=32),
+                              st.floats(0, 100, allow_nan=False, width=32)),
+                    min_size=3, max_size=10),
+           st.permutations(list(range(3))))
+    @settings(max_examples=30, deadline=None)
+    def test_path_length_reversal_invariance(self, pts, perm):
+        d = distance_matrix(np.asarray(pts[:3], dtype=np.float64))
+        order = list(perm)
+        fwd = path_length(d, order, closed=True)
+        rev = path_length(d, order[::-1], closed=True)
+        assert abs(fwd - rev) <= 1e-9 * (1 + fwd)
+
+
+class TestRectProperties:
+    @given(st.floats(1, 1e4, allow_nan=False, width=32), st.integers(0, 200),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_samples_always_inside(self, side, n, seed):
+        r = Rect.square(float(side))
+        pts = r.sample(n, rng=seed)
+        assert pts.shape == (n, 2)
+        for x, y in pts:
+            assert r.contains(Point(float(x), float(y)))
+
+    @given(st.floats(1, 1e4, allow_nan=False, width=32))
+    def test_center_inside_and_diagonal_bounds_pairs(self, side):
+        r = Rect.square(float(side))
+        assert r.contains(r.center)
+        a = r.sample(16, rng=0)
+        d = distance_matrix(a)
+        assert d.max() <= r.diagonal + 1e-6

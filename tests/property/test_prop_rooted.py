@@ -1,0 +1,107 @@
+"""Property-based tests for the q-rooted algorithms (Algorithms 1 and 2)."""
+
+import itertools
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.distance import distance_matrix
+from repro.graphs.mst import mst_weight, prim_mst
+from repro.rooted.msf import q_rooted_msf
+from repro.rooted.qtsp import q_rooted_tsp, tours_total_cost
+
+
+@st.composite
+def rooted_instances(draw, max_sensors=10, max_depots=3):
+    n = draw(st.integers(1, max_sensors))
+    q = draw(st.integers(1, max_depots))
+    pts = draw(st.lists(
+        st.tuples(st.floats(0, 1000, allow_nan=False, width=32),
+                  st.floats(0, 1000, allow_nan=False, width=32)),
+        min_size=n + q, max_size=n + q))
+    dist = distance_matrix(np.asarray(pts, dtype=np.float64))
+    return dist, list(range(n)), list(range(n, n + q))
+
+
+def brute_force_msf_weight(dist, sensors, depots):
+    best = np.inf
+    for assign in itertools.product(range(len(depots)), repeat=len(sensors)):
+        total = 0.0
+        for l, r in enumerate(depots):
+            group = [r] + [s for s, a in zip(sensors, assign) if a == l]
+            if len(group) > 1:
+                sub = dist[np.ix_(group, group)]
+                total += mst_weight(sub, prim_mst(sub))
+        best = min(best, total)
+    return best
+
+
+class TestQRootedMsfProperties:
+    @given(rooted_instances(max_sensors=6, max_depots=3))
+    @settings(max_examples=30, deadline=None)
+    def test_optimality_vs_brute_force(self, instance):
+        """Lemma 1: the contraction algorithm is exactly optimal."""
+        dist, sensors, depots = instance
+        forest = q_rooted_msf(dist, sensors, depots)
+        expected = brute_force_msf_weight(dist, sensors, depots)
+        assert forest.weight(dist) <= expected + 1e-6
+        assert forest.weight(dist) >= expected - 1e-6
+
+    @given(rooted_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_forest_structure(self, instance):
+        dist, sensors, depots = instance
+        forest = q_rooted_msf(dist, sensors, depots)
+        forest.validate_spanning(sensors)          # covers every sensor
+        assert forest.roots == tuple(depots)       # one tree per depot
+        # Vertex-disjointness is enforced by the constructor; re-check edges:
+        n_edges = len(forest.all_edges())
+        n_nodes = len(forest.all_nodes())
+        assert n_edges == n_nodes - len(depots)    # forest with q components
+
+    @given(rooted_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_depots(self, instance):
+        """Dropping a depot never decreases the optimal weight."""
+        dist, sensors, depots = instance
+        if len(depots) < 2:
+            return
+        full = q_rooted_msf(dist, sensors, depots).weight(dist)
+        fewer = q_rooted_msf(dist, sensors, depots[:-1]).weight(dist)
+        assert full <= fewer + 1e-6
+
+
+class TestQRootedTspProperties:
+    @given(rooted_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_two_approximation_certificate(self, instance):
+        """Theorem 1 via the computable chain: cost <= 2 * MSF <= 2 * OPT."""
+        dist, sensors, depots = instance
+        tours = q_rooted_tsp(dist, sensors, depots)
+        msf_w = q_rooted_msf(dist, sensors, depots).weight(dist)
+        assert tours_total_cost(dist, tours) <= 2 * msf_w + 1e-6
+
+    @given(rooted_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_coverage_and_disjointness(self, instance):
+        dist, sensors, depots = instance
+        tours = q_rooted_tsp(dist, sensors, depots)
+        assert [t.depot for t in tours] == depots
+        covered: set[int] = set()
+        for t in tours:
+            stops = set(t.stops())
+            assert not (stops & covered), "two chargers visit one sensor"
+            covered |= stops
+        assert covered == set(sensors)
+
+    @given(rooted_instances(max_sensors=8, max_depots=2))
+    @settings(max_examples=25, deadline=None)
+    def test_refinement_preserves_guarantee(self, instance):
+        dist, sensors, depots = instance
+        plain = q_rooted_tsp(dist, sensors, depots)
+        refined = q_rooted_tsp(dist, sensors, depots, refine=True)
+        assert (tours_total_cost(dist, refined)
+                <= tours_total_cost(dist, plain) + 1e-6)
+        covered = set().union(*(set(t.stops()) for t in refined))
+        assert covered == set(sensors)

@@ -1,0 +1,96 @@
+"""Property-based tests for the TSP toolbox."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.distance import distance_matrix
+from repro.graphs.mst import mst_weight, prim_mst
+from repro.tsp.construct import (
+    cheapest_insertion_tour,
+    mst_doubling_tour,
+    nearest_neighbor_tour,
+)
+from repro.tsp.improve import or_opt, two_opt
+from repro.tsp.lower_bounds import held_karp_lower_bound, mst_lower_bound
+
+
+@st.composite
+def clouds(draw, min_n=2, max_n=18):
+    n = draw(st.integers(min_n, max_n))
+    pts = draw(st.lists(
+        st.tuples(st.floats(0, 500, allow_nan=False, width=32),
+                  st.floats(0, 500, allow_nan=False, width=32)),
+        min_size=n, max_size=n))
+    return distance_matrix(np.asarray(pts, dtype=np.float64))
+
+
+class TestConstructorProperties:
+    @given(clouds())
+    @settings(max_examples=40, deadline=None)
+    def test_all_constructors_valid_tours(self, dist):
+        n = dist.shape[0]
+        for build in (mst_doubling_tour, nearest_neighbor_tour,
+                      cheapest_insertion_tour):
+            t = build(dist, 0, list(range(1, n)))
+            assert t.order[0] == 0
+            assert sorted(t.order) == list(range(n))
+
+    @given(clouds())
+    @settings(max_examples=40, deadline=None)
+    def test_mst_doubling_bound(self, dist):
+        n = dist.shape[0]
+        t = mst_doubling_tour(dist, 0, list(range(1, n)))
+        w = mst_weight(dist, prim_mst(dist))
+        assert t.cost(dist) <= 2 * w + 1e-6
+
+    @given(clouds())
+    @settings(max_examples=40, deadline=None)
+    def test_tours_at_least_lower_bound(self, dist):
+        """Any constructor's tour sits above the MST and 1-tree bounds."""
+        n = dist.shape[0]
+        nodes = list(range(n))
+        lb_mst = mst_lower_bound(dist, nodes)
+        lb_hk = held_karp_lower_bound(dist, nodes, iterations=30)
+        for build in (mst_doubling_tour, nearest_neighbor_tour,
+                      cheapest_insertion_tour):
+            c = build(dist, 0, nodes[1:]).cost(dist)
+            assert c >= lb_mst - 1e-6
+            assert c >= lb_hk - 1e-4  # subgradient noise tolerance
+
+
+class TestImproverProperties:
+    @given(clouds(min_n=4))
+    @settings(max_examples=40, deadline=None)
+    def test_two_opt_monotone_and_permutation_preserving(self, dist):
+        n = dist.shape[0]
+        t = nearest_neighbor_tour(dist, 0, list(range(1, n)))
+        improved = two_opt(dist, t)
+        assert improved.cost(dist) <= t.cost(dist) + 1e-9
+        assert sorted(improved.order) == sorted(t.order)
+        assert improved.order[0] == 0
+
+    @given(clouds(min_n=4))
+    @settings(max_examples=30, deadline=None)
+    def test_or_opt_monotone_and_permutation_preserving(self, dist):
+        n = dist.shape[0]
+        t = nearest_neighbor_tour(dist, 0, list(range(1, n)))
+        improved = or_opt(dist, t)
+        assert improved.cost(dist) <= t.cost(dist) + 1e-9
+        assert sorted(improved.order) == sorted(t.order)
+        assert improved.order[0] == 0
+
+    @given(clouds(min_n=4, max_n=12))
+    @settings(max_examples=25, deadline=None)
+    def test_two_opt_result_is_2opt_local_optimum(self, dist):
+        """After convergence no single 2-opt move may improve further."""
+        n = dist.shape[0]
+        t = two_opt(dist, nearest_neighbor_tour(dist, 0, list(range(1, n))),
+                    max_rounds=200)
+        p = list(t.order)
+        k = len(p)
+        base = t.cost(dist)
+        for i in range(1, k - 1):
+            for j in range(i + 1, k):
+                q = p[:i] + p[i:j + 1][::-1] + p[j + 1:]
+                assert t.with_order(q).cost(dist) >= base - 1e-7

@@ -1,0 +1,103 @@
+"""Unit tests for :mod:`repro.adaptive.predictor` and monitor."""
+
+import numpy as np
+import pytest
+
+from repro.adaptive.monitor import VariationMonitor
+from repro.adaptive.predictor import EwmaRatePredictor
+from repro.errors import ConfigError
+
+
+class TestEwmaPredictor:
+    def test_first_observation_initialises(self):
+        p = EwmaRatePredictor(gamma=0.5)
+        assert not p.initialized
+        p.update(np.array([1.0, 2.0]))
+        np.testing.assert_array_equal(p.predicted_rates, [1.0, 2.0])
+
+    def test_ewma_formula(self):
+        p = EwmaRatePredictor(gamma=0.25)
+        p.update(np.array([1.0]))
+        p.update(np.array([2.0]))
+        # 0.25 * 2 + 0.75 * 1 = 1.25
+        assert p.predicted_rates[0] == pytest.approx(1.25)
+
+    def test_gamma_one_tracks_exactly(self):
+        p = EwmaRatePredictor(gamma=1.0)
+        p.update(np.array([1.0]))
+        p.update(np.array([5.0]))
+        assert p.predicted_rates[0] == pytest.approx(5.0)
+
+    def test_conservative_rates_take_max(self):
+        p = EwmaRatePredictor(gamma=0.1)
+        p.update(np.array([1.0]))
+        p.update(np.array([10.0]))  # smoothed ~1.9, observed 10
+        assert p.conservative_rates()[0] == pytest.approx(10.0)
+        p.update(np.array([0.5]))   # smoothed stays above observed now
+        assert p.conservative_rates()[0] > 0.5
+
+    def test_predicted_cycles(self):
+        p = EwmaRatePredictor()
+        p.update(np.array([0.5, 0.0]))
+        tau = p.predicted_cycles(np.array([1.0, 1.0]))
+        assert tau[0] == pytest.approx(2.0)
+        assert tau[1] == np.inf
+
+    def test_query_before_update_raises(self):
+        with pytest.raises(ConfigError):
+            EwmaRatePredictor().predicted_rates
+
+    @pytest.mark.parametrize("gamma", [0.0, -0.5, 1.5])
+    def test_rejects_bad_gamma(self, gamma):
+        with pytest.raises(ConfigError):
+            EwmaRatePredictor(gamma=gamma)
+
+    def test_rejects_bad_observation(self):
+        p = EwmaRatePredictor()
+        with pytest.raises(ConfigError):
+            p.update(np.array([-1.0]))
+        with pytest.raises(ConfigError):
+            p.update(np.array([np.inf]))
+
+    def test_shape_change_raises(self):
+        p = EwmaRatePredictor()
+        p.update(np.ones(3))
+        with pytest.raises(ConfigError):
+            p.update(np.ones(4))
+
+
+class TestVariationMonitor:
+    def test_zero_threshold_reports_everything(self):
+        m = VariationMonitor(0.0)
+        m.update(np.array([10.0]))
+        m.update(np.array([10.001]))
+        assert m.reported[0] == pytest.approx(10.001)
+
+    def test_dead_band_suppresses_small_moves(self):
+        m = VariationMonitor(0.1)
+        m.update(np.array([10.0]))
+        m.update(np.array([10.5]))   # 5% move < 10% band
+        assert m.reported[0] == pytest.approx(10.0)
+        m.update(np.array([12.0]))   # 20% move > band
+        assert m.reported[0] == pytest.approx(12.0)
+
+    def test_per_sensor_independence(self):
+        m = VariationMonitor(0.1)
+        m.update(np.array([10.0, 10.0]))
+        m.update(np.array([10.5, 20.0]))
+        np.testing.assert_allclose(m.reported, [10.0, 20.0])
+
+    def test_changed_since(self):
+        m = VariationMonitor(0.0)
+        m.update(np.array([1.0, 2.0]))
+        prev = m.reported
+        m.update(np.array([1.0, 3.0]))
+        np.testing.assert_array_equal(m.changed_since(prev), [False, True])
+
+    def test_query_before_update_raises(self):
+        with pytest.raises(ConfigError):
+            VariationMonitor().reported
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ConfigError):
+            VariationMonitor(-0.1)

@@ -1,0 +1,43 @@
+"""Unit tests for :mod:`repro.cli`."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_options(self):
+        args = build_parser().parse_args(
+            ["run", "fig1a", "--reps", "3", "--full", "--csv", "out.csv"])
+        assert (args.figure, args.reps, args.full, args.csv) == (
+            "fig1a", 3, True, "out.csv")
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_catalogue(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for fid in ["fig1a", "fig2b", "fig5", "abl-q"]:
+            assert fid in out
+
+    def test_unknown_figure_errors(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["run", "fig77"])
+
+    def test_errors_module_hierarchy(self):
+        # Sanity: every library error is catchable as ReproError.
+        from repro import errors
+
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError) or exc is errors.ReproError

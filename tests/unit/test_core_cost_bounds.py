@@ -1,0 +1,78 @@
+"""Unit tests for :mod:`repro.core.cost` and :mod:`repro.core.bounds`."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import empirical_ratio, lemma3_lower_bound
+from repro.core.cost import cost_series, per_charger_cost, service_cost
+from repro.core.mintotal import min_total_distance
+from repro.errors import ScheduleError
+
+
+class TestServiceCost:
+    def test_matches_plan_total(self, tiny_network):
+        res = min_total_distance(tiny_network, horizon=16.0)
+        d = tiny_network.dist
+        assert service_cost(d, res.plan) == pytest.approx(res.plan.total_cost(d))
+
+    def test_per_charger_sums_to_total(self, tiny_network):
+        res = min_total_distance(tiny_network, horizon=16.0)
+        d = tiny_network.dist
+        per = per_charger_cost(d, res.plan)
+        assert per.shape == (tiny_network.q,)
+        assert per.sum() == pytest.approx(service_cost(d, res.plan))
+
+    def test_cost_series_periodicity(self, tiny_network):
+        res = min_total_distance(tiny_network, horizon=32.0)
+        times, costs = cost_series(tiny_network.dist, res.plan)
+        bs = res.quantization.block_size
+        np.testing.assert_allclose(costs[:bs], costs[bs:2 * bs])
+        assert times.shape == costs.shape
+
+    def test_empty_plan(self, tiny_network):
+        res = min_total_distance(tiny_network, horizon=1.0)
+        assert service_cost(tiny_network.dist, res.plan) == 0.0
+        assert per_charger_cost(tiny_network.dist, res.plan).size == 0
+
+
+class TestLemma3Bound:
+    def test_bound_below_algorithm_cost(self, paper_network_small):
+        horizon = 200.0
+        res = min_total_distance(paper_network_small, horizon)
+        cost = service_cost(paper_network_small.dist, res.plan)
+        lb = lemma3_lower_bound(paper_network_small, horizon)
+        assert 0 < lb.bound <= cost
+
+    def test_ratio_within_guarantee(self, paper_network_small):
+        horizon = 200.0
+        res = min_total_distance(paper_network_small, horizon)
+        cost = service_cost(paper_network_small.dist, res.plan)
+        lb = lemma3_lower_bound(paper_network_small, horizon)
+        ratio = empirical_ratio(cost, lb)
+        assert ratio <= 2 * (res.quantization.K + 2) + 1e-9
+
+    def test_per_level_array_shapes(self, paper_network_small):
+        lb = lemma3_lower_bound(paper_network_small, 200.0)
+        K = lb.quantization.K
+        assert lb.per_level.shape == (K + 1,)
+        assert lb.msf_weights.shape == (K + 1,)
+        assert lb.bound == pytest.approx(lb.per_level.max())
+        assert 0 <= lb.argmax_level <= K
+
+    def test_msf_weights_monotone(self, paper_network_small):
+        # Larger prefix sets can only cost more to span.
+        lb = lemma3_lower_bound(paper_network_small, 200.0)
+        assert np.all(np.diff(lb.msf_weights) >= -1e-9)
+
+    def test_bound_scales_linearly_with_horizon(self, paper_network_small):
+        lb1 = lemma3_lower_bound(paper_network_small, 200.0)
+        lb2 = lemma3_lower_bound(paper_network_small, 400.0)
+        assert lb2.bound == pytest.approx(2 * lb1.bound, rel=1e-6)
+
+    def test_bad_horizon_raises(self, paper_network_small):
+        with pytest.raises(ScheduleError):
+            lemma3_lower_bound(paper_network_small, 0.0)
+
+    def test_empirical_ratio_handles_zero_bound(self):
+        assert empirical_ratio(10.0, 0.0) == float("inf")
+        assert empirical_ratio(10.0, 5.0) == pytest.approx(2.0)

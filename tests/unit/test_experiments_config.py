@@ -1,0 +1,61 @@
+"""Unit tests for :mod:`repro.experiments.config`."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.config import ExperimentConfig
+from repro.network.cycles import LinearCycleDistribution, RandomCycleDistribution
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = ExperimentConfig()
+        assert (cfg.n, cfg.q) == (200, 5)
+        assert cfg.side == 1000.0
+        assert cfg.horizon == 1000.0
+        assert (cfg.tau_min, cfg.tau_max, cfg.sigma) == (1.0, 50.0, 2.0)
+        assert cfg.slot_duration == 10.0
+        assert not cfg.variable
+
+    def test_describe_mentions_key_params(self):
+        text = ExperimentConfig(n=300, variable=True).describe()
+        assert "n=300" in text and "var" in text
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"n": 0}, {"q": -1}, {"horizon": 0.0},
+        {"distribution": "exponential"},
+        {"tau_min": 0.0}, {"tau_min": 10.0, "tau_max": 5.0},
+        {"sigma": -1.0}, {"slot_duration": 0.0}, {"n_topologies": 0},
+        {"algorithms": ("mtd", "mystery")},
+    ])
+    def test_rejects_bad(self, kwargs):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(**kwargs)
+
+    def test_var_algorithm_requires_variable_workload(self):
+        with pytest.raises(ConfigError, match="variable"):
+            ExperimentConfig(algorithms=("mtd-var",), variable=False)
+        ExperimentConfig(algorithms=("mtd-var",), variable=True)  # ok
+
+
+class TestWith:
+    def test_with_returns_new_validated_config(self):
+        base = ExperimentConfig()
+        new = base.with_(n=300)
+        assert new.n == 300 and base.n == 200
+        with pytest.raises(ConfigError):
+            base.with_(n=-5)
+
+
+class TestMakeDistribution:
+    def test_linear(self):
+        d = ExperimentConfig(distribution="linear", sigma=3.0).make_distribution()
+        assert isinstance(d, LinearCycleDistribution)
+        assert d.sigma == 3.0
+
+    def test_random(self):
+        d = ExperimentConfig(distribution="random").make_distribution()
+        assert isinstance(d, RandomCycleDistribution)
+        assert (d.tau_min, d.tau_max) == (1.0, 50.0)

@@ -1,0 +1,69 @@
+"""Unit tests for :mod:`repro.experiments.grid`."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.grid import grid_sweep
+
+TINY = ExperimentConfig(n=20, horizon=60.0, n_topologies=2, seed=6,
+                        algorithms=("mtd", "greedy"))
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_sweep(TINY, {"n": [20, 30], "q": [2, 3, 4]})
+
+
+class TestGridSweep:
+    def test_shape_and_axes(self, grid):
+        assert grid.parameters == ("n", "q")
+        assert grid.shape == (2, 3)
+        assert grid.values == ((20, 30), (2, 3, 4))
+
+    def test_cell_lookup(self, grid):
+        cell = grid.cell(n=20, q=3)
+        assert cell.config.n == 20 and cell.config.q == 3
+
+    def test_cell_lookup_errors(self, grid):
+        with pytest.raises(ConfigError, match="missing"):
+            grid.cell(n=20)
+        with pytest.raises(ConfigError, match="no cell"):
+            grid.cell(n=99, q=3)
+
+    def test_cost_tensor(self, grid):
+        t = grid.cost_tensor("mtd")
+        assert t.shape == (2, 3)
+        assert np.all(t > 0)
+        # Tensor entries match direct cell lookups.
+        assert t[0, 1] == grid.cell(n=20, q=3).by_name("mtd").mean_cost
+
+    def test_ratio_tensor(self, grid):
+        r = grid.ratio_tensor("mtd", "greedy")
+        assert r.shape == (2, 3)
+        assert np.all(r > 0)
+
+    def test_rows_long_format(self, grid):
+        rows = grid.rows()
+        assert len(rows) == 6
+        assert rows[0][:2] == [20, 2]
+        assert len(rows[0]) == 4  # two params + two algorithms
+
+    def test_progress_callback(self):
+        lines = []
+        grid_sweep(TINY, {"n": [20]}, progress=lines.append)
+        assert len(lines) == 1 and "'n': 20" in lines[0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            grid_sweep(TINY, {})
+        with pytest.raises(ConfigError):
+            grid_sweep(TINY, {"banana": [1]})
+        with pytest.raises(ConfigError):
+            grid_sweep(TINY, {"n": []})
+
+    def test_deterministic(self, grid):
+        again = grid_sweep(TINY, {"n": [20, 30], "q": [2, 3, 4]})
+        np.testing.assert_array_equal(grid.cost_tensor("mtd"),
+                                      again.cost_tensor("mtd"))

@@ -1,0 +1,113 @@
+"""Unit tests for :mod:`repro.experiments.runner` and sweeps.
+
+Tiny cells only (n=25, short horizon) — the full-scale runs live in
+``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import make_policy, run_cell
+from repro.experiments.sweeps import sweep
+from repro.network.builder import build_paper_network
+
+TINY = ExperimentConfig(n=25, horizon=100.0, n_topologies=2, seed=9,
+                        algorithms=("mtd", "greedy"))
+
+
+class TestRunCell:
+    def test_shapes_and_order(self):
+        cell = run_cell(TINY)
+        assert [r.algorithm for r in cell.results] == ["mtd", "greedy"]
+        for r in cell.results:
+            assert r.costs.shape == (2,)
+            assert r.deaths.shape == (2,)
+            assert np.all(r.costs > 0)
+
+    def test_no_deaths_on_paper_defaults(self):
+        cell = run_cell(TINY)
+        assert all(r.total_deaths == 0 for r in cell.results)
+
+    def test_reproducible(self):
+        a = run_cell(TINY)
+        b = run_cell(TINY)
+        np.testing.assert_array_equal(a.by_name("mtd").costs,
+                                      b.by_name("mtd").costs)
+
+    def test_mtd_beats_greedy_on_linear(self):
+        cell = run_cell(TINY.with_(n_topologies=3))
+        assert cell.ratio("mtd", "greedy") < 1.0
+
+    def test_by_name_unknown_raises(self):
+        cell = run_cell(TINY)
+        with pytest.raises(KeyError):
+            cell.by_name("nope")
+
+    def test_variable_cell_runs(self):
+        cfg = TINY.with_(variable=True, algorithms=("mtd-var", "greedy"),
+                         slot_duration=10.0)
+        cell = run_cell(cfg)
+        assert all(r.total_deaths == 0 for r in cell.results)
+
+    def test_mean_and_std(self):
+        cell = run_cell(TINY)
+        r = cell.by_name("mtd")
+        assert r.mean_cost == pytest.approx(r.costs.mean())
+        assert r.std_cost == pytest.approx(r.costs.std(ddof=1))
+
+
+class TestMakePolicy:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return build_paper_network(n=20, q=3, seed=1)
+
+    @pytest.mark.parametrize("name", ["mtd", "mtd+2opt", "greedy", "naive",
+                                      "periodic"])
+    def test_known_fixed_algorithms(self, name, net):
+        cfg = ExperimentConfig(n=20, q=3, horizon=50.0)
+        pol = make_policy(name, cfg, net)
+        assert hasattr(pol, "dispatch")
+
+    def test_var_policy(self, net):
+        cfg = ExperimentConfig(n=20, q=3, horizon=50.0, variable=True,
+                               algorithms=("mtd-var",))
+        pol = make_policy("mtd-var", cfg, net)
+        assert pol.__class__.__name__ == "MinTotalDistanceVarPolicy"
+
+    def test_unknown_raises(self, net):
+        with pytest.raises(ConfigError):
+            make_policy("quantum", ExperimentConfig(), net)
+
+
+class TestSweep:
+    def test_series_and_rows(self):
+        result = sweep(TINY, "n", [20, 30])
+        x, y = result.series("mtd")
+        np.testing.assert_array_equal(x, [20, 30])
+        assert y.shape == (2,)
+        assert len(result.rows()) == 2
+        assert result.header()[0] == "n"
+
+    def test_ratio_series(self):
+        result = sweep(TINY, "n", [20, 30])
+        r = result.ratio_series("mtd", "greedy")
+        assert r.shape == (2,) and np.all(r > 0)
+
+    def test_progress_callback(self):
+        lines = []
+        sweep(TINY, "n", [20], progress=lines.append)
+        assert len(lines) == 1 and "n=20" in lines[0]
+
+    def test_empty_values_raises(self):
+        with pytest.raises(ConfigError):
+            sweep(TINY, "n", [])
+
+    def test_unknown_parameter_raises(self):
+        with pytest.raises(ConfigError):
+            sweep(TINY, "banana", [1])
+
+    def test_deaths_accessor(self):
+        result = sweep(TINY, "n", [20])
+        np.testing.assert_array_equal(result.deaths("mtd"), [0])

@@ -1,0 +1,64 @@
+"""Unit tests for :mod:`repro.geometry.bbox`."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.bbox import Rect
+from repro.geometry.point import Point
+
+
+class TestRect:
+    def test_square_factory(self):
+        r = Rect.square(1000.0)
+        assert (r.x0, r.y0, r.x1, r.y1) == (0, 0, 1000, 1000)
+        assert r.area == pytest.approx(1_000_000.0)
+
+    def test_square_with_origin(self):
+        r = Rect.square(10.0, origin=(5.0, -5.0))
+        assert (r.x0, r.y0, r.x1, r.y1) == (5, -5, 15, 5)
+
+    def test_center(self):
+        assert Rect.square(1000.0).center == Point(500.0, 500.0)
+
+    def test_width_height_diagonal(self):
+        r = Rect(0, 0, 3, 4)
+        assert (r.width, r.height) == (3, 4)
+        assert r.diagonal == pytest.approx(5.0)
+
+    @pytest.mark.parametrize("bad", [(1, 1, 1, 2), (0, 0, -1, 5), (0, 5, 3, 5)])
+    def test_rejects_degenerate(self, bad):
+        with pytest.raises(GeometryError):
+            Rect(*bad)
+
+    def test_rejects_non_positive_square(self):
+        with pytest.raises(GeometryError):
+            Rect.square(0.0)
+
+    def test_contains(self):
+        r = Rect.square(10.0)
+        assert r.contains(Point(5, 5))
+        assert r.contains(Point(0, 0))  # boundary is inside
+        assert not r.contains(Point(10.1, 5))
+
+    def test_sample_inside_and_deterministic(self):
+        r = Rect(10, 20, 30, 40)
+        a = r.sample(200, rng=7)
+        b = r.sample(200, rng=7)
+        np.testing.assert_array_equal(a, b)
+        assert np.all(a[:, 0] >= 10) and np.all(a[:, 0] <= 30)
+        assert np.all(a[:, 1] >= 20) and np.all(a[:, 1] <= 40)
+
+    def test_sample_points_match_sample(self):
+        r = Rect.square(5.0)
+        pts = r.sample_points(10, rng=3)
+        arr = r.sample(10, rng=3)
+        for p, row in zip(pts, arr):
+            assert (p.x, p.y) == (row[0], row[1])
+
+    def test_sample_rejects_negative(self):
+        with pytest.raises(GeometryError):
+            Rect.square(1.0).sample(-1)
+
+    def test_sample_zero_is_empty(self):
+        assert Rect.square(1.0).sample(0).shape == (0, 2)

@@ -1,0 +1,100 @@
+"""Unit tests for :mod:`repro.geometry.distance`."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.distance import (
+    check_metric,
+    distance_matrix,
+    euclidean,
+    pairwise_from_points,
+    path_length,
+)
+from repro.geometry.point import Point
+
+
+class TestDistanceMatrix:
+    def test_known_values(self):
+        coords = np.array([[0.0, 0.0], [3.0, 4.0], [0.0, 8.0]])
+        d = distance_matrix(coords)
+        assert d[0, 1] == pytest.approx(5.0)
+        assert d[1, 2] == pytest.approx(5.0)
+        assert d[0, 2] == pytest.approx(8.0)
+
+    def test_symmetric_zero_diagonal(self, rng):
+        coords = rng.uniform(0, 100, size=(40, 2))
+        d = distance_matrix(coords)
+        np.testing.assert_allclose(d, d.T)
+        np.testing.assert_array_equal(np.diag(d), np.zeros(40))
+
+    def test_matches_scalar_euclidean(self, rng):
+        coords = rng.uniform(0, 10, size=(10, 2))
+        d = distance_matrix(coords)
+        pts = [Point(x, y) for x, y in coords]
+        for i in range(10):
+            for j in range(10):
+                assert d[i, j] == pytest.approx(euclidean(pts[i], pts[j]))
+
+    def test_single_point(self):
+        d = distance_matrix(np.array([[1.0, 2.0]]))
+        assert d.shape == (1, 1) and d[0, 0] == 0.0
+
+    @pytest.mark.parametrize("shape", [(0, 2), (3, 3), (4,)])
+    def test_rejects_bad_shapes(self, shape):
+        with pytest.raises(GeometryError):
+            distance_matrix(np.zeros(shape))
+
+    def test_pairwise_from_points_agrees(self):
+        pts = [Point(0, 0), Point(1, 1), Point(2, 0)]
+        np.testing.assert_allclose(
+            pairwise_from_points(pts),
+            distance_matrix(np.array([[0, 0], [1, 1], [2, 0]], dtype=float)))
+
+
+class TestPathLength:
+    def test_open_path(self):
+        d = distance_matrix(np.array([[0, 0], [3, 4], [3, 0]], dtype=float))
+        assert path_length(d, [0, 1, 2]) == pytest.approx(5.0 + 4.0)
+
+    def test_closed_tour_adds_return_edge(self):
+        d = distance_matrix(np.array([[0, 0], [3, 4], [3, 0]], dtype=float))
+        assert path_length(d, [0, 1, 2], closed=True) == pytest.approx(5 + 4 + 3)
+
+    def test_short_orders(self):
+        d = distance_matrix(np.array([[0, 0], [1, 0]], dtype=float))
+        assert path_length(d, []) == 0.0
+        assert path_length(d, [1]) == 0.0
+        assert path_length(d, [0], closed=True) == 0.0
+
+
+class TestCheckMetric:
+    def test_accepts_euclidean(self, rng):
+        d = distance_matrix(rng.uniform(0, 50, size=(15, 2)))
+        check_metric(d)  # must not raise
+
+    def test_rejects_asymmetric(self):
+        d = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(GeometryError, match="symmetric"):
+            check_metric(d)
+
+    def test_rejects_negative(self):
+        d = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        with pytest.raises(GeometryError, match="negative"):
+            check_metric(d)
+
+    def test_rejects_nonzero_diagonal(self):
+        d = np.array([[1.0, 2.0], [2.0, 0.0]])
+        with pytest.raises(GeometryError, match="diagonal"):
+            check_metric(d)
+
+    def test_rejects_triangle_violation(self):
+        d = np.array([[0.0, 1.0, 10.0],
+                      [1.0, 0.0, 1.0],
+                      [10.0, 1.0, 0.0]])
+        with pytest.raises(GeometryError, match="triangle"):
+            check_metric(d)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(GeometryError, match="square"):
+            check_metric(np.zeros((2, 3)))

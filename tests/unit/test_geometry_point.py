@@ -1,0 +1,67 @@
+"""Unit tests for :mod:`repro.geometry.point`."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point, points_to_array
+
+
+class TestPoint:
+    def test_distance_matches_hypot(self):
+        a, b = Point(0, 0), Point(3, 4)
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1.5, -2.0), Point(-3.25, 7.0)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(2.5, 3.5)
+        assert p.distance_to(p) == 0.0
+
+    def test_midpoint(self):
+        m = Point(0, 0).midpoint(Point(10, 4))
+        assert (m.x, m.y) == (5.0, 2.0)
+
+    def test_translated(self):
+        p = Point(1, 2).translated(3, -5)
+        assert (p.x, p.y) == (4.0, -3.0)
+
+    def test_as_tuple_and_iter(self):
+        p = Point(7, 8)
+        assert p.as_tuple() == (7, 8)
+        assert tuple(p) == (7, 8)
+
+    def test_frozen_and_hashable(self):
+        p = Point(1, 2)
+        with pytest.raises(AttributeError):
+            p.x = 3  # type: ignore[misc]
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(GeometryError):
+            Point(bad, 0)
+        with pytest.raises(GeometryError):
+            Point(0, bad)
+
+
+class TestPointsToArray:
+    def test_shape_and_values(self):
+        arr = points_to_array([Point(1, 2), Point(3, 4)])
+        assert arr.shape == (2, 2)
+        np.testing.assert_array_equal(arr, [[1, 2], [3, 4]])
+
+    def test_dtype_is_float64(self):
+        assert points_to_array([Point(1, 2)]).dtype == np.float64
+
+    def test_rejects_empty(self):
+        with pytest.raises(GeometryError):
+            points_to_array([])
+
+    def test_accepts_generator(self):
+        arr = points_to_array(Point(i, i) for i in range(3))
+        assert arr.shape == (3, 2)

@@ -1,0 +1,44 @@
+"""Unit tests for :mod:`repro.geometry.rng`."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.rng import make_rng, spawn
+
+
+class TestMakeRng:
+    def test_from_int_is_deterministic(self):
+        assert make_rng(42).integers(1 << 30) == make_rng(42).integers(1 << 30)
+
+    def test_passes_through_generator(self):
+        g = np.random.default_rng(1)
+        assert make_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_are_independent_streams(self):
+        kids = spawn(make_rng(5), 3)
+        draws = [k.integers(1 << 30, size=4).tolist() for k in kids]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_spawn_is_reproducible(self):
+        a = [g.integers(1 << 30) for g in spawn(make_rng(9), 4)]
+        b = [g.integers(1 << 30) for g in spawn(make_rng(9), 4)]
+        assert a == b
+
+    def test_spawn_zero(self):
+        assert spawn(make_rng(0), 0) == []
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn(make_rng(0), -1)
+
+    def test_spawn_advances_parent_state(self):
+        # Successive spawns from the same parent must not repeat children.
+        g = make_rng(3)
+        first = spawn(g, 1)[0].integers(1 << 30)
+        second = spawn(g, 1)[0].integers(1 << 30)
+        assert first != second

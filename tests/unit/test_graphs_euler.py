@@ -1,0 +1,81 @@
+"""Unit tests for :mod:`repro.graphs.euler`."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.euler import eulerian_circuit
+
+
+def _used_edges(circuit):
+    """Multiset of undirected edges traversed by a vertex circuit."""
+    return Counter(frozenset(e) if e[0] != e[1] else (e[0], e[0])
+                   for e in zip(circuit, circuit[1:]))
+
+
+def _expected(edges):
+    return Counter(frozenset(e) if e[0] != e[1] else (e[0], e[0]) for e in edges)
+
+
+class TestEulerianCircuit:
+    def test_triangle(self):
+        edges = [(0, 1), (1, 2), (2, 0)]
+        c = eulerian_circuit(edges, 0)
+        assert c[0] == c[-1] == 0
+        assert _used_edges(c) == _expected(edges)
+
+    def test_doubled_tree_is_eulerian(self):
+        tree = [(0, 1), (1, 2), (1, 3)]
+        doubled = tree + tree
+        c = eulerian_circuit(doubled, 0)
+        assert c[0] == c[-1] == 0
+        assert len(c) == len(doubled) + 1
+        assert _used_edges(c) == _expected(doubled)
+
+    def test_parallel_edges_used_individually(self):
+        edges = [(0, 1), (0, 1)]
+        c = eulerian_circuit(edges, 0)
+        assert c == [0, 1, 0]
+
+    def test_two_glued_cycles(self):
+        # Two triangles sharing vertex 0 — the Lemma-3 merging situation.
+        edges = [(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]
+        c = eulerian_circuit(edges, 0)
+        assert c[0] == c[-1] == 0
+        assert _used_edges(c) == _expected(edges)
+
+    def test_no_edges(self):
+        assert eulerian_circuit([], 5) == [5]
+
+    def test_odd_degree_raises(self):
+        with pytest.raises(GraphError, match="odd degree"):
+            eulerian_circuit([(0, 1)], 0)
+
+    def test_disconnected_raises(self):
+        edges = [(0, 1), (1, 0), (2, 3), (3, 2)]
+        with pytest.raises(GraphError, match="disconnected"):
+            eulerian_circuit(edges, 0)
+
+    def test_start_without_edges_raises(self):
+        with pytest.raises(GraphError, match="no incident edges"):
+            eulerian_circuit([(0, 1), (1, 0)], 7)
+
+    def test_matches_networkx_on_random_eulerian_graph(self, rng):
+        import networkx as nx
+
+        # Build a random multigraph, then double every edge => Eulerian.
+        base = [(int(rng.integers(0, 8)), int(rng.integers(0, 8))) for _ in range(15)]
+        base = [(u, v) for u, v in base if u != v]
+        edges = base + base
+        if not edges:
+            pytest.skip("degenerate draw")
+        g = nx.MultiGraph(edges)
+        if not nx.is_connected(g):
+            g = nx.MultiGraph([(u, v) for u, v in edges
+                               if nx.has_path(nx.Graph(edges), list(g.nodes)[0], u)])
+            pytest.skip("disconnected draw")
+        start = edges[0][0]
+        c = eulerian_circuit(edges, start)
+        assert c[0] == c[-1] == start
+        assert _used_edges(c) == _expected(edges)

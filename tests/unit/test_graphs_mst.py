@@ -1,0 +1,107 @@
+"""Unit tests for :mod:`repro.graphs.mst` (networkx as the oracle)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.geometry.distance import distance_matrix
+from repro.graphs.mst import kruskal_mst, mst_weight, prim_mst
+
+
+def _nx_mst_weight(dist: np.ndarray) -> float:
+    g = nx.Graph()
+    n = dist.shape[0]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if np.isfinite(dist[i, j]):
+                g.add_edge(i, j, weight=float(dist[i, j]))
+    t = nx.minimum_spanning_tree(g)
+    return float(t.size(weight="weight"))
+
+
+class TestPrimMst:
+    def test_triangle(self):
+        d = np.array([[0, 1, 2], [1, 0, 3], [2, 3, 0]], dtype=float)
+        edges = prim_mst(d)
+        assert len(edges) == 2
+        assert mst_weight(d, edges) == pytest.approx(3.0)  # edges (0,1) and (0,2)
+
+    def test_matches_networkx_on_euclidean(self, rng):
+        coords = rng.uniform(0, 100, size=(30, 2))
+        d = distance_matrix(coords)
+        edges = prim_mst(d)
+        assert mst_weight(d, edges) == pytest.approx(_nx_mst_weight(d))
+
+    def test_edges_form_spanning_tree(self, rng):
+        d = distance_matrix(rng.uniform(0, 10, size=(20, 2)))
+        edges = prim_mst(d, root=7)
+        assert len(edges) == 19
+        # Oriented away from the root: each node appears as child exactly once.
+        children = [v for _, v in edges]
+        assert sorted(children) == [i for i in range(20) if i != 7]
+
+    def test_single_node(self):
+        assert prim_mst(np.zeros((1, 1))) == []
+
+    def test_two_nodes(self):
+        d = np.array([[0, 5], [5, 0]], dtype=float)
+        assert prim_mst(d) == [(0, 1)]
+
+    def test_disconnected_raises(self):
+        d = np.array([[0, np.inf], [np.inf, 0]])
+        with pytest.raises(GraphError, match="disconnected"):
+            prim_mst(d)
+
+    def test_bad_root_raises(self):
+        with pytest.raises(GraphError, match="root"):
+            prim_mst(np.zeros((3, 3)), root=5)
+
+    def test_non_square_raises(self):
+        with pytest.raises(GraphError, match="square"):
+            prim_mst(np.zeros((2, 3)))
+
+    def test_root_choice_does_not_change_weight(self, rng):
+        d = distance_matrix(rng.uniform(0, 10, size=(12, 2)))
+        weights = {mst_weight(d, prim_mst(d, root=r)) for r in range(12)}
+        assert max(weights) - min(weights) < 1e-9
+
+
+class TestKruskalMst:
+    def test_matches_prim_on_complete_graph(self, rng):
+        coords = rng.uniform(0, 100, size=(15, 2))
+        d = distance_matrix(coords)
+        triples = [(i, j, float(d[i, j])) for i in range(15) for j in range(i + 1, 15)]
+        k_edges = kruskal_mst(15, triples)
+        assert mst_weight(d, k_edges) == pytest.approx(
+            mst_weight(d, prim_mst(d)))
+
+    def test_forest_on_disconnected_input(self):
+        edges = [(0, 1, 1.0), (2, 3, 1.0)]
+        out = kruskal_mst(4, edges)
+        assert len(out) == 2  # spanning forest, not tree
+
+    def test_ignores_self_loops(self):
+        assert kruskal_mst(2, [(0, 0, 1.0), (0, 1, 2.0)]) == [(0, 1)]
+
+    def test_out_of_range_edge_raises(self):
+        with pytest.raises(GraphError):
+            kruskal_mst(2, [(0, 5, 1.0)])
+
+    def test_negative_n_raises(self):
+        with pytest.raises(GraphError):
+            kruskal_mst(-1, [])
+
+    def test_prefers_cheap_edges(self):
+        edges = [(0, 1, 10.0), (0, 2, 1.0), (1, 2, 1.0)]
+        out = kruskal_mst(3, edges)
+        assert (0, 1) not in out
+
+
+class TestMstWeight:
+    def test_empty_edges(self):
+        assert mst_weight(np.zeros((3, 3)), []) == 0.0
+
+    def test_sums_entries(self):
+        d = np.array([[0, 2, 9], [2, 0, 4], [9, 4, 0]], dtype=float)
+        assert mst_weight(d, [(0, 1), (1, 2)]) == pytest.approx(6.0)

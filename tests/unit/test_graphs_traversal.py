@@ -1,0 +1,65 @@
+"""Unit tests for :mod:`repro.graphs.traversal`."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.traversal import adjacency_from_edges, preorder
+
+
+class TestAdjacencyFromEdges:
+    def test_both_directions(self):
+        adj = adjacency_from_edges([(0, 1), (1, 2)])
+        assert adj[1] == [0, 2]
+        assert adj[0] == [1]
+        assert adj[2] == [1]
+
+    def test_isolated_nodes_via_nodes_param(self):
+        adj = adjacency_from_edges([(0, 1)], nodes=[5])
+        assert adj[5] == []
+
+    def test_insertion_order_preserved(self):
+        adj = adjacency_from_edges([(0, 3), (0, 1), (0, 2)])
+        assert adj[0] == [3, 1, 2]
+
+
+class TestPreorder:
+    def test_path_graph(self):
+        adj = adjacency_from_edges([(0, 1), (1, 2), (2, 3)])
+        assert preorder(adj, 0) == [0, 1, 2, 3]
+
+    def test_star_graph(self):
+        adj = adjacency_from_edges([(0, 1), (0, 2), (0, 3)])
+        assert preorder(adj, 0) == [0, 1, 2, 3]
+
+    def test_visits_each_node_once(self):
+        edges = [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)]
+        order = preorder(adjacency_from_edges(edges), 0)
+        assert sorted(order) == list(range(6))
+
+    def test_root_first(self):
+        edges = [(0, 1), (1, 2)]
+        assert preorder(adjacency_from_edges(edges), 2)[0] == 2
+
+    def test_subtree_contiguity(self):
+        # In a preorder, each subtree occupies a contiguous block: after
+        # descending into child 1 of the root, all of its descendants come
+        # before any other child of the root.
+        edges = [(0, 1), (1, 2), (1, 3), (0, 4)]
+        order = preorder(adjacency_from_edges(edges), 0)
+        i1, i4 = order.index(1), order.index(4)
+        i2, i3 = order.index(2), order.index(3)
+        assert i1 < i2 and i1 < i3
+        assert i4 > max(i2, i3) or i4 < i1  # 4 is outside 1's block
+
+    def test_singleton(self):
+        assert preorder({7: []}, 7) == [7]
+
+    def test_missing_root_raises(self):
+        with pytest.raises(GraphError, match="root"):
+            preorder({0: [1], 1: [0]}, 9)
+
+    def test_deep_chain_no_recursion_limit(self):
+        n = 50_000
+        edges = [(i, i + 1) for i in range(n - 1)]
+        order = preorder(adjacency_from_edges(edges), 0)
+        assert order == list(range(n))

@@ -1,0 +1,65 @@
+"""Unit tests for :mod:`repro.graphs.unionfind`."""
+
+import pytest
+
+from repro.graphs.unionfind import UnionFind
+
+
+class TestUnionFind:
+    def test_initially_all_singletons(self):
+        uf = UnionFind(5)
+        assert uf.n_components == 5
+        assert all(uf.find(i) == i for i in range(5))
+
+    def test_union_merges(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1) is True
+        assert uf.connected(0, 1)
+        assert not uf.connected(0, 2)
+        assert uf.n_components == 3
+
+    def test_union_idempotent(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        assert uf.union(1, 0) is False
+        assert uf.n_components == 2
+
+    def test_transitive_connectivity(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(4, 5)
+        assert uf.connected(0, 2)
+        assert not uf.connected(2, 4)
+
+    def test_component_size(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.component_size(2) == 3
+        assert uf.component_size(3) == 1
+
+    def test_components_listing(self):
+        uf = UnionFind(4)
+        uf.union(0, 3)
+        comps = uf.components()
+        groups = sorted(sorted(v) for v in comps.values())
+        assert groups == [[0, 3], [1], [2]]
+
+    def test_full_merge_chain(self):
+        n = 100
+        uf = UnionFind(n)
+        for i in range(n - 1):
+            uf.union(i, i + 1)
+        assert uf.n_components == 1
+        assert uf.component_size(0) == n
+
+    def test_len(self):
+        assert len(UnionFind(7)) == 7
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_empty_is_valid(self):
+        assert UnionFind(0).n_components == 0

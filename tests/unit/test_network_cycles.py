@@ -1,0 +1,114 @@
+"""Unit tests for :mod:`repro.network.cycles`."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, NetworkModelError
+from repro.network.cycles import (
+    CycleDistribution,
+    ExplicitCycles,
+    LinearCycleDistribution,
+    RandomCycleDistribution,
+)
+
+
+@pytest.fixture
+def distances(rng):
+    return rng.uniform(0, 700, size=200)
+
+
+class TestLinearDistribution:
+    def test_mean_cycles_endpoints(self):
+        dist = LinearCycleDistribution(tau_min=1, tau_max=50, sigma=0)
+        d = np.array([0.0, 350.0, 700.0])
+        bar = dist.mean_cycles(d)
+        assert bar[0] == pytest.approx(1.0)
+        assert bar[1] == pytest.approx(25.5)
+        assert bar[2] == pytest.approx(50.0)
+
+    def test_min_max_normalisation(self):
+        # The *nearest* sensor gets tau_min even when it is not at distance 0.
+        dist = LinearCycleDistribution(tau_min=1, tau_max=50, sigma=0)
+        bar = dist.mean_cycles(np.array([100.0, 400.0, 700.0]))
+        assert bar[0] == pytest.approx(1.0)
+        assert bar[-1] == pytest.approx(50.0)
+
+    def test_sigma_zero_is_deterministic(self, distances):
+        dist = LinearCycleDistribution(sigma=0)
+        a = dist.sample(distances, np.random.default_rng(1))
+        b = dist.sample(distances, np.random.default_rng(2))
+        np.testing.assert_array_equal(a, b)
+
+    def test_jitter_within_band(self, distances):
+        dist = LinearCycleDistribution(tau_min=1, tau_max=50, sigma=2)
+        tau = dist.sample(distances, np.random.default_rng(0))
+        bar = dist.mean_cycles(distances)
+        assert np.all(tau >= np.maximum(bar - 2, 1.0) - 1e-12)
+        assert np.all(tau <= bar + 2 + 1e-12)
+
+    def test_clipped_at_tau_min(self):
+        dist = LinearCycleDistribution(tau_min=1, tau_max=50, sigma=50)
+        tau = dist.sample(np.linspace(0, 700, 500), np.random.default_rng(0))
+        assert tau.min() >= 1.0
+
+    def test_custom_clip_min(self):
+        dist = LinearCycleDistribution(tau_min=1, tau_max=50, sigma=50, clip_min=0.5)
+        tau = dist.sample(np.linspace(0, 700, 2000), np.random.default_rng(0))
+        assert tau.min() >= 0.5
+        assert tau.min() < 1.0  # the looser clip is actually exercised
+
+    def test_equal_distances_all_get_tau_min(self):
+        dist = LinearCycleDistribution(tau_min=2, tau_max=50, sigma=0)
+        bar = dist.mean_cycles(np.full(5, 300.0))
+        np.testing.assert_array_equal(bar, np.full(5, 2.0))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"tau_min": 0.0}, {"tau_min": 5.0, "tau_max": 1.0},
+        {"sigma": -1.0}, {"clip_min": 0.0},
+    ])
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(ConfigError):
+            LinearCycleDistribution(**kwargs)
+
+    def test_empty_distances_raise(self):
+        with pytest.raises(NetworkModelError):
+            LinearCycleDistribution().mean_cycles(np.array([]))
+
+
+class TestRandomDistribution:
+    def test_within_bounds(self, distances):
+        tau = RandomCycleDistribution(1, 50).sample(distances, np.random.default_rng(0))
+        assert tau.shape == distances.shape
+        assert tau.min() >= 1.0 and tau.max() <= 50.0
+
+    def test_independent_of_distance(self):
+        # Same RNG, different distances -> identical draws.
+        rng_a, rng_b = np.random.default_rng(3), np.random.default_rng(3)
+        dist = RandomCycleDistribution(1, 50)
+        a = dist.sample(np.zeros(50), rng_a)
+        b = dist.sample(np.full(50, 700.0), rng_b)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigError):
+            RandomCycleDistribution(10, 5)
+
+
+class TestExplicitCycles:
+    def test_returns_values(self):
+        dist = ExplicitCycles(values=(1.0, 2.0, 3.0))
+        np.testing.assert_array_equal(
+            dist.sample(np.zeros(3), np.random.default_rng(0)), [1, 2, 3])
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(NetworkModelError):
+            ExplicitCycles(values=(1.0,)).sample(np.zeros(3), np.random.default_rng(0))
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("dist", [
+        LinearCycleDistribution(), RandomCycleDistribution(),
+        ExplicitCycles(values=(1.0,)),
+    ])
+    def test_all_satisfy_protocol(self, dist):
+        assert isinstance(dist, CycleDistribution)

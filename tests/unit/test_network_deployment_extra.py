@@ -1,0 +1,118 @@
+"""Unit tests for the clustered/grid deployment generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkModelError
+from repro.geometry.bbox import Rect
+from repro.network.deployment import deploy_clustered, deploy_grid
+
+
+class TestDeployClustered:
+    def test_count_and_containment(self):
+        area = Rect.square(1000.0)
+        pts = deploy_clustered(100, area, rng=1)
+        assert len(pts) == 100
+        assert all(area.contains(p) for p in pts)
+
+    def test_deterministic(self):
+        area = Rect.square(1000.0)
+        a = deploy_clustered(50, area, rng=2)
+        b = deploy_clustered(50, area, rng=2)
+        assert a == b
+
+    def test_clusters_are_tighter_than_uniform(self):
+        """The mean nearest-neighbour distance of a clustered deployment is
+        clearly below a uniform one's."""
+        from repro.geometry.distance import distance_matrix
+        from repro.geometry.point import points_to_array
+        from repro.network.deployment import deploy_sensors
+
+        area = Rect.square(1000.0)
+
+        def mean_nnd(points):
+            d = distance_matrix(points_to_array(points))
+            np.fill_diagonal(d, np.inf)
+            return float(d.min(axis=1).mean())
+
+        clustered = mean_nnd(deploy_clustered(150, area, n_clusters=3,
+                                              spread=50.0, rng=3))
+        uniform = mean_nnd(deploy_sensors(150, area, rng=3))
+        assert clustered < uniform * 0.7
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n": 0}, {"n": 10, "n_clusters": 0}, {"n": 10, "spread": 0.0},
+    ])
+    def test_rejects_bad_params(self, kwargs):
+        n = kwargs.pop("n")
+        with pytest.raises(NetworkModelError):
+            deploy_clustered(n, Rect.square(100.0), **kwargs)
+
+
+class TestDeployGrid:
+    def test_count_and_containment(self):
+        area = Rect.square(100.0)
+        pts = deploy_grid(10, area)
+        assert len(pts) == 10
+        assert all(area.contains(p) for p in pts)
+
+    def test_perfect_square_is_regular(self):
+        pts = deploy_grid(9, Rect.square(90.0))
+        xs = sorted({round(p.x, 6) for p in pts})
+        ys = sorted({round(p.y, 6) for p in pts})
+        assert xs == [15.0, 45.0, 75.0]
+        assert ys == [15.0, 45.0, 75.0]
+
+    def test_zero_jitter_deterministic_without_rng(self):
+        assert deploy_grid(7, Rect.square(10.0)) == deploy_grid(7, Rect.square(10.0))
+
+    def test_jitter_moves_points_but_stays_inside(self):
+        area = Rect.square(100.0)
+        plain = deploy_grid(16, area)
+        moved = deploy_grid(16, area, jitter=0.4, rng=5)
+        assert plain != moved
+        assert all(area.contains(p) for p in moved)
+
+    @pytest.mark.parametrize("kwargs", [{"n": 0}, {"n": 4, "jitter": 0.6},
+                                        {"n": 4, "jitter": -0.1}])
+    def test_rejects_bad_params(self, kwargs):
+        n = kwargs.pop("n")
+        with pytest.raises(NetworkModelError):
+            deploy_grid(n, Rect.square(10.0), **kwargs)
+
+    def test_build_paper_network_deployment_param(self):
+        from repro.errors import NetworkModelError
+        from repro.network.builder import build_paper_network
+
+        nets = {d: build_paper_network(n=30, q=3, seed=5, deployment=d)
+                for d in ("uniform", "clustered", "grid")}
+        coords = [tuple(map(tuple, v.coordinates[:30])) for v in nets.values()]
+        assert len(set(coords)) == 3  # genuinely different layouts
+        with pytest.raises(NetworkModelError, match="deployment"):
+            build_paper_network(n=10, seed=1, deployment="orbital")
+
+    def test_experiment_config_deployment_validation(self):
+        from repro.errors import ConfigError
+        from repro.experiments.config import ExperimentConfig
+
+        ExperimentConfig(deployment="clustered")  # ok
+        with pytest.raises(ConfigError, match="deployment"):
+            ExperimentConfig(deployment="orbital")
+
+    def test_pipeline_with_grid_deployment(self):
+        """A grid deployment runs through the full planning pipeline."""
+        from repro.core.feasibility import check_feasibility
+        from repro.core.mintotal import min_total_distance
+        from repro.network.builder import NetworkBuilder
+        from repro.network.cycles import LinearCycleDistribution
+
+        area = Rect.square(1000.0)
+        net = (NetworkBuilder()
+               .with_area(area)
+               .with_sensors_at(deploy_grid(36, area, jitter=0.2, rng=1))
+               .with_base_station_at_center()
+               .with_random_depots(3, seed=1)
+               .with_cycles_from(LinearCycleDistribution(), seed=1)
+               .build())
+        res = min_total_distance(net, 100.0)
+        assert check_feasibility(res.plan, net.cycles).feasible

@@ -1,0 +1,117 @@
+"""Unit tests for :mod:`repro.network.model`."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkModelError
+from repro.geometry.bbox import Rect
+from repro.geometry.point import Point
+from repro.network.depot import BaseStation, Depot
+from repro.network.model import SensorNetwork
+from repro.network.sensor import Sensor
+
+
+def _net():
+    sensors = tuple(Sensor(id=i, position=Point(10 * i, 0), cycle=float(i + 1))
+                    for i in range(4))
+    depots = (Depot(id=0, position=Point(0, 50)), Depot(id=1, position=Point(30, 50)))
+    return SensorNetwork(sensors=sensors, depots=depots,
+                         base_station=BaseStation(Point(15, 0)),
+                         area=Rect.square(100.0))
+
+
+class TestIndexing:
+    def test_sizes(self):
+        net = _net()
+        assert (net.n, net.q, net.n_nodes) == (4, 2, 6)
+
+    def test_depot_index_convention(self):
+        net = _net()
+        assert net.depot_index(0) == 4
+        assert net.depot_index(1) == 5
+        np.testing.assert_array_equal(net.depot_indices, [4, 5])
+        np.testing.assert_array_equal(net.sensor_indices, [0, 1, 2, 3])
+
+    def test_is_depot(self):
+        net = _net()
+        assert not net.is_depot(3)
+        assert net.is_depot(4) and net.is_depot(5)
+
+    def test_depot_index_out_of_range(self):
+        with pytest.raises(NetworkModelError):
+            _net().depot_index(2)
+
+
+class TestGeometry:
+    def test_coordinates_order(self):
+        net = _net()
+        assert net.coordinates.shape == (6, 2)
+        np.testing.assert_array_equal(net.coordinates[0], [0, 0])
+        np.testing.assert_array_equal(net.coordinates[4], [0, 50])
+
+    def test_dist_is_metric_and_readonly(self):
+        net = _net()
+        d = net.dist
+        assert d.shape == (6, 6)
+        assert d[0, 1] == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            d[0, 1] = 99.0
+
+    def test_base_distances(self):
+        net = _net()
+        assert net.base_distances[0] == pytest.approx(15.0)
+        assert net.base_distances.shape == (4,)
+
+
+class TestCycles:
+    def test_arrays(self):
+        net = _net()
+        np.testing.assert_array_equal(net.cycles, [1, 2, 3, 4])
+        np.testing.assert_array_equal(net.batteries, np.ones(4))
+        np.testing.assert_allclose(net.rates, [1, 0.5, 1 / 3, 0.25])
+        assert net.tau_min == 1.0 and net.tau_max == 4.0
+
+    def test_with_cycles_replaces(self):
+        net = _net()
+        net2 = net.with_cycles([5, 6, 7, 8])
+        np.testing.assert_array_equal(net2.cycles, [5, 6, 7, 8])
+        np.testing.assert_array_equal(net.cycles, [1, 2, 3, 4])  # original
+        np.testing.assert_array_equal(net2.coordinates, net.coordinates)
+
+    def test_with_cycles_wrong_shape(self):
+        with pytest.raises(NetworkModelError):
+            _net().with_cycles([1.0, 2.0])
+
+
+class TestInducedNodes:
+    def test_with_depots(self):
+        net = _net()
+        np.testing.assert_array_equal(net.induced_nodes([2, 0]), [0, 2, 4, 5])
+
+    def test_without_depots(self):
+        net = _net()
+        np.testing.assert_array_equal(
+            net.induced_nodes([2, 0], include_depots=False), [0, 2])
+
+    def test_deduplicates(self):
+        net = _net()
+        np.testing.assert_array_equal(
+            net.induced_nodes([1, 1, 1], include_depots=False), [1])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(NetworkModelError):
+            _net().induced_nodes([4])  # 4 is a depot index, not a sensor id
+
+
+class TestValidation:
+    def test_rejects_bad_sensor_ids(self):
+        sensors = (Sensor(id=1, position=Point(0, 0), cycle=1.0),)
+        with pytest.raises(NetworkModelError, match="ids must be"):
+            SensorNetwork(sensors=sensors,
+                          depots=(Depot(id=0, position=Point(1, 1)),),
+                          base_station=BaseStation(Point(0, 0)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(NetworkModelError):
+            SensorNetwork(sensors=(), depots=(Depot(id=0, position=Point(0, 0)),),
+                          base_station=BaseStation(Point(0, 0)))

@@ -1,0 +1,136 @@
+"""Unit tests for :mod:`repro.network.routing`."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkModelError
+from repro.network.cycles import RoutingCycleDistribution
+from repro.network.routing import CommunicationGraph, RoutingTree, relay_loads
+
+
+@pytest.fixture
+def line_graph():
+    """Sensors at x = 0, 10, 20; base station at x = 30; range 15.
+
+    Forced multihop: 0 -> 1 -> 2 -> BS.
+    """
+    coords = np.array([[0.0, 0.0], [10.0, 0.0], [20.0, 0.0], [30.0, 0.0]])
+    return CommunicationGraph(coords=coords, comm_range=15.0)
+
+
+class TestCommunicationGraph:
+    def test_edges_respect_range(self, line_graph):
+        d = line_graph.dist
+        assert np.isfinite(d[0, 1])
+        assert not np.isfinite(d[0, 2])  # 20m > 15m range
+
+    def test_connectivity(self, line_graph):
+        assert line_graph.is_connected()
+
+    def test_disconnected_detection(self):
+        coords = np.array([[0.0, 0.0], [100.0, 0.0]])
+        g = CommunicationGraph(coords=coords, comm_range=10.0)
+        assert not g.is_connected()
+
+    def test_base_index(self, line_graph):
+        assert line_graph.base_index == 3
+        assert line_graph.n_sensors == 3
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(NetworkModelError):
+            CommunicationGraph(coords=np.zeros((1, 2)), comm_range=1.0)
+        with pytest.raises(NetworkModelError):
+            CommunicationGraph(coords=np.zeros((3, 2)), comm_range=0.0)
+
+
+class TestRoutingTree:
+    def test_chain_parents(self, line_graph):
+        tree = RoutingTree.shortest_path(line_graph, metric="hops")
+        assert tree.parent[2] == 3  # sensor 2 -> BS
+        assert tree.parent[1] == 2
+        assert tree.parent[0] == 1
+
+    def test_hop_counts(self, line_graph):
+        tree = RoutingTree.shortest_path(line_graph, metric="hops")
+        assert [tree.hops_of(i) for i in range(3)] == [3, 2, 1]
+
+    def test_distance_metric_costs(self, line_graph):
+        tree = RoutingTree.shortest_path(line_graph, metric="distance")
+        np.testing.assert_allclose(tree.cost, [30.0, 20.0, 10.0])
+
+    def test_disconnected_sensor_marked(self):
+        coords = np.array([[0.0, 0.0], [500.0, 0.0], [510.0, 0.0]])
+        g = CommunicationGraph(coords=coords, comm_range=20.0)
+        tree = RoutingTree.shortest_path(g)
+        assert tree.parent[0] == -1
+        assert not tree.connected_mask()[0]
+        with pytest.raises(NetworkModelError):
+            tree.hops_of(0)
+
+    def test_unknown_metric_raises(self, line_graph):
+        with pytest.raises(NetworkModelError):
+            RoutingTree.shortest_path(line_graph, metric="latency")
+
+    def test_matches_networkx_dijkstra(self, rng):
+        import networkx as nx
+
+        coords = rng.uniform(0, 300, size=(25, 2))
+        all_pts = np.vstack([coords, [150.0, 150.0]])
+        g = CommunicationGraph(coords=all_pts, comm_range=120.0)
+        tree = RoutingTree.shortest_path(g, metric="distance")
+
+        nxg = nx.Graph()
+        d = g.dist
+        for i in range(26):
+            for j in range(i + 1, 26):
+                if np.isfinite(d[i, j]):
+                    nxg.add_edge(i, j, weight=float(d[i, j]))
+        lengths = nx.single_source_dijkstra_path_length(nxg, 25)
+        for i in range(25):
+            if i in lengths:
+                assert tree.cost[i] == pytest.approx(lengths[i])
+            else:
+                assert not np.isfinite(tree.cost[i])
+
+
+class TestRelayLoads:
+    def test_chain_loads_accumulate(self, line_graph):
+        tree = RoutingTree.shortest_path(line_graph, metric="hops")
+        loads = relay_loads(tree)
+        np.testing.assert_allclose(loads, [1.0, 2.0, 3.0])
+
+    def test_star_loads(self):
+        # 3 leaves all direct to the BS: everyone carries only its own packet.
+        coords = np.array([[0.0, 10.0], [10.0, 0.0], [0.0, -10.0], [0.0, 0.0]])
+        g = CommunicationGraph(coords=coords, comm_range=15.0)
+        tree = RoutingTree.shortest_path(g, metric="hops")
+        np.testing.assert_allclose(relay_loads(tree), [1.0, 1.0, 1.0])
+
+    def test_custom_generation(self, line_graph):
+        tree = RoutingTree.shortest_path(line_graph, metric="hops")
+        loads = relay_loads(tree, generation=np.array([1.0, 0.0, 0.0]))
+        np.testing.assert_allclose(loads, [1.0, 1.0, 1.0])
+
+    def test_disconnected_gets_zero(self):
+        coords = np.array([[0.0, 0.0], [500.0, 0.0], [510.0, 0.0]])
+        g = CommunicationGraph(coords=coords, comm_range=20.0)
+        tree = RoutingTree.shortest_path(g)
+        assert relay_loads(tree)[0] == 0.0
+
+
+class TestRoutingCycleDistribution:
+    def test_produces_cycles_in_range(self, rng):
+        coords = rng.uniform(0, 400, size=(30, 2))
+        dist = RoutingCycleDistribution(
+            comm_range=200.0, tau_min=1.0, tau_max=50.0,
+            coords=tuple((float(x), float(y)) for x, y in coords),
+            base_position=(200.0, 200.0))
+        bs = np.sqrt(((coords - [200, 200]) ** 2).sum(axis=1))
+        tau = dist.sample(bs, np.random.default_rng(0))
+        assert tau.shape == (30,)
+        assert tau.min() >= 1.0 - 1e-9
+
+    def test_coord_count_mismatch_raises(self):
+        dist = RoutingCycleDistribution(coords=((0.0, 0.0),))
+        with pytest.raises(NetworkModelError):
+            dist.sample(np.zeros(5), np.random.default_rng(0))

@@ -1,0 +1,101 @@
+"""Protocol-conformance tests: every policy behaves uniformly.
+
+The simulator only assumes the :class:`~repro.sim.policies.ChargingPolicy`
+protocol; these tests pin the behavioural contract for *every* shipped
+policy at once, so adding a policy that violates it fails loudly here.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.adaptive.mintotal_var import MinTotalDistanceVarPolicy
+from repro.baselines.greedy import GreedyOnDemandPolicy
+from repro.baselines.naive import NaiveChargeAllPolicy
+from repro.core.mintotal import min_total_distance
+from repro.sim.engine import simulate
+from repro.sim.policies import ChargingPolicy, PlannedPolicy
+from repro.sim.workload import FixedWorkload
+
+HORIZON = 16.0
+
+
+def _all_policies(net):
+    return [
+        PlannedPolicy(min_total_distance(net, HORIZON).plan),
+        GreedyOnDemandPolicy(),
+        NaiveChargeAllPolicy(),
+        MinTotalDistanceVarPolicy(),
+        MinTotalDistanceVarPolicy(patch_tie_break="defer"),
+        MinTotalDistanceVarPolicy(gamma=0.5),
+    ]
+
+
+class TestProtocolConformance:
+    def test_all_satisfy_protocol(self, tiny_network):
+        for pol in _all_policies(tiny_network):
+            assert isinstance(pol, ChargingPolicy), type(pol).__name__
+
+    def test_all_keep_tiny_network_alive(self, tiny_network):
+        wl = FixedWorkload.from_network(tiny_network)
+        for pol in _all_policies(tiny_network):
+            out = simulate(tiny_network, pol, wl, HORIZON)
+            assert out.metrics.perpetual, type(pol).__name__
+
+    def test_all_are_reusable_after_reset(self, tiny_network):
+        """Two consecutive runs of the same policy object must agree —
+        reset() has to clear every piece of internal state."""
+        wl = FixedWorkload.from_network(tiny_network)
+        for pol in _all_policies(tiny_network):
+            a = simulate(tiny_network, pol, wl, HORIZON)
+            b = simulate(tiny_network, pol, wl, HORIZON)
+            assert a.metrics.service_cost == pytest.approx(
+                b.metrics.service_cost), type(pol).__name__
+            assert a.metrics.n_charges == b.metrics.n_charges
+
+    def test_dispatch_times_never_in_past(self, tiny_network):
+        """next_dispatch_time(now) must be >= now for every policy along a
+        real run (the engine enforces it; this isolates the property)."""
+        wl = FixedWorkload.from_network(tiny_network)
+
+        class Probe:
+            def __init__(self, inner):
+                self.inner = inner
+                self.violations = 0
+
+            def reset(self, net, horizon):
+                self.inner.reset(net, horizon)
+
+            def next_dispatch_time(self, now):
+                t = self.inner.next_dispatch_time(now)
+                if t is not None and t < now - 1e-9:
+                    self.violations += 1
+                return t
+
+            def observe(self, view):
+                self.inner.observe(view)
+
+            def dispatch(self, view):
+                return self.inner.dispatch(view)
+
+        for pol in _all_policies(tiny_network):
+            probe = Probe(pol)
+            simulate(tiny_network, probe, wl, HORIZON)
+            assert probe.violations == 0, type(pol).__name__
+
+    def test_charged_nodes_are_sensors(self, tiny_network):
+        """No policy may ever try to 'charge' a depot."""
+        wl = FixedWorkload.from_network(tiny_network)
+        for pol in _all_policies(tiny_network):
+            out = simulate(tiny_network, pol, wl, HORIZON)
+            for ev in out.metrics.charges:
+                assert 0 <= ev.sensor < tiny_network.n
+
+    def test_costs_are_finite_and_nonnegative(self, tiny_network):
+        wl = FixedWorkload.from_network(tiny_network)
+        for pol in _all_policies(tiny_network):
+            out = simulate(tiny_network, pol, wl, HORIZON)
+            assert math.isfinite(out.metrics.service_cost)
+            assert out.metrics.service_cost >= 0
+            assert np.all(out.metrics.per_charger >= 0)

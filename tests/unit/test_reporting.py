@@ -1,0 +1,80 @@
+"""Unit tests for :mod:`repro.reporting`."""
+
+import csv
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import get_figure
+from repro.experiments.sweeps import sweep
+from repro.reporting.csvio import sweep_to_csv, write_csv
+from repro.reporting.summary import figure_report, sweep_summary
+from repro.reporting.table import format_table, render_sweep
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep():
+    cfg = ExperimentConfig(n=20, horizon=60.0, n_topologies=2, seed=4,
+                           algorithms=("mtd", "greedy"))
+    return sweep(cfg, "n", [20, 25])
+
+
+class TestFormatTable:
+    def test_alignment_and_precision(self):
+        out = format_table(["a", "bb"], [[1, 2.3456], [10, 7.1]], precision=2)
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "2.35" in out and "7.10" in out
+
+    def test_indent(self):
+        out = format_table(["x"], [[1]], indent="  ")
+        assert all(line.startswith("  ") for line in out.splitlines())
+
+    def test_wide_cells_extend_columns(self):
+        out = format_table(["x"], [["averyverylongvalue"]])
+        assert "averyverylongvalue" in out
+
+    def test_non_float_values_passthrough(self):
+        out = format_table(["x", "y"], [["abc", 3]])
+        assert "abc" in out
+
+
+class TestRenderSweep:
+    def test_includes_all_algorithms(self, tiny_sweep):
+        out = render_sweep(tiny_sweep)
+        assert "mtd" in out and "greedy" in out
+
+    def test_ratio_column(self, tiny_sweep):
+        out = render_sweep(tiny_sweep, with_ratio=("mtd", "greedy"))
+        assert "mtd/greedy" in out
+
+
+class TestCsv:
+    def test_write_csv_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path / "sub" / "out.csv", ["a", "b"], [[1, 2], [3, 4]])
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_sweep_to_csv_columns(self, tiny_sweep, tmp_path):
+        path = sweep_to_csv(tiny_sweep, tmp_path / "sweep.csv")
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        header = rows[0]
+        assert header[0] == "n"
+        assert "mtd_mean_cost" in header and "greedy_deaths" in header
+        assert len(rows) == 3  # header + 2 sweep values
+
+
+class TestSummaries:
+    def test_sweep_summary_mentions_ratio_and_deaths(self, tiny_sweep):
+        out = sweep_summary(tiny_sweep)
+        assert "mtd/greedy" in out
+        assert "no sensor ever ran out of energy" in out
+
+    def test_figure_report_structure(self, tiny_sweep):
+        spec = get_figure("fig1a")
+        out = figure_report(spec, tiny_sweep)
+        assert out.startswith("== fig1a")
+        assert "paper claim" in out
+        assert "registered shape check" in out  # fig1a has a check

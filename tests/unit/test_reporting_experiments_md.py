@@ -1,0 +1,73 @@
+"""Unit tests for :mod:`repro.reporting.experiments_md` and the report CLI."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import get_figure
+from repro.experiments.sweeps import sweep
+from repro.reporting.experiments_md import (
+    PAPER_PANELS,
+    experiments_markdown,
+    figure_markdown,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep():
+    cfg = ExperimentConfig(n=20, horizon=60.0, n_topologies=2, seed=4,
+                           algorithms=("mtd", "greedy"))
+    return sweep(cfg, "n", [20, 25])
+
+
+class TestFigureMarkdown:
+    def test_contains_claim_table_and_verdict(self, tiny_sweep):
+        spec = get_figure("fig1a")
+        md = figure_markdown(spec, tiny_sweep)
+        assert md.startswith("### fig1a")
+        assert "Paper claim" in md
+        assert "| n |" in md  # markdown table header
+        assert "mtd/greedy" in md
+        assert "Registered shape check" in md
+        assert "no sensor ever ran out of energy" in md
+
+    def test_paper_panels_constant(self):
+        assert PAPER_PANELS == ("fig1a", "fig1b", "fig2a", "fig2b",
+                                "fig3", "fig4", "fig5", "fig6")
+        for fid in PAPER_PANELS:
+            get_figure(fid)  # all registered
+
+
+class TestExperimentsMarkdown:
+    def test_document_structure(self, monkeypatch, tiny_sweep):
+        from repro.experiments import figures as figs
+
+        spec = figs.FIGURES["fig1a"]
+        monkeypatch.setattr(
+            type(spec), "run",
+            lambda self, *, n_topologies=None, full=False, progress=None: tiny_sweep)
+        md = experiments_markdown(["fig1a"], n_topologies=2)
+        assert md.startswith("# EXPERIMENTS")
+        assert "### fig1a" in md
+        assert "run time" in md
+
+    def test_cli_report_writes_file(self, monkeypatch, tmp_path, tiny_sweep, capsys):
+        from repro.cli import main
+        from repro.experiments import figures as figs
+
+        spec = figs.FIGURES["fig1a"]
+        monkeypatch.setattr(
+            type(spec), "run",
+            lambda self, *, n_topologies=None, full=False, progress=None: tiny_sweep)
+        out = tmp_path / "EXP.md"
+        assert main(["report", "--figures", "fig1a", "--out", str(out),
+                     "--quiet"]) == 0
+        assert out.exists()
+        assert "### fig1a" in out.read_text()
+
+    def test_cli_report_validates_figures_before_running(self, tmp_path):
+        from repro.cli import main
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["report", "--figures", "not-a-figure",
+                  "--out", str(tmp_path / "x.md")])

@@ -1,0 +1,62 @@
+"""Unit tests for :mod:`repro.reporting.svg`."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.reporting.svg import network_svg, save_network_svg
+from repro.rooted.qtsp import q_rooted_tsp
+
+
+class TestNetworkSvg:
+    def test_well_formed_xml(self, tiny_network):
+        svg = network_svg(tiny_network)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_marker_counts(self, tiny_network):
+        root = ET.fromstring(network_svg(tiny_network))
+        ns = "{http://www.w3.org/2000/svg}"
+        circles = root.findall(f"{ns}circle")
+        rects = root.findall(f"{ns}rect")
+        assert len(circles) == tiny_network.n
+        # background rect + one square per depot
+        assert len(rects) == 1 + tiny_network.q
+
+    def test_tours_drawn_as_polylines(self, tiny_network):
+        tours = q_rooted_tsp(tiny_network.dist,
+                             [int(i) for i in tiny_network.sensor_indices],
+                             [int(i) for i in tiny_network.depot_indices])
+        root = ET.fromstring(network_svg(tiny_network, tours))
+        ns = "{http://www.w3.org/2000/svg}"
+        polylines = root.findall(f"{ns}polyline")
+        non_empty = sum(1 for t in tours if not t.is_empty)
+        assert len(polylines) == non_empty
+
+    def test_polyline_closes_the_loop(self, tiny_network):
+        tours = q_rooted_tsp(tiny_network.dist, [0, 1],
+                             [tiny_network.depot_index(0)])
+        root = ET.fromstring(network_svg(tiny_network, tours))
+        ns = "{http://www.w3.org/2000/svg}"
+        pts = root.find(f"{ns}polyline").get("points").split()
+        assert pts[0] == pts[-1]  # returns to the depot
+
+    def test_label_escaped(self, tiny_network):
+        svg = network_svg(tiny_network, label="a < b & c")
+        assert "a &lt; b &amp; c" in svg
+        ET.fromstring(svg)  # still valid XML
+
+    def test_uniform_cycles_do_not_crash_gradient(self, tiny_network):
+        net = tiny_network.with_cycles([2.0] * tiny_network.n)
+        ET.fromstring(network_svg(net))
+
+    def test_bad_size_rejected(self, tiny_network):
+        with pytest.raises(ConfigError):
+            network_svg(tiny_network, size=0)
+
+    def test_save(self, tiny_network, tmp_path):
+        p = save_network_svg(tiny_network, tmp_path / "sub" / "net.svg",
+                             label="tiny")
+        assert p.exists()
+        ET.parse(p)

@@ -1,0 +1,90 @@
+"""Unit tests for :mod:`repro.reporting.timeline`."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.reporting.timeline import cost_histogram, dispatch_timeline, run_digest
+from repro.sim.events import DeathEvent, DispatchEvent
+from repro.sim.metrics import Metrics
+
+
+def _metrics_with(dispatches=(), deaths=()):
+    m = Metrics(q=2)
+    for t, c in dispatches:
+        m.dispatches.append(DispatchEvent(time=t, cost=c, n_sensors=1,
+                                          n_active_chargers=1))
+        m.service_cost += c
+    for t, s in deaths:
+        m.deaths.append(DeathEvent(time=t, sensor=s))
+    return m
+
+
+class TestDispatchTimeline:
+    def test_length_matches_bins(self):
+        m = _metrics_with(dispatches=[(1.0, 10.0), (5.0, 20.0)])
+        line = dispatch_timeline(m, horizon=10.0, bins=20)
+        assert len(line) == 20
+
+    def test_empty_run_is_blank(self):
+        line = dispatch_timeline(Metrics(q=1), horizon=10.0, bins=5)
+        assert line == "     "
+
+    def test_peak_bin_is_tallest(self):
+        m = _metrics_with(dispatches=[(1.0, 1.0), (9.0, 100.0)])
+        line = dispatch_timeline(m, horizon=10.0, bins=10)
+        assert line[-1] == "█"
+
+    def test_death_marker_line(self):
+        m = _metrics_with(dispatches=[(1.0, 10.0)], deaths=[(5.5, 3)])
+        out = dispatch_timeline(m, horizon=10.0, bins=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[1][5] == "x"
+
+    def test_event_at_horizon_lands_in_last_bin(self):
+        m = _metrics_with(dispatches=[(10.0, 10.0)])
+        line = dispatch_timeline(m, horizon=10.0, bins=10)
+        assert line[-1] != " "
+
+    @pytest.mark.parametrize("bins,horizon", [(0, 10.0), (5, 0.0)])
+    def test_rejects_bad_params(self, bins, horizon):
+        with pytest.raises(ConfigError):
+            dispatch_timeline(Metrics(q=1), horizon=horizon, bins=bins)
+
+
+class TestCostHistogram:
+    def test_bins_partition_and_sum(self):
+        m = _metrics_with(dispatches=[(0.5, 10.0), (5.5, 20.0), (9.9, 30.0)])
+        rows = cost_histogram(m, horizon=10.0, bins=10)
+        assert len(rows) == 10
+        assert sum(c for _, _, c in rows) == pytest.approx(60.0)
+        assert rows[0][2] == pytest.approx(10.0)
+        assert rows[5][2] == pytest.approx(20.0)
+
+    def test_edges_cover_horizon(self):
+        rows = cost_histogram(Metrics(q=1), horizon=12.0, bins=4)
+        assert rows[0][0] == 0.0
+        assert rows[-1][1] == 12.0
+
+
+class TestRunDigest:
+    def test_mentions_busiest_and_deaths(self):
+        m = _metrics_with(dispatches=[(1.0, 10.0), (2.0, 99.0)],
+                          deaths=[(3.0, 7)])
+        out = run_digest(m, horizon=10.0)
+        assert "busiest dispatch" in out
+        assert "t=2" in out
+        assert "FIRST DEATH: sensor 7" in out
+
+    def test_real_simulation_digest(self, tiny_network):
+        from repro.core.mintotal import min_total_distance
+        from repro.sim.engine import simulate
+        from repro.sim.policies import PlannedPolicy
+        from repro.sim.workload import FixedWorkload
+
+        res = min_total_distance(tiny_network, horizon=16.0)
+        out = simulate(tiny_network, PlannedPolicy(res.plan),
+                       FixedWorkload.from_network(tiny_network), 16.0)
+        digest = run_digest(out.metrics, 16.0, bins=16)
+        assert "perpetual" in digest
+        assert len(digest.splitlines()) >= 2

@@ -1,0 +1,115 @@
+"""Unit tests for :mod:`repro.rooted.msf` (Algorithm 1)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.geometry.distance import distance_matrix
+from repro.rooted.msf import q_rooted_msf, rooted_msf
+
+
+def brute_force_msf(dist: np.ndarray, sensors: list[int], depots: list[int]) -> float:
+    """Exact optimal q-rooted MSF weight by assignment enumeration + MST.
+
+    For every assignment of sensors to depots, the best forest is the union
+    of per-depot MSTs over (depot + its sensors); minimise over assignments.
+    Exponential — tiny inputs only.
+    """
+    from repro.graphs.mst import mst_weight, prim_mst
+
+    best = np.inf
+    for assign in itertools.product(range(len(depots)), repeat=len(sensors)):
+        total = 0.0
+        for l, r in enumerate(depots):
+            group = [r] + [s for s, a in zip(sensors, assign) if a == l]
+            if len(group) > 1:
+                sub = dist[np.ix_(group, group)]
+                total += mst_weight(sub, prim_mst(sub))
+        best = min(best, total)
+    return float(best)
+
+
+@pytest.fixture
+def instance(rng):
+    """8 sensors + 2 depots on random coordinates."""
+    coords = rng.uniform(0, 100, size=(10, 2))
+    return distance_matrix(coords)
+
+
+class TestRootedMsfEngine:
+    def test_empty_sensor_set(self):
+        out = rooted_msf(np.zeros((0, 0)), np.zeros((0, 3)))
+        assert out.n_sensors == 0 and out.weight == 0.0
+
+    def test_single_sensor_attaches_to_cheapest_root(self):
+        out = rooted_msf(np.zeros((1, 1)), np.array([[5.0, 2.0, 7.0]]))
+        assert out.owner[0] == 1
+        assert out.root_links == ((1, 0),)
+        assert out.weight == pytest.approx(2.0)
+
+    def test_chain_prefers_sensor_edges(self):
+        # Two sensors 1 apart; roots 10 away: best = one link + one edge.
+        sd = np.array([[0.0, 1.0], [1.0, 0.0]])
+        rc = np.array([[10.0], [10.5]])
+        out = rooted_msf(sd, rc)
+        assert out.weight == pytest.approx(11.0)
+        assert len(out.sensor_edges) == 1
+
+    def test_all_sensors_owned(self, instance):
+        out = rooted_msf(instance[:8, :8], instance[:8, 8:])
+        assert set(np.unique(out.owner)).issubset({0, 1})
+        assert np.all(out.owner >= 0)
+
+    def test_unreachable_sensor_raises(self):
+        with pytest.raises(GraphError, match="cannot reach"):
+            rooted_msf(np.zeros((1, 1)), np.array([[np.inf]]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(GraphError):
+            rooted_msf(np.zeros((2, 2)), np.zeros((3, 1)))
+
+    def test_no_roots_raises(self):
+        with pytest.raises(GraphError):
+            rooted_msf(np.zeros((1, 1)), np.zeros((1, 0)))
+
+
+class TestQRootedMsf:
+    def test_optimal_vs_brute_force(self, instance):
+        sensors, depots = list(range(8)), [8, 9]
+        forest = q_rooted_msf(instance, sensors, depots)
+        assert forest.weight(instance) == pytest.approx(
+            brute_force_msf(instance, sensors, depots))
+
+    def test_spans_all_sensors(self, instance):
+        forest = q_rooted_msf(instance, list(range(8)), [8, 9])
+        forest.validate_spanning(range(8))
+
+    def test_trees_rooted_at_depots(self, instance):
+        forest = q_rooted_msf(instance, list(range(8)), [8, 9])
+        assert forest.roots == (8, 9)
+
+    def test_empty_sensors_gives_isolated_depots(self, instance):
+        forest = q_rooted_msf(instance, [], [8, 9])
+        assert forest.all_nodes() == {8, 9}
+        assert forest.weight(instance) == 0.0
+
+    def test_q1_reduces_to_plain_mst(self, instance):
+        from repro.graphs.mst import mst_weight, prim_mst
+
+        nodes = list(range(8)) + [8]
+        sub = instance[np.ix_(nodes, nodes)]
+        forest = q_rooted_msf(instance, list(range(8)), [8])
+        assert forest.weight(instance) == pytest.approx(
+            mst_weight(sub, prim_mst(sub)))
+
+    def test_overlapping_sets_raise(self, instance):
+        with pytest.raises(GraphError, match="overlap"):
+            q_rooted_msf(instance, [0, 8], [8, 9])
+
+    def test_weight_no_worse_than_single_depot(self, instance):
+        # Adding a depot can only help (more attachment options).
+        w2 = q_rooted_msf(instance, list(range(8)), [8, 9]).weight(instance)
+        w1 = q_rooted_msf(instance, list(range(8)), [8]).weight(instance)
+        assert w2 <= w1 + 1e-9

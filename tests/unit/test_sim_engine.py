@@ -1,0 +1,154 @@
+"""Unit tests for :mod:`repro.sim.engine` and :mod:`repro.sim.policies`."""
+
+import numpy as np
+import pytest
+
+from repro.core.mintotal import min_total_distance
+from repro.core.schedule import ChargingScheduling
+from repro.errors import SensorDeathError, SimulationError
+from repro.sim.engine import Simulator, simulate
+from repro.sim.policies import PlannedPolicy, SimulationView
+from repro.sim.workload import FixedWorkload
+from repro.tsp.tour import Tour
+
+
+class NullPolicy:
+    """Never dispatches — sensors just drain."""
+
+    def reset(self, network, horizon):
+        pass
+
+    def next_dispatch_time(self, now):
+        return None
+
+    def observe(self, view):
+        pass
+
+    def dispatch(self, view):
+        return None
+
+
+class OneShotPolicy:
+    """Charges a fixed sensor set exactly once at a fixed time."""
+
+    def __init__(self, time, depot, sensors):
+        self.time = time
+        self.depot = depot
+        self.sensors = sensors
+        self.fired = False
+
+    def reset(self, network, horizon):
+        self.fired = False
+
+    def next_dispatch_time(self, now):
+        return None if self.fired else self.time
+
+    def observe(self, view):
+        pass
+
+    def dispatch(self, view):
+        self.fired = True
+        tour = Tour(depot=self.depot, order=(self.depot, *self.sensors))
+        return ChargingScheduling(time=view.time, tours=(tour,))
+
+
+class TestEngineBasics:
+    def test_null_policy_records_deaths(self, tiny_network):
+        out = simulate(tiny_network, NullPolicy(),
+                       FixedWorkload.from_network(tiny_network), 10.0)
+        # cycles [1,2,4,8,2,4] all < horizon 10: every sensor dies, each at
+        # exactly its cycle.
+        dead = {d.sensor for d in out.metrics.deaths}
+        assert dead == set(range(6))
+        times = {d.sensor: d.time for d in out.metrics.deaths}
+        for i, tau in enumerate([1.0, 2.0, 4.0, 8.0, 2.0, 4.0]):
+            assert times[i] == pytest.approx(tau)
+
+    def test_strict_mode_raises(self, tiny_network):
+        with pytest.raises(SensorDeathError) as exc:
+            simulate(tiny_network, NullPolicy(),
+                     FixedWorkload.from_network(tiny_network), 10.0, strict=True)
+        assert exc.value.sensor_id == 0
+        assert exc.value.time == pytest.approx(1.0)
+
+    def test_oneshot_charges_and_costs(self, tiny_network):
+        depot = tiny_network.depot_index(0)
+        pol = OneShotPolicy(time=0.5, depot=depot, sensors=(0, 1))
+        out = simulate(tiny_network, pol,
+                       FixedWorkload.from_network(tiny_network), 1.4)
+        assert out.metrics.n_dispatches == 1
+        assert out.metrics.n_charges == 2
+        expected = Tour(depot=depot, order=(depot, 0, 1)).cost(tiny_network.dist)
+        assert out.metrics.service_cost == pytest.approx(expected)
+        # Sensor 0 (tau=1) charged at 0.5 survives to 1.4 (< 0.5 + 1).
+        assert out.metrics.perpetual
+
+    def test_final_energy_reflects_drain(self, tiny_network):
+        out = simulate(tiny_network, NullPolicy(),
+                       FixedWorkload.from_network(tiny_network), 1.0)
+        np.testing.assert_allclose(
+            out.final_energy,
+            np.maximum(tiny_network.batteries - tiny_network.rates * 1.0, 0.0),
+            atol=1e-12)
+
+    def test_bad_horizon_raises(self, tiny_network):
+        with pytest.raises(SimulationError):
+            simulate(tiny_network, NullPolicy(),
+                     FixedWorkload.from_network(tiny_network), 0.0)
+
+    def test_past_dispatch_time_raises(self, tiny_network):
+        class BadPolicy(NullPolicy):
+            def next_dispatch_time(self, now):
+                return now - 5.0 if now > 0 else 0.5
+
+            def dispatch(self, view):
+                return None
+
+        with pytest.raises(SimulationError, match="past|current time|dispatch"):
+            simulate(tiny_network, BadPolicy(),
+                     FixedWorkload.from_network(tiny_network), 10.0)
+
+
+class TestPlannedPolicy:
+    def test_executes_plan_exactly(self, paper_network_small):
+        horizon = 100.0
+        res = min_total_distance(paper_network_small, horizon)
+        out = simulate(paper_network_small, PlannedPolicy(res.plan),
+                       FixedWorkload.from_network(paper_network_small), horizon)
+        assert out.metrics.n_dispatches == len(res.plan)
+        assert out.metrics.service_cost == pytest.approx(
+            res.plan.total_cost(paper_network_small.dist))
+        assert out.metrics.perpetual
+
+    def test_reusable_after_reset(self, paper_network_small):
+        horizon = 50.0
+        res = min_total_distance(paper_network_small, horizon)
+        pol = PlannedPolicy(res.plan)
+        sim = Simulator(paper_network_small)
+        wl = FixedWorkload.from_network(paper_network_small)
+        a = sim.run(pol, wl, horizon)
+        b = sim.run(pol, wl, horizon)  # reset() must rewind the cursor
+        assert a.metrics.service_cost == pytest.approx(b.metrics.service_cost)
+
+    def test_charge_events_record_energy_before(self, tiny_network):
+        res = min_total_distance(tiny_network, horizon=3.0)
+        out = simulate(tiny_network, PlannedPolicy(res.plan),
+                       FixedWorkload.from_network(tiny_network), 3.0)
+        for ev in out.metrics.charges:
+            assert 0.0 <= ev.energy_before <= tiny_network.batteries[ev.sensor]
+
+
+class TestSimulationView:
+    def test_view_fields(self):
+        view = SimulationView(time=1.0, energy=np.array([0.5]),
+                              batteries=np.array([1.0]),
+                              observed_rates=np.array([0.25]))
+        assert view.observed_cycles[0] == pytest.approx(4.0)
+        assert view.residual_lifetimes[0] == pytest.approx(2.0)
+
+    def test_zero_rate_gives_infinite_lifetime(self):
+        view = SimulationView(time=0.0, energy=np.array([0.5]),
+                              batteries=np.array([1.0]),
+                              observed_rates=np.array([0.0]))
+        assert view.residual_lifetimes[0] == np.inf
+        assert view.observed_cycles[0] == np.inf

@@ -1,0 +1,128 @@
+"""Edge-case tests for the simulation engine's event handling."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import ChargingScheduling
+from repro.sim.engine import simulate
+from repro.sim.policies import SimulationView
+from repro.sim.workload import FixedWorkload, TraceWorkload
+from repro.tsp.tour import Tour
+
+
+class RecordingPolicy:
+    """Dispatches at given times; records every callback it receives."""
+
+    def __init__(self, times, sensors=(0,)):
+        self.times = list(times)
+        self.sensors = tuple(sensors)
+        self.observed_at: list[float] = []
+        self.dispatched_at: list[float] = []
+        self._i = 0
+        self._depot = None
+
+    def reset(self, network, horizon):
+        self._i = 0
+        self._depot = network.depot_index(0)
+        self.observed_at = []
+        self.dispatched_at = []
+
+    def next_dispatch_time(self, now):
+        while self._i < len(self.times) and self.times[self._i] < now - 1e-12:
+            self._i += 1
+        return self.times[self._i] if self._i < len(self.times) else None
+
+    def observe(self, view: SimulationView):
+        self.observed_at.append(view.time)
+
+    def dispatch(self, view: SimulationView):
+        self.dispatched_at.append(view.time)
+        self._i += 1
+        tour = Tour(depot=self._depot, order=(self._depot, *self.sensors))
+        return ChargingScheduling(time=view.time, tours=(tour,))
+
+
+class TestEventOrdering:
+    def test_dispatch_at_time_zero(self, tiny_network):
+        pol = RecordingPolicy([0.0])
+        out = simulate(tiny_network, pol,
+                       FixedWorkload.from_network(tiny_network), 0.9)
+        assert pol.dispatched_at == [0.0]
+        assert out.metrics.n_dispatches == 1
+
+    def test_initial_observation_precedes_everything(self, tiny_network):
+        pol = RecordingPolicy([0.5])
+        simulate(tiny_network, pol, FixedWorkload.from_network(tiny_network), 0.9)
+        assert pol.observed_at[0] == 0.0
+
+    def test_observation_fires_at_every_slot_boundary(self, tiny_network):
+        trace = TraceWorkload(trace=np.tile(tiny_network.rates, (10, 1)),
+                              slot_duration=1.0)
+        pol = RecordingPolicy([0.4, 1.4, 2.4])
+        simulate(tiny_network, pol, trace, 3.5)
+        # t=0 initial + boundaries 1, 2, 3.
+        assert pol.observed_at == pytest.approx([0.0, 1.0, 2.0, 3.0])
+
+    def test_boundary_observation_precedes_coincident_dispatch(self, tiny_network):
+        """When a slot boundary and a dispatch coincide, the policy must see
+        fresh rates before dispatching."""
+        seen = []
+
+        class Coincident(RecordingPolicy):
+            def observe(self, view):
+                seen.append(("observe", view.time))
+                super().observe(view)
+
+            def dispatch(self, view):
+                seen.append(("dispatch", view.time))
+                return super().dispatch(view)
+
+        trace = TraceWorkload(trace=np.tile(tiny_network.rates, (10, 1)),
+                              slot_duration=1.0)
+        simulate(tiny_network, Coincident([2.0]), trace, 3.5)
+        at_two = [kind for kind, t in seen if abs(t - 2.0) < 1e-9]
+        assert at_two == ["observe", "dispatch"]
+
+    def test_no_dispatch_at_or_after_horizon(self, tiny_network):
+        pol = RecordingPolicy([0.5, 5.0, 7.0])
+        out = simulate(tiny_network, pol,
+                       FixedWorkload.from_network(tiny_network), 5.0)
+        assert pol.dispatched_at == [0.5]
+        assert all(ev.time < 5.0 for ev in out.metrics.dispatches)
+
+    def test_multiple_dispatches_at_distinct_times(self, tiny_network):
+        pol = RecordingPolicy([0.2, 0.7, 0.9], sensors=(0, 1))
+        out = simulate(tiny_network, pol,
+                       FixedWorkload.from_network(tiny_network), 1.0)
+        assert out.metrics.n_dispatches == 3
+        assert out.metrics.n_charges == 6
+
+    def test_final_drain_reaches_exact_horizon(self, tiny_network):
+        out = simulate(tiny_network, RecordingPolicy([]),
+                       FixedWorkload.from_network(tiny_network), 0.5)
+        expected = tiny_network.batteries - tiny_network.rates * 0.5
+        np.testing.assert_allclose(out.final_energy, np.maximum(expected, 0),
+                                   atol=1e-12)
+
+    def test_energy_before_reflects_drain_at_dispatch(self, tiny_network):
+        pol = RecordingPolicy([0.5], sensors=(0,))
+        out = simulate(tiny_network, pol,
+                       FixedWorkload.from_network(tiny_network), 0.9)
+        ev = out.metrics.charges[0]
+        # Sensor 0 has cycle 1 (rate 1): at t=0.5 half the battery is gone.
+        assert ev.energy_before == pytest.approx(0.5)
+
+    def test_view_is_a_snapshot(self, tiny_network):
+        """Mutating the view's arrays must not corrupt the simulation."""
+
+        class Mutator(RecordingPolicy):
+            def observe(self, view):
+                view.energy[:] = 0.0  # vandalism
+                view.observed_rates[:] = 99.0
+                super().observe(view)
+
+        out = simulate(tiny_network, Mutator([0.5]),
+                       FixedWorkload.from_network(tiny_network), 0.9)
+        assert out.metrics.perpetual  # truth unaffected by the vandalism

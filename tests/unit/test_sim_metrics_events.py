@@ -1,0 +1,92 @@
+"""Unit tests for :mod:`repro.sim.metrics` and :mod:`repro.sim.events`."""
+
+import numpy as np
+
+from repro.sim.events import ChargeEvent, DeathEvent, DispatchEvent
+from repro.sim.metrics import Metrics
+
+
+class TestMetrics:
+    def test_defaults(self):
+        m = Metrics(q=3)
+        assert m.service_cost == 0.0
+        assert m.per_charger.shape == (3,)
+        assert m.perpetual
+        assert m.n_dispatches == m.n_charges == m.n_deaths == 0
+        assert m.mean_dispatch_cost() == 0.0
+
+    def test_counts(self):
+        m = Metrics(q=1)
+        m.dispatches.append(DispatchEvent(time=1.0, cost=10.0, n_sensors=2,
+                                          n_active_chargers=1))
+        m.dispatches.append(DispatchEvent(time=2.0, cost=20.0, n_sensors=1,
+                                          n_active_chargers=1))
+        m.service_cost = 30.0
+        assert m.n_dispatches == 2
+        assert m.mean_dispatch_cost() == 15.0
+
+    def test_perpetual_flips_on_death(self):
+        m = Metrics(q=1)
+        m.deaths.append(DeathEvent(time=3.0, sensor=7))
+        assert not m.perpetual
+        assert "DEATHS" in m.summary()
+
+    def test_charges_per_sensor(self):
+        m = Metrics(q=1)
+        for t, s in [(1.0, 0), (2.0, 0), (2.0, 3)]:
+            m.charges.append(ChargeEvent(time=t, sensor=s, energy_before=0.5))
+        np.testing.assert_array_equal(m.charges_per_sensor(5), [2, 0, 0, 1, 0])
+
+    def test_summary_mentions_cost(self):
+        m = Metrics(q=1)
+        m.service_cost = 1234.5
+        assert "1234.5" in m.summary()
+        assert "perpetual" in m.summary()
+
+    def test_cost_per_energy(self):
+        m = Metrics(q=1)
+        assert m.cost_per_energy() == float("inf")
+        m.service_cost = 100.0
+        m.energy_delivered = 20.0
+        assert m.cost_per_energy() == 5.0
+
+    def test_closest_call(self):
+        m = Metrics(q=1)
+        assert m.closest_call() is None
+        m.charges.append(ChargeEvent(time=1.0, sensor=0, energy_before=0.5))
+        m.charges.append(ChargeEvent(time=2.0, sensor=1, energy_before=0.01))
+        assert m.closest_call().sensor == 1
+
+    def test_engine_accumulates_energy_delivered(self):
+        from repro.core.mintotal import min_total_distance
+        from repro.network.builder import build_paper_network
+        from repro.sim.engine import simulate
+        from repro.sim.policies import PlannedPolicy
+        from repro.sim.workload import FixedWorkload
+
+        net = build_paper_network(n=20, q=2, seed=1)
+        res = min_total_distance(net, 50.0)
+        out = simulate(net, PlannedPolicy(res.plan),
+                       FixedWorkload.from_network(net), 50.0)
+        # Energy delivered equals energy drained between charges: bounded by
+        # total drain over the horizon and strictly positive.
+        total_drain = float((net.rates * 50.0).sum())
+        assert 0 < out.metrics.energy_delivered <= total_drain + 1e-9
+        assert out.metrics.cost_per_energy() > 0
+
+
+class TestEventRecords:
+    def test_frozen(self):
+        ev = DeathEvent(time=1.0, sensor=2)
+        try:
+            ev.time = 5.0  # type: ignore[misc]
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+    def test_fields(self):
+        d = DispatchEvent(time=1.0, cost=2.0, n_sensors=3, n_active_chargers=1)
+        assert (d.time, d.cost, d.n_sensors, d.n_active_chargers) == (1, 2, 3, 1)
+        c = ChargeEvent(time=1.0, sensor=4, energy_before=0.25)
+        assert (c.sensor, c.energy_before) == (4, 0.25)

@@ -1,0 +1,100 @@
+"""Unit tests for :mod:`repro.sim.workload`."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.network.cycles import LinearCycleDistribution
+from repro.sim.workload import FixedWorkload, ResampledWorkload, StormWorkload, Workload
+
+
+class TestFixedWorkload:
+    def test_constant_rates(self, tiny_network):
+        wl = FixedWorkload.from_network(tiny_network)
+        np.testing.assert_array_equal(wl.rates_at(0), wl.rates_at(99))
+        np.testing.assert_allclose(wl.rates_at(0), tiny_network.rates)
+
+    def test_infinite_slot(self, tiny_network):
+        assert FixedWorkload.from_network(tiny_network).slot_duration == math.inf
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ConfigError):
+            FixedWorkload(rates=np.array([-1.0]))
+
+    def test_satisfies_protocol(self, tiny_network):
+        assert isinstance(FixedWorkload.from_network(tiny_network), Workload)
+
+
+class TestResampledWorkload:
+    def _wl(self, net, seed=7):
+        return ResampledWorkload(network=net,
+                                 distribution=LinearCycleDistribution(),
+                                 slot_duration=10.0, seed=seed)
+
+    def test_deterministic_per_slot(self, paper_network_small):
+        a = self._wl(paper_network_small)
+        b = self._wl(paper_network_small)
+        np.testing.assert_array_equal(a.rates_at(3), b.rates_at(3))
+
+    def test_slots_differ(self, paper_network_small):
+        wl = self._wl(paper_network_small)
+        assert not np.array_equal(wl.rates_at(0), wl.rates_at(1))
+
+    def test_order_independent_generation(self, paper_network_small):
+        a = self._wl(paper_network_small)
+        b = self._wl(paper_network_small)
+        r5 = a.rates_at(5)  # generate slot 5 first on a
+        b.rates_at(0)
+        b.rates_at(1)
+        np.testing.assert_array_equal(r5, b.rates_at(5))
+
+    def test_seed_changes_process(self, paper_network_small):
+        a = self._wl(paper_network_small, seed=1)
+        b = self._wl(paper_network_small, seed=2)
+        assert not np.array_equal(a.rates_at(0), b.rates_at(0))
+
+    def test_cycles_positive(self, paper_network_small):
+        wl = self._wl(paper_network_small)
+        for s in range(5):
+            assert np.all(wl.cycles_at(s) > 0)
+
+    def test_negative_slot_raises(self, paper_network_small):
+        with pytest.raises(ConfigError):
+            self._wl(paper_network_small).cycles_at(-1)
+
+    def test_bad_slot_duration_raises(self, paper_network_small):
+        with pytest.raises(ConfigError):
+            ResampledWorkload(network=paper_network_small,
+                              distribution=LinearCycleDistribution(),
+                              slot_duration=0.0)
+
+
+class TestStormWorkload:
+    def test_rates_multiply_inside_disc_during_storm(self, tiny_network):
+        # Storm over sensor 0 (at (10,10)) between t=10 and t=20.
+        wl = StormWorkload(network=tiny_network,
+                           storms=((10.0, 20.0, 10.0, 10.0, 5.0, 3.0),),
+                           slot_duration=10.0)
+        base = tiny_network.rates
+        np.testing.assert_allclose(wl.rates_at(0), base)         # t=0: calm
+        stormy = wl.rates_at(1)                                   # t=10: storm
+        assert stormy[0] == pytest.approx(3.0 * base[0])
+        np.testing.assert_allclose(stormy[1:], base[1:])          # others calm
+        np.testing.assert_allclose(wl.rates_at(2), base)          # t=20: over
+
+    def test_overlapping_storms_compound(self, tiny_network):
+        storms = ((0.0, 10.0, 10.0, 10.0, 5.0, 2.0),
+                  (0.0, 10.0, 10.0, 10.0, 5.0, 3.0))
+        wl = StormWorkload(network=tiny_network, storms=storms, slot_duration=1.0)
+        assert wl.rates_at(0)[0] == pytest.approx(6.0 * tiny_network.rates[0])
+
+    @pytest.mark.parametrize("storm", [
+        (10.0, 5.0, 0.0, 0.0, 5.0, 2.0),   # t1 <= t0
+        (0.0, 5.0, 0.0, 0.0, -1.0, 2.0),   # bad radius
+        (0.0, 5.0, 0.0, 0.0, 5.0, 0.0),    # bad factor
+    ])
+    def test_rejects_invalid_storms(self, tiny_network, storm):
+        with pytest.raises(ConfigError):
+            StormWorkload(network=tiny_network, storms=(storm,))

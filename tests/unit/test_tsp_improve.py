@@ -1,0 +1,82 @@
+"""Unit tests for :mod:`repro.tsp.improve`."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.distance import distance_matrix
+from repro.tsp.construct import mst_doubling_tour, nearest_neighbor_tour
+from repro.tsp.improve import or_opt, two_opt
+from repro.tsp.tour import Tour
+
+
+@pytest.fixture
+def cloud(rng):
+    return distance_matrix(rng.uniform(0, 100, size=(30, 2)))
+
+
+class TestTwoOpt:
+    def test_never_worsens(self, cloud):
+        t = nearest_neighbor_tour(cloud, 0, list(range(1, 30)))
+        improved = two_opt(cloud, t)
+        assert improved.cost(cloud) <= t.cost(cloud) + 1e-9
+
+    def test_fixes_obvious_crossing(self):
+        # Square visited in crossing order 0-2-1-3 (cost 2 + 2*sqrt2);
+        # 2-opt must recover the perimeter (cost 4).
+        d = distance_matrix(np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float))
+        crossed = Tour(depot=0, order=(0, 2, 1, 3))
+        fixed = two_opt(d, crossed)
+        assert fixed.cost(d) == pytest.approx(4.0)
+
+    def test_preserves_node_set_and_depot(self, cloud):
+        t = nearest_neighbor_tour(cloud, 0, list(range(1, 30)))
+        improved = two_opt(cloud, t)
+        assert improved.visited() == t.visited()
+        assert improved.order[0] == 0
+
+    def test_short_tours_unchanged(self, cloud):
+        for order in [(0,), (0, 1), (0, 1, 2)]:
+            t = Tour(depot=0, order=order)
+            assert two_opt(cloud, t) == t
+
+    def test_idempotent_at_local_optimum(self, cloud):
+        t = two_opt(cloud, nearest_neighbor_tour(cloud, 0, list(range(1, 30))))
+        again = two_opt(cloud, t)
+        assert again.cost(cloud) == pytest.approx(t.cost(cloud))
+
+
+class TestOrOpt:
+    def test_never_worsens(self, cloud):
+        t = mst_doubling_tour(cloud, 0, list(range(1, 30)))
+        improved = or_opt(cloud, t)
+        assert improved.cost(cloud) <= t.cost(cloud) + 1e-9
+
+    def test_preserves_node_set_and_depot(self, cloud):
+        t = mst_doubling_tour(cloud, 0, list(range(1, 30)))
+        improved = or_opt(cloud, t)
+        assert improved.visited() == t.visited()
+        assert improved.order[0] == 0
+
+    def test_relocates_stranded_node(self):
+        # Points on a line; order strands node 4 (x=40) at the end.
+        coords = np.array([[0, 0], [10, 0], [20, 0], [30, 0], [40, 0], [25, 1]],
+                          dtype=float)
+        d = distance_matrix(coords)
+        bad = Tour(depot=0, order=(0, 1, 2, 3, 5, 4))
+        improved = or_opt(d, bad)
+        assert improved.cost(d) < bad.cost(d)
+
+    def test_tiny_tours_unchanged(self, cloud):
+        t = Tour(depot=0, order=(0, 1))
+        assert or_opt(cloud, t) == t
+
+
+class TestPipelines:
+    def test_two_opt_then_or_opt_composes(self, cloud):
+        t0 = nearest_neighbor_tour(cloud, 0, list(range(1, 30)))
+        t1 = two_opt(cloud, t0)
+        t2 = or_opt(cloud, t1)
+        t3 = two_opt(cloud, t2)
+        costs = [t.cost(cloud) for t in (t0, t1, t2, t3)]
+        assert costs == sorted(costs, reverse=True) or all(
+            costs[i] >= costs[i + 1] - 1e-9 for i in range(3))

@@ -1,0 +1,68 @@
+"""Unit tests for :mod:`repro.tsp.lower_bounds`."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.geometry.distance import distance_matrix, path_length
+from repro.tsp.lower_bounds import held_karp_lower_bound, mst_lower_bound
+
+
+def brute_force_tsp(dist: np.ndarray, nodes: list[int]) -> float:
+    """Exact optimal closed tour by enumeration (small inputs only)."""
+    best = np.inf
+    first, rest = nodes[0], nodes[1:]
+    for perm in itertools.permutations(rest):
+        best = min(best, path_length(dist, [first, *perm], closed=True))
+    return float(best)
+
+
+@pytest.fixture
+def small(rng):
+    return distance_matrix(rng.uniform(0, 100, size=(8, 2)))
+
+
+class TestMstLowerBound:
+    def test_below_optimum(self, small):
+        nodes = list(range(8))
+        assert mst_lower_bound(small, nodes) <= brute_force_tsp(small, nodes) + 1e-9
+
+    def test_singleton_is_zero(self, small):
+        assert mst_lower_bound(small, [3]) == 0.0
+
+    def test_pair(self, small):
+        assert mst_lower_bound(small, [0, 1]) == pytest.approx(small[0, 1])
+
+    def test_empty_raises(self, small):
+        with pytest.raises(GraphError):
+            mst_lower_bound(small, [])
+
+
+class TestHeldKarp:
+    def test_sandwiched_between_mst_and_opt(self, small):
+        nodes = list(range(8))
+        mst = mst_lower_bound(small, nodes)
+        hk = held_karp_lower_bound(small, nodes)
+        opt = brute_force_tsp(small, nodes)
+        assert mst - 1e-9 <= hk <= opt + 1e-9
+
+    def test_tightens_the_mst_bound(self, rng):
+        # On random Euclidean instances HK should beat plain MST nearly always.
+        wins = 0
+        for seed in range(5):
+            d = distance_matrix(np.random.default_rng(seed).uniform(0, 100, (9, 2)))
+            nodes = list(range(9))
+            if held_karp_lower_bound(d, nodes) > mst_lower_bound(d, nodes) + 1e-9:
+                wins += 1
+        assert wins >= 4
+
+    def test_exact_on_degenerate_sets(self, small):
+        assert held_karp_lower_bound(small, [2]) == 0.0
+        assert held_karp_lower_bound(small, [0, 5]) == pytest.approx(2 * small[0, 5])
+
+    def test_triangle_is_exact(self):
+        d = distance_matrix(np.array([[0, 0], [3, 0], [0, 4]], dtype=float))
+        # Any 3-node tour costs the triangle perimeter; HK should find it.
+        assert held_karp_lower_bound(d, [0, 1, 2]) == pytest.approx(12.0, rel=1e-6)

@@ -1,0 +1,97 @@
+"""Unit tests for :mod:`repro.tsp.tour`."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TourError
+from repro.geometry.distance import distance_matrix
+from repro.tsp.tour import Tour
+
+
+@pytest.fixture
+def square_dist():
+    # Unit square: 0=(0,0) 1=(1,0) 2=(1,1) 3=(0,1)
+    return distance_matrix(np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float))
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = Tour(depot=0, order=(0, 1, 2))
+        assert t.depot == 0 and t.n_stops == 2 and not t.is_empty
+
+    def test_empty_tour(self):
+        t = Tour.empty(3)
+        assert t.is_empty and t.n_stops == 0 and t.order == (3,)
+
+    def test_from_sequence_strips_trailing_depot(self):
+        t = Tour.from_sequence(0, [0, 1, 2, 0])
+        assert t.order == (0, 1, 2)
+
+    def test_rejects_empty_order(self):
+        with pytest.raises(TourError):
+            Tour(depot=0, order=())
+
+    def test_rejects_wrong_start(self):
+        with pytest.raises(TourError, match="start"):
+            Tour(depot=0, order=(1, 0))
+
+    def test_rejects_repeats(self):
+        with pytest.raises(TourError, match="repeated"):
+            Tour(depot=0, order=(0, 1, 1))
+
+
+class TestCost:
+    def test_square_tour_cost(self, square_dist):
+        t = Tour(depot=0, order=(0, 1, 2, 3))
+        assert t.cost(square_dist) == pytest.approx(4.0)
+
+    def test_empty_tour_costs_zero(self, square_dist):
+        assert Tour.empty(2).cost(square_dist) == 0.0
+
+    def test_two_node_tour_is_round_trip(self, square_dist):
+        t = Tour(depot=0, order=(0, 2))
+        assert t.cost(square_dist) == pytest.approx(2 * np.sqrt(2))
+
+    def test_reversal_invariance(self, square_dist):
+        fwd = Tour(depot=0, order=(0, 1, 2, 3))
+        rev = Tour(depot=0, order=(0, 3, 2, 1))
+        assert fwd.cost(square_dist) == pytest.approx(rev.cost(square_dist))
+
+
+class TestEdgesAndQueries:
+    def test_edges_close_the_loop(self):
+        t = Tour(depot=0, order=(0, 1, 2))
+        assert t.edges() == [(0, 1), (1, 2), (2, 0)]
+
+    def test_empty_tour_has_no_edges(self):
+        assert Tour.empty(0).edges() == []
+
+    def test_visited_and_stops(self):
+        t = Tour(depot=5, order=(5, 2, 7))
+        assert t.visited() == {5, 2, 7}
+        assert t.stops() == (2, 7)
+
+    def test_validate_against(self):
+        t = Tour(depot=0, order=(0, 1, 2))
+        t.validate_against([1, 2])
+        with pytest.raises(TourError, match="misses"):
+            t.validate_against([1, 2, 3])
+
+
+class TestTransforms:
+    def test_with_order(self):
+        t = Tour(depot=0, order=(0, 1, 2)).with_order([0, 2, 1])
+        assert t.order == (0, 2, 1)
+
+    def test_with_order_keeps_depot_requirement(self):
+        with pytest.raises(TourError):
+            Tour(depot=0, order=(0, 1)).with_order([1, 0])
+
+    def test_canonical_picks_direction(self):
+        a = Tour(depot=0, order=(0, 3, 2, 1)).canonical()
+        b = Tour(depot=0, order=(0, 1, 2, 3)).canonical()
+        assert a == b
+
+    def test_canonical_noop_for_short_tours(self):
+        t = Tour(depot=0, order=(0, 1))
+        assert t.canonical() is t
