@@ -8,12 +8,21 @@ algorithmic layers, sized to the paper's largest instances:
 * Algorithm 3 (MinTotalDistance) — O((tau_max/tau_min) n^2 + (T/tau_min) n).
 
 Regressions here mean someone de-vectorised a kernel.
+
+The instrumentation overhead guard at the bottom holds the ``repro.obs``
+hooks to their contract: planning with the disabled (``None``) context must
+stay within noise of an instrumentation-free run, and even the enabled
+context must stay cheap (hooks fire per algorithm invocation, not per
+inner-loop iteration).
 """
+
+import time
 
 import pytest
 
 from repro.core.mintotal import min_total_distance
 from repro.network.builder import build_paper_network
+from repro.obs import Instrumentation
 from repro.rooted.msf import q_rooted_msf
 from repro.rooted.qtsp import q_rooted_tsp
 from repro.tsp.improve import two_opt
@@ -54,3 +63,41 @@ def test_scaling_two_opt(benchmark):
                          [int(i) for i in net.depot_indices])
     improved = benchmark(two_opt, net.dist, tours[0])
     assert improved.cost(net.dist) <= tours[0].cost(net.dist) + 1e-9
+
+
+def test_instrumentation_overhead_guard(benchmark):
+    """Disabled instrumentation must cost (close to) nothing.
+
+    Times ``min_total_distance`` with refinement — the hook-densest path:
+    plan -> block -> Algorithm 2 -> Algorithm 1 + 2-opt — under the
+    disabled context vs a fresh enabled one, best-of-N wall clock each.
+    The acceptance bound for the disabled path is 5%; measurement noise on
+    a loaded CI box dominates real overhead there, so the guard allows
+    1.25x. The enabled path is held to 1.5x as a hook-granularity tripwire
+    (per-iteration hooks in a hot loop blow far past that).
+    """
+    net = build_paper_network(n=200, q=5, seed=42)
+    net.dist  # pre-warm the cached distance matrix
+
+    def best_of(n_rounds, **kwargs):
+        best = float("inf")
+        for _ in range(n_rounds):
+            t0 = time.perf_counter()
+            min_total_distance(net, 1000.0, refine=True, **kwargs)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    best_of(1)  # warm-up round (allocator, caches)
+    disabled = best_of(5)           # obs defaults to None -> NULL
+    enabled = best_of(5, obs=Instrumentation())
+    baseline = benchmark.pedantic(
+        lambda: best_of(5), rounds=1, iterations=1)
+
+    disabled_ratio = disabled / baseline
+    enabled_ratio = enabled / baseline
+    print(f"\ninstrumentation overhead: baseline {baseline * 1e3:.2f}ms, "
+          f"disabled {disabled_ratio:.3f}x, enabled {enabled_ratio:.3f}x")
+    assert disabled_ratio < 1.25, (
+        f"disabled instrumentation costs {disabled_ratio:.2f}x baseline")
+    assert enabled_ratio < 1.5, (
+        f"enabled instrumentation costs {enabled_ratio:.2f}x baseline")

@@ -20,7 +20,10 @@ The library implements the paper's full stack:
   :mod:`repro.network`;
 * an exact event-driven **simulator** — :mod:`repro.sim`;
 * the full experiment harness reproducing every figure of the paper's
-  evaluation — :mod:`repro.experiments` (CLI: ``repro run fig1a``).
+  evaluation — :mod:`repro.experiments` (CLI: ``repro run fig1a``);
+* opt-in instrumentation — counters, wall-clock spans, JSONL traces —
+  threaded through every layer above — :mod:`repro.obs`
+  (CLI: ``repro --profile ...``; see docs/OBSERVABILITY.md).
 
 Quickstart
 ----------
@@ -56,6 +59,7 @@ from repro.network import (
     SensorNetwork,
     build_paper_network,
 )
+from repro.obs import Instrumentation, configure_logging
 from repro.rooted import q_rooted_msf, q_rooted_tsp
 from repro.sim import (
     FixedWorkload,
@@ -73,6 +77,7 @@ __all__ = [
     "ExperimentConfig",
     "FixedWorkload",
     "GreedyOnDemandPolicy",
+    "Instrumentation",
     "LinearCycleDistribution",
     "MinTotalDistanceVarPolicy",
     "NaiveChargeAllPolicy",
@@ -88,6 +93,7 @@ __all__ = [
     "__version__",
     "build_paper_network",
     "check_feasibility",
+    "configure_logging",
     "lemma3_lower_bound",
     "load_network",
     "load_plan",

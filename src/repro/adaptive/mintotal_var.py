@@ -33,11 +33,15 @@ from repro.core.mintotal import min_total_distance
 from repro.core.schedule import ChargingScheduling
 from repro.errors import ConfigError
 from repro.network.model import SensorNetwork
+from repro.obs.instrument import Instrumentation, ensure
+from repro.obs.log import get_logger
 from repro.sim.policies import SimulationView
 
 __all__ = ["MinTotalDistanceVarPolicy"]
 
 _TOL = 1e-9
+
+log = get_logger(__name__)
 
 
 class MinTotalDistanceVarPolicy:
@@ -62,6 +66,13 @@ class MinTotalDistanceVarPolicy:
         (Fig. 5, ``ΔT = 1``). ``"defer"`` is this library's improvement:
         measurably cheaper under instability with identical safety (the
         ``abl-tiebreak`` bench quantifies it).
+    instrumentation:
+        Optional :class:`~repro.obs.instrument.Instrumentation` context.
+        Each rebuild runs under a ``replan`` span; triggers are classified
+        into ``replan.trigger.shrunk`` / ``.doubled`` / ``.survival``
+        counters (plus a ``replan.trigger`` trace event) and kept-plan
+        checks count as ``replan.keep``. Forwarded to Algorithm 3 and the
+        patch step. ``None`` (the default) is a strict no-op.
 
     Attributes
     ----------
@@ -71,10 +82,12 @@ class MinTotalDistanceVarPolicy:
     """
 
     def __init__(self, *, gamma: float = 1.0, report_threshold: float = 0.0,
-                 refine: bool = False, patch_tie_break: str = "immediate") -> None:
+                 refine: bool = False, patch_tie_break: str = "immediate",
+                 instrumentation: Instrumentation | None = None) -> None:
         if patch_tie_break not in ("defer", "immediate"):
             raise ConfigError(
                 f"patch_tie_break must be 'defer' or 'immediate', got {patch_tie_break!r}")
+        self._obs = ensure(instrumentation)
         self.gamma = gamma
         self.report_threshold = report_threshold
         self.refine = refine
@@ -132,8 +145,14 @@ class MinTotalDistanceVarPolicy:
             # Algorithm 3, no patch needed.
             self._install_plan(view, reported, initial=True)
             return
-        if self._needs_replan(view, reported):
-            self._install_plan(view, reported, initial=False)
+        reason = self._replan_reason(view, reported)
+        if reason is None:
+            self._obs.incr("replan.keep")
+            return
+        self._obs.incr(f"replan.trigger.{reason}")
+        self._obs.event("replan.trigger", reason=reason, time=float(view.time))
+        log.debug("replan at t=%.3f (%s)", view.time, reason)
+        self._install_plan(view, reported, initial=False)
 
     def dispatch(self, view: SimulationView) -> ChargingScheduling | None:
         if self._cursor >= len(self._queue):
@@ -143,23 +162,33 @@ class MinTotalDistanceVarPolicy:
         return sched
 
     # ---------------------------------------------------------------- internals
-    def _needs_replan(self, view: SimulationView, reported: np.ndarray) -> bool:
-        """The paper's reuse test plus the conservative survival check."""
+    def _replan_reason(self, view: SimulationView, reported: np.ndarray) -> str | None:
+        """Why the active plan must be rebuilt, or ``None`` if it holds.
+
+        The paper's reuse test plus the conservative survival check;
+        classifying the trigger feeds the ``replan.trigger.*`` counters.
+        """
         assert self._assigned is not None
         a = self._assigned
         # (paper) infeasible: some cycle shrank below its plan cycle.
         if np.any(reported < a * (1.0 - _TOL)):
-            return True
+            return "shrunk"
         # (paper) wasteful: some cycle at least doubled past its plan cycle.
         if np.any(reported >= 2.0 * a * (1.0 - _TOL)):
-            return True
+            return "doubled"
         # (strengthening) survival to the next scheduled charge.
         deadline = self._next_charge_times(view.time)
         rates = self._pred.conservative_rates()
         lifetimes = np.divide(view.energy, rates,
                               out=np.full(view.energy.shape, np.inf),
                               where=rates > 0)
-        return bool(np.any(view.time + lifetimes < deadline * (1.0 - _TOL)))
+        if np.any(view.time + lifetimes < deadline * (1.0 - _TOL)):
+            return "survival"
+        return None
+
+    def _needs_replan(self, view: SimulationView, reported: np.ndarray) -> bool:
+        """The paper's reuse test plus the conservative survival check."""
+        return self._replan_reason(view, reported) is not None
 
     def _next_charge_times(self, now: float) -> np.ndarray:
         """Per-sensor next *guaranteed* charge under the active base plan.
@@ -188,33 +217,36 @@ class MinTotalDistanceVarPolicy:
         if t >= self._horizon - _TOL:
             self._queue, self._cursor = [], 0
             return
-        result = min_total_distance(self._net, self._horizon, cycles=cycles,
-                                    refine=self.refine, start_time=t)
-        quant = result.quantization
-        queue: list[ChargingScheduling] = []
+        with self._obs.span("replan", initial=initial, time=float(t)) as sp:
+            result = min_total_distance(self._net, self._horizon, cycles=cycles,
+                                        refine=self.refine, start_time=t,
+                                        obs=self._obs)
+            quant = result.quantization
+            queue: list[ChargingScheduling] = []
 
-        patched_tours: tuple = tuple(None for _ in range(quant.block_size + 1))
-        if not initial:
-            rates = self._pred.conservative_rates()
-            lifetimes = np.divide(view.energy, rates,
-                                  out=np.full(view.energy.shape, np.inf),
-                                  where=rates > 0)
-            patch = build_patch(self._net, quant, lifetimes, refine=self.refine,
-                                tie_break=self.patch_tie_break)
-            patched_tours = patch.tours
-            if patch.tours[0] is not None:
-                queue.append(ChargingScheduling(time=t, tours=patch.tours[0]))
-            self.n_replans += 1
+            patched_tours: tuple = tuple(None for _ in range(quant.block_size + 1))
+            if not initial:
+                rates = self._pred.conservative_rates()
+                lifetimes = np.divide(view.energy, rates,
+                                      out=np.full(view.energy.shape, np.inf),
+                                      where=rates > 0)
+                patch = build_patch(self._net, quant, lifetimes, refine=self.refine,
+                                    tie_break=self.patch_tie_break, obs=self._obs)
+                patched_tours = patch.tours
+                if patch.tours[0] is not None:
+                    queue.append(ChargingScheduling(time=t, tours=patch.tours[0]))
+                self.n_replans += 1
 
-        j = 1
-        while True:
-            tj = t + j * quant.tau1
-            if tj >= self._horizon - _TOL:
-                break
-            override = patched_tours[j] if j <= quant.block_size else None
-            tours = override if override is not None else result.block[(j - 1) % quant.block_size]
-            queue.append(ChargingScheduling(time=tj, tours=tours))
-            j += 1
+            j = 1
+            while True:
+                tj = t + j * quant.tau1
+                if tj >= self._horizon - _TOL:
+                    break
+                override = patched_tours[j] if j <= quant.block_size else None
+                tours = override if override is not None else result.block[(j - 1) % quant.block_size]
+                queue.append(ChargingScheduling(time=tj, tours=tours))
+                j += 1
+            sp.set(schedulings=len(queue))
 
         self._queue = queue
         self._cursor = 0

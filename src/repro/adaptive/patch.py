@@ -32,6 +32,7 @@ import numpy as np
 from repro.core.quantize import Quantization
 from repro.errors import ScheduleError
 from repro.network.model import SensorNetwork
+from repro.obs.instrument import Instrumentation, ensure
 from repro.rooted.msf import rooted_msf
 from repro.rooted.qtsp import q_rooted_tsp
 from repro.tsp.tour import Tour
@@ -73,7 +74,8 @@ class PatchResult:
 
 def build_patch(network: SensorNetwork, quant: Quantization,
                 lifetimes: np.ndarray, *, refine: bool = False,
-                tie_break: str = "immediate") -> PatchResult:
+                tie_break: str = "immediate",
+                obs: Instrumentation | None = None) -> PatchResult:
     """Run the repair step against a freshly computed plan.
 
     Parameters
@@ -97,6 +99,10 @@ def build_patch(network: SensorNetwork, quant: Quantization,
         improvement: avoids dispatching an immediate ``C'_0`` tour at every
         re-plan, measurably cheaper under extreme workload instability; see
         EXPERIMENTS.md and the ``abl-tiebreak`` bench).
+    obs:
+        Optional instrumentation context: ``patch`` span plus the
+        ``patch.calls`` / ``patch.urgent`` / ``patch.immediate`` /
+        ``patch.retoured`` counters (injections into the base plan).
 
     Returns
     -------
@@ -104,6 +110,8 @@ def build_patch(network: SensorNetwork, quant: Quantization,
     """
     if tie_break not in ("defer", "immediate"):
         raise ScheduleError(f"build_patch: unknown tie_break {tie_break!r}")
+    o = ensure(obs)
+    o.incr("patch.calls")
     l_hat = np.asarray(lifetimes, dtype=np.float64)
     if l_hat.shape != (network.n,):
         raise ScheduleError(
@@ -121,6 +129,7 @@ def build_patch(network: SensorNetwork, quant: Quantization,
     assigned = quant.assigned
     urgent_mask = l_hat < assigned * (1.0 - _REL_TOL)
     urgent = np.nonzero(urgent_mask)[0]
+    o.incr("patch.urgent", int(urgent.size))
 
     # Base node sets: sets[0] empty for now, sets[j] = sensors due at j.
     base_sets: list[set[int]] = [set()]
@@ -135,51 +144,58 @@ def build_patch(network: SensorNetwork, quant: Quantization,
             urgent=frozenset(),
         )
 
-    # Class partition of the urgent sensors by residual lifetime.
-    immediate = urgent[l_hat[urgent] < tau1 * (1.0 - _REL_TOL)]
-    sets[0].update(int(s) for s in immediate)
-    rest = np.setdiff1d(urgent, immediate, assume_unique=True)
-    if rest.size:
-        k_of = np.floor(np.log(l_hat[rest] / tau1 * (1.0 + _REL_TOL))
-                        / np.log(float(b))).astype(np.int64)
-        k_of = np.clip(k_of, 0, K)
-    else:
-        k_of = np.empty(0, dtype=np.int64)
-
-    # Iterate classes in increasing k, attaching each to the cheapest of the
-    # schedulings it can legally join (0 .. b^k).
-    for k in range(K + 1):
-        members = rest[k_of == k]
-        if members.size == 0:
-            continue
-        s_idx = members.astype(np.intp)
-        n_roots = min(b ** k, quant.block_size) + 1  # schedulings 0..b^k
-        # Column order controls tie-breaking: the MSF's argmin prefers the
-        # first column, so descending order defers charges on ties and
-        # ascending order front-loads them.
-        if tie_break == "defer":
-            col_to_sched = list(range(n_roots - 1, -1, -1))
+    with o.span("patch", urgent=int(urgent.size)) as sp:
+        # Class partition of the urgent sensors by residual lifetime.
+        immediate = urgent[l_hat[urgent] < tau1 * (1.0 - _REL_TOL)]
+        sets[0].update(int(s) for s in immediate)
+        o.incr("patch.immediate", int(immediate.size))
+        rest = np.setdiff1d(urgent, immediate, assume_unique=True)
+        if rest.size:
+            k_of = np.floor(np.log(l_hat[rest] / tau1 * (1.0 + _REL_TOL))
+                            / np.log(float(b))).astype(np.int64)
+            k_of = np.clip(k_of, 0, K)
         else:
-            col_to_sched = list(range(n_roots))
-        root_costs = np.full((s_idx.size, n_roots), np.inf)
-        for col, j in enumerate(col_to_sched):
-            anchor = sorted(sets[j]) + depots
-            root_costs[:, col] = dist[np.ix_(
-                s_idx, np.asarray(anchor, dtype=np.intp))].min(axis=1)
-        assignment = rooted_msf(dist[np.ix_(s_idx, s_idx)], root_costs)
-        for local, owner in enumerate(assignment.owner):
-            sets[col_to_sched[int(owner)]].add(int(s_idx[local]))
+            k_of = np.empty(0, dtype=np.int64)
 
-    # Re-tour every scheduling whose set changed (and the immediate one).
-    tours: list[tuple[Tour, ...] | None] = []
-    for j in range(n_sched):
-        if j == 0 and not sets[0]:
-            tours.append(None)
-            continue
-        if j > 0 and sets[j] == base_sets[j]:
-            tours.append(None)
-            continue
-        tours.append(tuple(q_rooted_tsp(dist, sorted(sets[j]), depots, refine=refine)))
+        # Iterate classes in increasing k, attaching each to the cheapest of
+        # the schedulings it can legally join (0 .. b^k).
+        for k in range(K + 1):
+            members = rest[k_of == k]
+            if members.size == 0:
+                continue
+            s_idx = members.astype(np.intp)
+            n_roots = min(b ** k, quant.block_size) + 1  # schedulings 0..b^k
+            # Column order controls tie-breaking: the MSF's argmin prefers the
+            # first column, so descending order defers charges on ties and
+            # ascending order front-loads them.
+            if tie_break == "defer":
+                col_to_sched = list(range(n_roots - 1, -1, -1))
+            else:
+                col_to_sched = list(range(n_roots))
+            root_costs = np.full((s_idx.size, n_roots), np.inf)
+            for col, j in enumerate(col_to_sched):
+                anchor = sorted(sets[j]) + depots
+                root_costs[:, col] = dist[np.ix_(
+                    s_idx, np.asarray(anchor, dtype=np.intp))].min(axis=1)
+            assignment = rooted_msf(dist[np.ix_(s_idx, s_idx)], root_costs,
+                                    obs=obs)
+            for local, owner in enumerate(assignment.owner):
+                sets[col_to_sched[int(owner)]].add(int(s_idx[local]))
+
+        # Re-tour every scheduling whose set changed (and the immediate one).
+        tours: list[tuple[Tour, ...] | None] = []
+        for j in range(n_sched):
+            if j == 0 and not sets[0]:
+                tours.append(None)
+                continue
+            if j > 0 and sets[j] == base_sets[j]:
+                tours.append(None)
+                continue
+            tours.append(tuple(q_rooted_tsp(dist, sorted(sets[j]), depots,
+                                            refine=refine, obs=obs)))
+        retoured = sum(1 for t in tours if t is not None)
+        o.incr("patch.retoured", retoured)
+        sp.set(retoured=retoured)
 
     return PatchResult(
         sets=tuple(frozenset(s) for s in sets),

@@ -7,6 +7,8 @@
     repro run fig2a --full --reps 100  # the paper-dense version
     repro run fig3 --csv out/fig3.csv  # also export the series
     repro demo                         # 30-second end-to-end demo
+    repro --profile demo               # ... plus the instrumentation table
+    repro --profile --trace t.jsonl plan   # ... plus a JSONL trace file
 
 Also available as ``python -m repro ...``.
 """
@@ -18,10 +20,13 @@ import sys
 import time
 
 from repro.experiments.figures import FIGURES, get_figure
+from repro.obs import Instrumentation, configure_logging, get_logger
 from repro.reporting.csvio import sweep_to_csv
 from repro.reporting.summary import figure_report
 
 __all__ = ["main", "build_parser"]
+
+log = get_logger(__name__)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -31,6 +36,14 @@ def build_parser() -> argparse.ArgumentParser:
         description=("Reproduction of 'Towards Perpetual Sensor Networks via "
                      "Deploying Multiple Mobile Wireless Chargers' (ICPP 2014)"),
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="debug-level diagnostics (repeatable)")
+    parser.add_argument("--profile", action="store_true",
+                        help="collect instrumentation and print the stats "
+                             "table after the command")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write the instrumentation trace (JSONL) here; "
+                             "implies --profile collection")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="catalogue of reproducible figures/ablations")
@@ -92,22 +105,23 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _cmd_run(args: argparse.Namespace, obs: Instrumentation | None) -> int:
     spec = get_figure(args.figure)
-    progress = None if args.quiet else (lambda msg: print(msg, flush=True))
+    progress = None if args.quiet else log.info
     t0 = time.perf_counter()
-    result = spec.run(n_topologies=args.reps, full=args.full, progress=progress)
+    result = spec.run(n_topologies=args.reps, full=args.full, progress=progress,
+                      obs=obs)
     elapsed = time.perf_counter() - t0
     print()
-    print(figure_report(spec, result))
-    print(f"(completed in {elapsed:.1f}s)")
+    print(figure_report(spec, result, instrumentation=obs))
+    log.info("(completed in %.1fs)", elapsed)
     if args.csv:
         path = sweep_to_csv(result, args.csv)
-        print(f"series written to {path}")
+        log.info("series written to %s", path)
     return 0
 
 
-def _cmd_demo() -> int:
+def _cmd_demo(obs: Instrumentation | None) -> int:
     from repro.baselines.greedy import GreedyOnDemandPolicy
     from repro.core.bounds import empirical_ratio, lemma3_lower_bound
     from repro.core.mintotal import min_total_distance
@@ -116,18 +130,20 @@ def _cmd_demo() -> int:
     from repro.sim.policies import PlannedPolicy
     from repro.sim.workload import FixedWorkload
 
-    print("Building one paper topology: n=100 sensors, q=5 chargers, "
-          "1000m x 1000m, linear cycles in [1, 50] ...")
+    log.info("Building one paper topology: n=100 sensors, q=5 chargers, "
+             "1000m x 1000m, linear cycles in [1, 50] ...")
     net = build_paper_network(n=100, q=5, seed=2014)
     horizon = 1000.0
     workload = FixedWorkload.from_network(net)
 
-    result = min_total_distance(net, horizon)
+    result = min_total_distance(net, horizon, obs=obs)
     print(f"MinTotalDistance: K={result.quantization.K}, "
           f"{len(result.plan)} schedulings, guarantee 2(K+2) = "
           f"{2 * (result.quantization.K + 2)}x")
-    mtd = simulate(net, PlannedPolicy(result.plan), workload, horizon)
-    greedy = simulate(net, GreedyOnDemandPolicy(), workload, horizon)
+    mtd = simulate(net, PlannedPolicy(result.plan), workload, horizon,
+                   instrumentation=obs)
+    greedy = simulate(net, GreedyOnDemandPolicy(), workload, horizon,
+                      instrumentation=obs)
     lb = lemma3_lower_bound(net, horizon)
     print(f"MinTotalDistance service cost: {mtd.metrics.service_cost:,.0f} m "
           f"({mtd.metrics.summary()})")
@@ -141,7 +157,7 @@ def _cmd_demo() -> int:
     return 0
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
+def _cmd_report(args: argparse.Namespace, obs: Instrumentation | None) -> int:
     from pathlib import Path
 
     from repro.reporting.experiments_md import PAPER_PANELS, experiments_markdown
@@ -149,16 +165,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
     ids = args.figures if args.figures else list(PAPER_PANELS)
     for fid in ids:
         get_figure(fid)  # validate before the long run
-    progress = None if args.quiet else (lambda msg: print(msg, flush=True))
+    progress = None if args.quiet else log.info
     text = experiments_markdown(ids, n_topologies=args.reps, full=args.full,
-                                progress=progress)
+                                progress=progress, obs=obs)
     out = Path(args.out)
     out.write_text(text)
-    print(f"report written to {out.resolve()}")
+    log.info("report written to %s", out.resolve())
     return 0
 
 
-def _cmd_plan(args: argparse.Namespace) -> int:
+def _cmd_plan(args: argparse.Namespace, obs: Instrumentation | None) -> int:
     from repro.core.feasibility import check_feasibility
     from repro.core.mintotal import min_total_distance
     from repro.io import save_network, save_plan
@@ -169,10 +185,10 @@ def _cmd_plan(args: argparse.Namespace) -> int:
             else RandomCycleDistribution())
     net = build_paper_network(n=args.n, q=args.q, distribution=dist,
                               seed=args.seed)
-    result = min_total_distance(net, args.horizon, refine=args.refine)
+    result = min_total_distance(net, args.horizon, refine=args.refine, obs=obs)
     report = check_feasibility(result.plan, net.cycles)
     if not report.feasible:  # cannot happen by Lemma 2; belt and braces
-        print(report.summary())
+        log.error("%s", report.summary())
         return 1
     net_path = save_network(net, args.network_out)
     plan_path = save_plan(result.plan, args.plan_out)
@@ -186,7 +202,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
+def _cmd_simulate(args: argparse.Namespace, obs: Instrumentation | None) -> int:
     from repro.io import load_network, load_plan
     from repro.reporting.timeline import run_digest
     from repro.sim.engine import simulate as run_sim
@@ -197,7 +213,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     plan = load_plan(args.plan)
     plan.validate_for(net)  # catch mismatched files before simulating
     out = run_sim(net, PlannedPolicy(plan), FixedWorkload.from_network(net),
-                  plan.horizon)
+                  plan.horizon, instrumentation=obs)
     print(run_digest(out.metrics, plan.horizon))
     if args.speed is not None:
         from repro.analysis.timescale import validate_timescales
@@ -211,19 +227,30 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "demo":
-        return _cmd_demo()
-    if args.command == "report":
-        return _cmd_report(args)
-    if args.command == "plan":
-        return _cmd_plan(args)
-    if args.command == "simulate":
-        return _cmd_simulate(args)
-    return 2  # unreachable: argparse enforces the choices
+    configure_logging(args.verbose)
+    obs = Instrumentation() if (args.profile or args.trace) else None
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args, obs)
+        if args.command == "demo":
+            return _cmd_demo(obs)
+        if args.command == "report":
+            return _cmd_report(args, obs)
+        if args.command == "plan":
+            return _cmd_plan(args, obs)
+        if args.command == "simulate":
+            return _cmd_simulate(args, obs)
+        return 2  # unreachable: argparse enforces the choices
+    finally:
+        if obs is not None:
+            if args.profile:
+                print()
+                print(obs.stats_table())
+            if args.trace:
+                path = obs.write_trace(args.trace)
+                log.info("trace written to %s", path)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,7 +26,8 @@ from repro.core.quantize import Quantization, quantize_cycles
 from repro.core.schedule import ChargingScheduling, SchedulePlan
 from repro.errors import ScheduleError
 from repro.network.model import SensorNetwork
-from repro.rooted.qtsp import q_rooted_tsp
+from repro.obs.instrument import Instrumentation, ensure
+from repro.rooted.qtsp import q_rooted_tsp, tours_total_cost
 from repro.tsp.tour import Tour
 
 __all__ = ["MinTotalDistanceResult", "min_total_distance", "build_block"]
@@ -60,24 +61,33 @@ class MinTotalDistanceResult:
 
 
 def build_block(network: SensorNetwork, quant: Quantization,
-                *, refine: bool = False) -> tuple[tuple[Tour, ...], ...]:
+                *, refine: bool = False,
+                obs: Instrumentation | None = None) -> tuple[tuple[Tour, ...], ...]:
     """The ``2^K`` distinct tour sets of one scheduling block.
 
     Scheduling ``j`` covers every class whose assigned cycle divides
     ``j * tau_1``; its tours come from Algorithm 2 on the induced subgraph.
     Identical sensor sets across different ``j`` (common: any ``j`` with the
-    same divisor pattern) are solved once and shared.
+    same divisor pattern) are solved once and shared. ``obs`` counts the
+    solver cache behaviour (``plan.block.solved`` / ``plan.block.reused``)
+    and times the whole construction under the ``plan.block`` span.
     """
+    o = ensure(obs)
     depots = [int(i) for i in network.depot_indices]
     cache: dict[frozenset[int], tuple[Tour, ...]] = {}
     block: list[tuple[Tour, ...]] = []
-    for j in range(1, quant.block_size + 1):
-        due = quant.sensors_due_at(j)
-        key = frozenset(int(s) for s in due)
-        if key not in cache:
-            tours = q_rooted_tsp(network.dist, sorted(key), depots, refine=refine)
-            cache[key] = tuple(tours)
-        block.append(cache[key])
+    with o.span("plan.block", block_size=quant.block_size):
+        for j in range(1, quant.block_size + 1):
+            due = quant.sensors_due_at(j)
+            key = frozenset(int(s) for s in due)
+            if key not in cache:
+                tours = q_rooted_tsp(network.dist, sorted(key), depots,
+                                     refine=refine, obs=obs)
+                cache[key] = tuple(tours)
+                o.incr("plan.block.solved")
+            else:
+                o.incr("plan.block.reused")
+            block.append(cache[key])
     return tuple(block)
 
 
@@ -85,7 +95,8 @@ def min_total_distance(network: SensorNetwork, horizon: float,
                        *, cycles: np.ndarray | None = None,
                        refine: bool = False,
                        start_time: float = 0.0,
-                       base: int = 2) -> MinTotalDistanceResult:
+                       base: int = 2,
+                       obs: Instrumentation | None = None) -> MinTotalDistanceResult:
     """Run Algorithm 3.
 
     Parameters
@@ -107,6 +118,12 @@ def min_total_distance(network: SensorNetwork, horizon: float,
     base:
         Geometric base of the cycle quantisation (the paper's algorithm is
         ``base = 2``; the ``abl-base`` bench explores larger bases).
+    obs:
+        Optional instrumentation context. Records the ``plan`` span, the
+        class structure (``plan.K``, ``plan.class_size`` series), the
+        per-scheduling tour-set lengths (``plan.tour_length`` series) and
+        the ``plan.schedulings`` counter; forwarded to the block builder
+        and Algorithm 2 below it. ``None`` (the default) is a strict no-op.
 
     Returns
     -------
@@ -122,17 +139,30 @@ def min_total_distance(network: SensorNetwork, horizon: float,
     if tau.shape != (network.n,):
         raise ScheduleError(
             f"min_total_distance: expected {network.n} cycles, got shape {tau.shape}")
-    quant = quantize_cycles(tau, base=base)
-    block = build_block(network, quant, refine=refine)
+    o = ensure(obs)
+    with o.span("plan", n=network.n, horizon=float(horizon)) as sp:
+        quant = quantize_cycles(tau, base=base)
+        block = build_block(network, quant, refine=refine, obs=obs)
 
-    schedulings: list[ChargingScheduling] = []
-    j = 1
-    while True:
-        t = start_time + j * quant.tau1
-        if t >= horizon:
-            break
-        tours = block[(j - 1) % quant.block_size]
-        schedulings.append(ChargingScheduling(time=t, tours=tours))
-        j += 1
-    plan = SchedulePlan(schedulings=tuple(schedulings), horizon=horizon)
+        schedulings: list[ChargingScheduling] = []
+        j = 1
+        while True:
+            t = start_time + j * quant.tau1
+            if t >= horizon:
+                break
+            tours = block[(j - 1) % quant.block_size]
+            schedulings.append(ChargingScheduling(time=t, tours=tours))
+            j += 1
+        plan = SchedulePlan(schedulings=tuple(schedulings), horizon=horizon)
+        sp.set(K=quant.K, schedulings=len(schedulings))
+
+    if o.enabled:
+        o.incr("plan.calls")
+        o.incr("plan.K", quant.K)
+        o.incr("plan.schedulings", len(schedulings))
+        for k in range(quant.K + 1):  # class coverage of the quantisation
+            o.observe("plan.class_size", int(quant.members(k).size))
+        block_costs = [tours_total_cost(network.dist, tours) for tours in block]
+        for idx in range(len(schedulings)):  # per-scheduling tour-set length
+            o.observe("plan.tour_length", block_costs[idx % quant.block_size])
     return MinTotalDistanceResult(plan=plan, quantization=quant, block=block)

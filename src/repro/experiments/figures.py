@@ -20,6 +20,7 @@ from typing import Callable, Sequence
 from repro.errors import ConfigError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.sweeps import SweepResult, sweep
+from repro.obs.instrument import Instrumentation
 
 __all__ = ["FigureSpec", "FIGURES", "get_figure", "run_figure"]
 
@@ -57,13 +58,14 @@ class FigureSpec:
     check: Callable[[SweepResult], bool] | None = None
 
     def run(self, *, n_topologies: int | None = None, full: bool = False,
-            progress: ProgressFn | None = None) -> SweepResult:
+            progress: ProgressFn | None = None,
+            obs: Instrumentation | None = None) -> SweepResult:
         """Execute the sweep (coarse grid unless ``full``)."""
         base = self.base
         if n_topologies is not None:
             base = base.with_(n_topologies=n_topologies)
         vals = self.values_full if full else self.values
-        return sweep(base, self.parameter, list(vals), progress=progress)
+        return sweep(base, self.parameter, list(vals), progress=progress, obs=obs)
 
 
 def _ratio_band(num: str, den: str, lo: float, hi: float,
@@ -269,7 +271,8 @@ def get_figure(figure_id: str) -> FigureSpec:
 
 def run_figure(figure_id: str, *, n_topologies: int | None = None,
                full: bool = False,
-               progress: ProgressFn | None = None) -> SweepResult:
+               progress: ProgressFn | None = None,
+               obs: Instrumentation | None = None) -> SweepResult:
     """Convenience: ``get_figure(figure_id).run(...)``."""
     return get_figure(figure_id).run(n_topologies=n_topologies, full=full,
-                                     progress=progress)
+                                     progress=progress, obs=obs)

@@ -22,11 +22,15 @@ from repro.errors import ConfigError
 from repro.experiments.config import ExperimentConfig
 from repro.network.builder import build_paper_network
 from repro.network.model import SensorNetwork
+from repro.obs.instrument import Instrumentation, ensure
+from repro.obs.log import get_logger
 from repro.sim.engine import simulate
 from repro.sim.policies import ChargingPolicy, PlannedPolicy
 from repro.sim.workload import FixedWorkload, ResampledWorkload, Workload
 
 __all__ = ["AlgorithmResult", "CellResult", "run_cell", "make_policy"]
+
+log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -99,24 +103,27 @@ class CellResult:
 
 
 def make_policy(name: str, config: ExperimentConfig,
-                network: SensorNetwork) -> ChargingPolicy:
+                network: SensorNetwork,
+                obs: Instrumentation | None = None) -> ChargingPolicy:
     """Instantiate the named algorithm for one topology.
 
     Offline algorithms (``mtd``, ``periodic``) are planned against the
     network's *nominal* cycles and wrapped in a
     :class:`~repro.sim.policies.PlannedPolicy`; online ones are returned as
-    fresh policy objects.
+    fresh policy objects. ``obs`` (optional instrumentation) is threaded
+    into the planners the algorithm runs.
     """
     refine = name.endswith("+2opt")
     base = name.removesuffix("+2opt")
     if base == "mtd":
         result = min_total_distance(network, config.horizon, refine=refine,
-                                    base=config.quantization_base)
+                                    base=config.quantization_base, obs=obs)
         return PlannedPolicy(result.plan)
     if base == "mtd-var":
-        return MinTotalDistanceVarPolicy(refine=refine)
+        return MinTotalDistanceVarPolicy(refine=refine, instrumentation=obs)
     if base == "mtd-var-defer":
-        return MinTotalDistanceVarPolicy(refine=refine, patch_tie_break="defer")
+        return MinTotalDistanceVarPolicy(refine=refine, patch_tie_break="defer",
+                                         instrumentation=obs)
     if base == "greedy":
         # The paper's Δl is the distribution parameter tau_min (not the
         # realised minimum of one topology): under variable workloads a
@@ -140,27 +147,36 @@ def _make_workload(config: ExperimentConfig, network: SensorNetwork,
         slot_duration=config.slot_duration, seed=topology_seed)
 
 
-def run_cell(config: ExperimentConfig) -> CellResult:
+def run_cell(config: ExperimentConfig,
+             obs: Instrumentation | None = None) -> CellResult:
     """Run every configured algorithm on every topology of the cell.
 
     Topology ``r`` is derived deterministically from ``(config.seed, r)``;
-    its workload realisation is shared across algorithms.
+    its workload realisation is shared across algorithms. ``obs``
+    (optional instrumentation) wraps the whole cell in a ``cell`` span and
+    times each algorithm's plan+simulate work under ``cell.<algorithm>``.
     """
+    o = ensure(obs)
     per_alg: dict[str, list[tuple[float, int, int]]] = {a: [] for a in config.algorithms}
-    for r in range(config.n_topologies):
-        topo_seed = int(np.random.SeedSequence(
-            entropy=config.seed, spawn_key=(r,)).generate_state(1)[0])
-        network = build_paper_network(
-            n=config.n, q=config.q, distribution=config.make_distribution(),
-            seed=topo_seed, side=config.side, deployment=config.deployment)
-        workload = _make_workload(config, network, topo_seed)
-        for name in config.algorithms:
-            policy = make_policy(name, config, network)
-            out = simulate(network, policy, workload, config.horizon,
-                           strict=config.strict)
-            per_alg[name].append((out.metrics.service_cost,
-                                  out.metrics.n_deaths,
-                                  out.metrics.n_dispatches))
+    with o.span("cell", n=config.n, q=config.q,
+                topologies=config.n_topologies):
+        for r in range(config.n_topologies):
+            topo_seed = int(np.random.SeedSequence(
+                entropy=config.seed, spawn_key=(r,)).generate_state(1)[0])
+            network = build_paper_network(
+                n=config.n, q=config.q, distribution=config.make_distribution(),
+                seed=topo_seed, side=config.side, deployment=config.deployment)
+            workload = _make_workload(config, network, topo_seed)
+            log.debug("cell topology %d/%d (seed %d)", r + 1,
+                      config.n_topologies, topo_seed)
+            for name in config.algorithms:
+                with o.span(f"cell.{name}", topology=r):
+                    policy = make_policy(name, config, network, obs=obs)
+                    out = simulate(network, policy, workload, config.horizon,
+                                   strict=config.strict, instrumentation=obs)
+                per_alg[name].append((out.metrics.service_cost,
+                                      out.metrics.n_deaths,
+                                      out.metrics.n_dispatches))
     results = tuple(
         AlgorithmResult(
             algorithm=name,

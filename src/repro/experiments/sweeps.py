@@ -17,6 +17,7 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import CellResult, run_cell
+from repro.obs.instrument import Instrumentation
 
 __all__ = ["SweepResult", "sweep"]
 
@@ -74,7 +75,8 @@ class SweepResult:
 
 
 def sweep(base: ExperimentConfig, parameter: str, values: Sequence[Any],
-          *, progress: Callable[[str], None] | None = None) -> SweepResult:
+          *, progress: Callable[[str], None] | None = None,
+          obs: Instrumentation | None = None) -> SweepResult:
     """Run ``base`` once per value of ``parameter``.
 
     Parameters
@@ -87,7 +89,9 @@ def sweep(base: ExperimentConfig, parameter: str, values: Sequence[Any],
         Values to assign (validated by the config's ``__post_init__``).
     progress:
         Optional callback invoked with a human-readable line before each
-        cell (the CLI passes ``print``).
+        cell (the CLI passes a logger method).
+    obs:
+        Optional instrumentation context, forwarded to every cell.
     """
     if not values:
         raise ConfigError("sweep: empty value list")
@@ -98,5 +102,5 @@ def sweep(base: ExperimentConfig, parameter: str, values: Sequence[Any],
         cfg = base.with_(**{parameter: v})
         if progress is not None:
             progress(f"[sweep {parameter}={v}] {cfg.describe()}")
-        cells.append(run_cell(cfg))
+        cells.append(run_cell(cfg, obs=obs))
     return SweepResult(parameter=parameter, values=tuple(values), cells=tuple(cells))

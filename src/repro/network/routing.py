@@ -24,13 +24,29 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 from functools import cached_property
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import NetworkModelError
 from repro.geometry.distance import distance_matrix
+from repro.obs.instrument import Instrumentation, ensure
 
-__all__ = ["CommunicationGraph", "RoutingTree", "relay_loads"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.network.model import SensorNetwork
+
+__all__ = ["CommunicationGraph", "RoutingTree", "relay_loads", "n_matrix_builds"]
+
+#: How many dense distance matrices this module computed from raw
+#: coordinates since import (never decremented). ``from_network`` does not
+#: touch it — the difference against ``routing.dist_matrix_reused`` proves
+#: the pairwise computation happens once per network.
+_MATRIX_BUILDS = 0
+
+
+def n_matrix_builds() -> int:
+    """Module-wide count of from-scratch distance-matrix computations."""
+    return _MATRIX_BUILDS
 
 #: Node index of the base station inside a CommunicationGraph: it is always
 #: appended after the n sensors.
@@ -76,11 +92,46 @@ class CommunicationGraph:
     @cached_property
     def dist(self) -> np.ndarray:
         """Dense distances with out-of-range pairs set to ``inf``."""
+        global _MATRIX_BUILDS
+        _MATRIX_BUILDS += 1
         d = distance_matrix(self.coords)
+        return self._mask(d)
+
+    def _mask(self, d: np.ndarray) -> np.ndarray:
         d[d > self.comm_range] = np.inf
         np.fill_diagonal(d, 0.0)
         d.setflags(write=False)
         return d
+
+    @classmethod
+    def from_network(cls, network: "SensorNetwork", *, comm_range: float,
+                     obs: Instrumentation | None = None) -> "CommunicationGraph":
+        """Build the graph over a network's sensors and base station,
+        reusing the network's cached pairwise distances.
+
+        :attr:`SensorNetwork.dist` already holds every sensor-sensor
+        distance and :attr:`SensorNetwork.base_distances` every
+        sensor-to-base one, so nothing is recomputed here — the cached
+        blocks are assembled into the ``(n+1, n+1)`` masked matrix and
+        seeded straight into this graph's ``dist`` cache. ``obs`` counts
+        the reuse (``routing.dist_matrix_reused``); together with
+        :func:`n_matrix_builds` staying flat it proves the pairwise
+        computation happens once per network.
+        """
+        o = ensure(obs)
+        n = network.n
+        base = np.asarray(network.base_station.position.as_tuple(),
+                          dtype=np.float64)
+        coords = np.vstack([network.coordinates[:n], base[None, :]])
+        g = cls(coords=coords, comm_range=comm_range)
+        d = np.empty((n + 1, n + 1), dtype=np.float64)
+        d[:n, :n] = network.dist[:n, :n]
+        d[:n, n] = network.base_distances
+        d[n, :n] = network.base_distances
+        d[n, n] = 0.0
+        g.__dict__["dist"] = g._mask(d)  # seed the cached_property
+        o.incr("routing.dist_matrix_reused")
+        return g
 
     def is_connected(self) -> bool:
         """Whether every sensor can reach the base station (BFS)."""

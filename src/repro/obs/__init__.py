@@ -1,0 +1,36 @@
+"""repro.obs — counters, timers, spans and structured traces.
+
+The observability substrate behind every planning layer: an
+:class:`~repro.obs.instrument.Instrumentation` context is threaded (always
+optionally — ``None`` means the free no-op :data:`NULL`) through Algorithms
+1–3, the adaptive re-planner, the simulator and the experiment harness.
+See ``docs/OBSERVABILITY.md`` for the span/counter taxonomy and the CLI's
+``--profile`` / ``--trace`` flags.
+
+Note: :mod:`repro.obs.report` (table rendering) is imported lazily by
+``Instrumentation.stats_table`` — importing it here would cycle through the
+reporting and experiments layers, which themselves use this package.
+"""
+
+from repro.obs.instrument import (
+    NULL,
+    Instrumentation,
+    NullInstrumentation,
+    RunningStat,
+    ensure,
+)
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.trace import TraceEvent, read_jsonl, write_jsonl
+
+__all__ = [
+    "NULL",
+    "Instrumentation",
+    "NullInstrumentation",
+    "RunningStat",
+    "TraceEvent",
+    "configure_logging",
+    "ensure",
+    "get_logger",
+    "read_jsonl",
+    "write_jsonl",
+]

@@ -1,0 +1,209 @@
+"""The instrumentation context threaded through every planning layer.
+
+:class:`Instrumentation` aggregates three cheap primitives plus a trace:
+
+* **counters** — monotonically accumulated named totals (:meth:`incr`);
+* **value series** — running count/total/min/max of a named measurement
+  (:meth:`observe`), e.g. per-scheduling tour lengths;
+* **timers / spans** — :meth:`span` returns a context manager that times a
+  scoped block on the monotonic clock and files the result both under a
+  named timer and as a :class:`~repro.obs.trace.TraceEvent`.
+
+Every public entry point of the library accepts an optional instrumentation
+argument defaulting to ``None``; :func:`ensure` maps ``None`` to the
+module-level :data:`NULL` singleton, a :class:`NullInstrumentation` whose
+methods are all no-ops. Callers therefore never branch on "is profiling
+on?" — they call the hooks unconditionally, and the disabled path costs one
+attribute lookup and an empty method call. Hot inner loops keep their
+hook-call count per *algorithm invocation* (not per iteration) so the
+disabled overhead stays within noise (the ``bench_scaling`` guard measures
+exactly this).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any
+
+from repro.obs.trace import EVENT, SPAN, TraceEvent, write_jsonl
+
+__all__ = ["RunningStat", "Instrumentation", "NullInstrumentation", "NULL",
+           "ensure"]
+
+
+class RunningStat:
+    """Count / total / min / max of a stream of values (no storage)."""
+
+    __slots__ = ("count", "total", "vmin", "vmax")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def add(self, value: float) -> None:
+        v = float(value)
+        self.count += 1
+        self.total += v
+        if v < self.vmin:
+            self.vmin = v
+        if v > self.vmax:
+            self.vmax = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RunningStat(count={self.count}, total={self.total:.6g}, "
+                f"min={self.vmin:.6g}, max={self.vmax:.6g})")
+
+
+class _Span:
+    """Context manager produced by :meth:`Instrumentation.span`."""
+
+    __slots__ = ("_obs", "name", "attrs", "_start")
+
+    def __init__(self, obs: "Instrumentation", name: str,
+                 attrs: dict[str, Any]) -> None:
+        self._obs = obs
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered while the span is open."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._obs._record_span(self.name, self._start,
+                               perf_counter() - self._start, self.attrs)
+        return False
+
+
+class _NullSpan:
+    """Shared no-op span handed out by the disabled context."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        return None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Instrumentation:
+    """An enabled instrumentation context (collects everything).
+
+    Attributes
+    ----------
+    counters:
+        Name -> accumulated float total.
+    timers:
+        Span name -> :class:`RunningStat` over durations (seconds).
+    series:
+        Observation name -> :class:`RunningStat` over observed values.
+    events:
+        The trace, in record-completion order (spans append on exit).
+    """
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.timers: dict[str, RunningStat] = {}
+        self.series: dict[str, RunningStat] = {}
+        self.events: list[TraceEvent] = []
+        self._t0 = perf_counter()
+
+    # ------------------------------------------------------------- primitives
+    def incr(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name`` (creating it at 0)."""
+        self.counters[name] = self.counters.get(name, 0.0) + float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample of the value series ``name``."""
+        stat = self.series.get(name)
+        if stat is None:
+            stat = self.series[name] = RunningStat()
+        stat.add(value)
+
+    def span(self, name: str, **attrs: Any) -> _Span:
+        """A context manager timing a scoped block under timer ``name``."""
+        return _Span(self, name, attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """File an instantaneous trace event."""
+        self.events.append(TraceEvent(
+            name=name, kind=EVENT, t=perf_counter() - self._t0,
+            attrs=attrs))
+
+    # --------------------------------------------------------------- outputs
+    def spans(self, name: str | None = None) -> list[TraceEvent]:
+        """All span records, optionally filtered by name."""
+        return [e for e in self.events
+                if e.kind == SPAN and (name is None or e.name == name)]
+
+    def stats_table(self) -> str:
+        """Human-readable table of counters, timers and value series."""
+        from repro.obs.report import stats_table
+
+        return stats_table(self)
+
+    def write_trace(self, path: str) -> Any:
+        """Dump the trace as JSONL; returns the written path."""
+        return write_jsonl(self.events, path)
+
+    # -------------------------------------------------------------- internals
+    def _record_span(self, name: str, start: float, dur: float,
+                     attrs: dict[str, Any]) -> None:
+        stat = self.timers.get(name)
+        if stat is None:
+            stat = self.timers[name] = RunningStat()
+        stat.add(dur)
+        self.events.append(TraceEvent(
+            name=name, kind=SPAN, t=start - self._t0, dur=dur, attrs=attrs))
+
+
+class NullInstrumentation(Instrumentation):
+    """The disabled context: every hook is a no-op.
+
+    A singleton (:data:`NULL`) stands in whenever a caller passes ``None``,
+    so instrumented code never branches. The collections stay permanently
+    empty.
+    """
+
+    enabled = False
+
+    def incr(self, name: str, value: float = 1.0) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+
+#: Shared disabled context; what ``instrumentation=None`` resolves to.
+NULL = NullInstrumentation()
+
+
+def ensure(obs: Instrumentation | None) -> Instrumentation:
+    """Coerce an optional instrumentation argument to a usable context."""
+    return NULL if obs is None else obs

@@ -1,0 +1,64 @@
+"""Library-wide logging: the ``repro`` logger hierarchy.
+
+Every module that wants diagnostics asks for a child logger here instead of
+printing::
+
+    from repro.obs.log import get_logger
+    log = get_logger(__name__)
+
+Nothing is emitted until a handler is attached; the CLI calls
+:func:`configure_logging` (driven by ``-v/--verbose``) to install a plain
+stdout handler, so library diagnostics read exactly like the CLI's own
+output. Embedders may instead configure the standard :mod:`logging` root
+however they like — the ``repro`` logger propagates by default until
+:func:`configure_logging` takes over.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["log", "get_logger", "configure_logging"]
+
+#: The library's root logger; all module loggers are children of this.
+log = logging.getLogger("repro")
+
+#: Marker attribute identifying the handler installed by configure_logging.
+_HANDLER_FLAG = "_repro_cli_handler"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A child of the ``repro`` logger (``name`` may be a module path)."""
+    if not name or name == "repro":
+        return log
+    suffix = name.removeprefix("repro.")
+    return log.getChild(suffix)
+
+
+def configure_logging(verbosity: int = 0, *, stream=None) -> logging.Logger:
+    """Attach a message-only stream handler to the ``repro`` logger.
+
+    Parameters
+    ----------
+    verbosity:
+        ``0`` — INFO (progress lines show, as the CLI always did);
+        ``1`` or more — DEBUG (per-replan/per-dispatch diagnostics).
+    stream:
+        Output stream; defaults to the *current* ``sys.stdout`` so test
+        harnesses that swap stdout capture the output.
+
+    Idempotent: calling again replaces the previously installed handler, so
+    repeated CLI invocations in one process never double-log.
+    """
+    level = logging.DEBUG if verbosity >= 1 else logging.INFO
+    handler = logging.StreamHandler(stream if stream is not None else sys.stdout)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    setattr(handler, _HANDLER_FLAG, True)
+    for existing in list(log.handlers):
+        if getattr(existing, _HANDLER_FLAG, False):
+            log.removeHandler(existing)
+    log.addHandler(handler)
+    log.setLevel(level)
+    log.propagate = False
+    return log

@@ -1,0 +1,46 @@
+"""Render an instrumentation context as aligned plain-text tables.
+
+The CLI's ``--profile`` flag prints exactly this; the reporting layer
+appends the timer section to figure reports via
+:func:`repro.reporting.table.render_timings`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.instrument import Instrumentation
+
+__all__ = ["stats_table"]
+
+
+def stats_table(obs: "Instrumentation", *, precision: int = 3) -> str:
+    """Counters, timers and value series of ``obs`` as one text block.
+
+    Sections with no data are omitted; a fully empty context renders a
+    single placeholder line (so callers can always print the result).
+    """
+    from repro.reporting.table import format_table, render_timings
+
+    blocks: list[str] = ["== instrumentation =="]
+    if obs.counters:
+        rows = [[name, float(value)] for name, value in sorted(obs.counters.items())]
+        blocks.append("counters:")
+        blocks.append(format_table(["name", "count"], rows,
+                                   precision=0, indent="  "))
+    if obs.timers:
+        blocks.append("timers:")
+        blocks.append(render_timings(obs.timers, indent="  "))
+    if obs.series:
+        rows = [
+            [name, s.count, s.total, s.mean, s.vmin, s.vmax]
+            for name, s in sorted(obs.series.items())
+        ]
+        blocks.append("values:")
+        blocks.append(format_table(
+            ["series", "n", "total", "mean", "min", "max"], rows,
+            precision=precision, indent="  "))
+    if len(blocks) == 1:
+        blocks.append("(no instrumentation data recorded)")
+    return "\n".join(blocks)

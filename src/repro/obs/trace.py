@@ -1,0 +1,100 @@
+"""Structured trace events and their JSONL round-trip.
+
+A trace is a flat, time-ordered list of :class:`TraceEvent` records — spans
+(named intervals with a duration) and instantaneous events — produced by an
+enabled :class:`~repro.obs.instrument.Instrumentation`. The JSONL encoding
+is one event per line, so traces stream, concatenate and grep naturally and
+can be post-processed without loading this library.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+__all__ = ["TraceEvent", "write_jsonl", "read_jsonl"]
+
+#: The two record kinds a trace contains.
+SPAN = "span"
+EVENT = "event"
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars / sequences into plain JSON types."""
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return str(value)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One record of a trace.
+
+    Parameters
+    ----------
+    name:
+        Span/event name from the taxonomy (see ``docs/OBSERVABILITY.md``).
+    kind:
+        ``"span"`` (has a duration) or ``"event"`` (instantaneous).
+    t:
+        Start time in seconds, relative to the owning instrumentation
+        context's creation (monotonic clock).
+    dur:
+        Span duration in seconds; ``None`` for instantaneous events.
+    attrs:
+        Free-form attributes (JSON-serialisable after coercion).
+    """
+
+    name: str
+    kind: str
+    t: float
+    dur: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form used by the JSONL encoding."""
+        out: dict[str, Any] = {"name": self.name, "kind": self.kind,
+                               "t": float(self.t)}
+        if self.dur is not None:
+            out["dur"] = float(self.dur)
+        if self.attrs:
+            out["attrs"] = _jsonable(self.attrs)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TraceEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(name=str(data["name"]), kind=str(data["kind"]),
+                   t=float(data["t"]),
+                   dur=None if data.get("dur") is None else float(data["dur"]),
+                   attrs=dict(data.get("attrs", {})))
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str | Path) -> Path:
+    """Write ``events`` as one-JSON-object-per-line; returns the path."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("w", encoding="utf-8") as fh:
+        for ev in events:
+            fh.write(json.dumps(ev.to_dict(), separators=(",", ":")))
+            fh.write("\n")
+    return p
+
+
+def read_jsonl(path: str | Path) -> list[TraceEvent]:
+    """Load a trace written by :func:`write_jsonl` (blank lines skipped)."""
+    out: list[TraceEvent] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(TraceEvent.from_dict(json.loads(line)))
+    return out

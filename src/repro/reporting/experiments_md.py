@@ -133,9 +133,12 @@ def figure_markdown(spec: FigureSpec, result: SweepResult) -> str:
 def experiments_markdown(
         figure_ids: Iterable[str], *, n_topologies: int | None = None,
         full: bool = False,
-        progress: Callable[[str], None] | None = None) -> str:
+        progress: Callable[[str], None] | None = None,
+        obs=None) -> str:
     """Run the given figures and render the full document (summary table
-    first, then one section per figure)."""
+    first, then one section per figure). ``obs`` (optional
+    :class:`~repro.obs.instrument.Instrumentation`) is forwarded to every
+    figure run."""
     ids = list(figure_ids)
     sections: list[str] = []
     summary_rows: list[str] = []
@@ -145,7 +148,7 @@ def experiments_markdown(
             progress(f"[report] running {fid} ...")
         t0 = time.perf_counter()
         result = spec.run(n_topologies=n_topologies, full=full,
-                          progress=progress)
+                          progress=progress, obs=obs)
         elapsed = time.perf_counter() - t0
         sections.append(figure_markdown(spec, result)
                         + f"*(run time {elapsed:.0f}s)*\n")

@@ -11,7 +11,8 @@ import numpy as np
 
 from repro.experiments.figures import FigureSpec
 from repro.experiments.sweeps import SweepResult
-from repro.reporting.table import render_sweep
+from repro.obs.instrument import Instrumentation
+from repro.reporting.table import render_sweep, render_timings
 
 __all__ = ["headline_pair", "sweep_summary", "figure_report"]
 
@@ -44,8 +45,13 @@ def sweep_summary(result: SweepResult) -> str:
     return text
 
 
-def figure_report(spec: FigureSpec, result: SweepResult) -> str:
-    """Full paper-vs-measured block for one registered figure."""
+def figure_report(spec: FigureSpec, result: SweepResult,
+                  instrumentation: Instrumentation | None = None) -> str:
+    """Full paper-vs-measured block for one registered figure.
+
+    When ``instrumentation`` carries timing data (the CLI's ``--profile``
+    path), a wall-clock timings section is appended.
+    """
     setup = result.cells[0].config if result.cells else spec.base
     lines = [
         f"== {spec.figure_id}: {spec.title} ==",
@@ -57,4 +63,7 @@ def figure_report(spec: FigureSpec, result: SweepResult) -> str:
     if spec.check is not None:
         verdict = "PASS" if spec.check(result) else "FAIL"
         lines.append(f"registered shape check: {verdict}")
+    if instrumentation is not None and instrumentation.timers:
+        lines.append("timings:")
+        lines.append(render_timings(instrumentation.timers, indent="  "))
     return "\n".join(lines)

@@ -11,8 +11,6 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Sequence
 
-import numpy as np
-
 from repro.errors import ConfigError
 from repro.network.model import SensorNetwork
 from repro.tsp.tour import Tour

@@ -6,9 +6,9 @@ paper plots; these helpers keep that output aligned and consistent.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
-__all__ = ["format_table", "render_sweep"]
+__all__ = ["format_table", "render_sweep", "render_timings"]
 
 
 def _fmt(value: Any, precision: int) -> str:
@@ -49,6 +49,26 @@ def format_table(header: Sequence[str], rows: Sequence[Sequence[Any]],
     out = [line(list(header)), sep]
     out.extend(line(row) for row in cells)
     return "\n".join(out)
+
+
+def render_timings(timers: Mapping[str, Any], *, indent: str = "") -> str:
+    """Timing columns for a mapping of span name -> running stat.
+
+    Parameters
+    ----------
+    timers:
+        Typically ``Instrumentation.timers`` — values need ``count``,
+        ``total``, ``mean`` and ``vmax`` attributes
+        (:class:`repro.obs.instrument.RunningStat`); durations in seconds.
+    indent:
+        Prefix for every output line.
+    """
+    rows = [
+        [name, s.count, s.total, s.mean * 1e3, s.vmax * 1e3]
+        for name, s in sorted(timers.items())
+    ]
+    return format_table(["span", "calls", "total s", "mean ms", "max ms"],
+                        rows, precision=3, indent=indent)
 
 
 def render_sweep(result, *, precision: int = 1, with_ratio: tuple[str, str] | None = None) -> str:

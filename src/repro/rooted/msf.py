@@ -33,6 +33,7 @@ import numpy as np
 from repro.errors import GraphError
 from repro.graphs.forest import RootedForest
 from repro.graphs.mst import prim_mst
+from repro.obs.instrument import Instrumentation, ensure
 
 __all__ = ["MsfAssignment", "rooted_msf", "q_rooted_msf"]
 
@@ -69,7 +70,8 @@ class MsfAssignment:
         return np.nonzero(self.owner == root)[0]
 
 
-def rooted_msf(sensor_dist: np.ndarray, root_costs: np.ndarray) -> MsfAssignment:
+def rooted_msf(sensor_dist: np.ndarray, root_costs: np.ndarray,
+               *, obs: Instrumentation | None = None) -> MsfAssignment:
     """Exact rooted MSF via depot contraction.
 
     Parameters
@@ -80,6 +82,9 @@ def rooted_msf(sensor_dist: np.ndarray, root_costs: np.ndarray) -> MsfAssignment
         ``(m, R)`` cost of attaching each sensor directly to each of the
         ``R`` roots (``inf`` allowed to forbid an attachment, as long as
         every sensor can reach some root).
+    obs:
+        Optional instrumentation context; records an ``msf`` span plus the
+        ``msf.calls`` / ``msf.mst_rounds`` counters.
 
     Returns
     -------
@@ -108,52 +113,56 @@ def rooted_msf(sensor_dist: np.ndarray, root_costs: np.ndarray) -> MsfAssignment
     if m == 0:
         return MsfAssignment(0, n_roots, (), (), np.empty(0, dtype=np.intp), 0.0)
 
-    # Contract: node m is the super-root.
-    best_root_cost = rc.min(axis=1)
-    best_root = rc.argmin(axis=1)
-    if not np.all(np.isfinite(best_root_cost)):
-        bad = int(np.argmax(~np.isfinite(best_root_cost)))
-        raise GraphError(f"rooted_msf: sensor {bad} cannot reach any root")
-    contracted = np.empty((m + 1, m + 1), dtype=np.float64)
-    contracted[:m, :m] = sd
-    contracted[:m, m] = best_root_cost
-    contracted[m, :m] = best_root_cost
-    contracted[m, m] = 0.0
+    o = ensure(obs)
+    o.incr("msf.calls")
+    o.incr("msf.mst_rounds", m)  # Prim runs m rounds on the contracted graph
+    with o.span("msf", sensors=m, roots=n_roots):
+        # Contract: node m is the super-root.
+        best_root_cost = rc.min(axis=1)
+        best_root = rc.argmin(axis=1)
+        if not np.all(np.isfinite(best_root_cost)):
+            bad = int(np.argmax(~np.isfinite(best_root_cost)))
+            raise GraphError(f"rooted_msf: sensor {bad} cannot reach any root")
+        contracted = np.empty((m + 1, m + 1), dtype=np.float64)
+        contracted[:m, :m] = sd
+        contracted[:m, m] = best_root_cost
+        contracted[m, :m] = best_root_cost
+        contracted[m, m] = 0.0
 
-    # MST rooted at the super-root so bridging edges appear as (m, v).
-    edges = prim_mst(contracted, root=m)
+        # MST rooted at the super-root so bridging edges appear as (m, v).
+        edges = prim_mst(contracted, root=m)
 
-    sensor_edges: list[tuple[int, int]] = []
-    root_links: list[tuple[int, int]] = []
-    weight = 0.0
-    for u, v in edges:
-        if u == m:
-            root_links.append((int(best_root[v]), int(v)))
-            weight += float(best_root_cost[v])
-        elif v == m:  # cannot happen with root=m orientation, kept for safety
-            root_links.append((int(best_root[u]), int(u)))
-            weight += float(best_root_cost[u])
-        else:
-            sensor_edges.append((int(u), int(v)))
-            weight += float(sd[u, v])
+        sensor_edges: list[tuple[int, int]] = []
+        root_links: list[tuple[int, int]] = []
+        weight = 0.0
+        for u, v in edges:
+            if u == m:
+                root_links.append((int(best_root[v]), int(v)))
+                weight += float(best_root_cost[v])
+            elif v == m:  # cannot happen with root=m orientation, kept for safety
+                root_links.append((int(best_root[u]), int(u)))
+                weight += float(best_root_cost[u])
+            else:
+                sensor_edges.append((int(u), int(v)))
+                weight += float(sd[u, v])
 
-    # Ownership: BFS each super-root subtree from its bridging sensor.
-    adj: list[list[int]] = [[] for _ in range(m)]
-    for u, v in sensor_edges:
-        adj[u].append(v)
-        adj[v].append(u)
-    owner = np.full(m, -1, dtype=np.intp)
-    for root, start in root_links:
-        stack = [start]
-        owner[start] = root
-        while stack:
-            x = stack.pop()
-            for y in adj[x]:
-                if owner[y] == -1:
-                    owner[y] = root
-                    stack.append(y)
-    if np.any(owner == -1):
-        raise GraphError("rooted_msf: internal error — unassigned sensor after MST")
+        # Ownership: BFS each super-root subtree from its bridging sensor.
+        adj: list[list[int]] = [[] for _ in range(m)]
+        for u, v in sensor_edges:
+            adj[u].append(v)
+            adj[v].append(u)
+        owner = np.full(m, -1, dtype=np.intp)
+        for root, start in root_links:
+            stack = [start]
+            owner[start] = root
+            while stack:
+                x = stack.pop()
+                for y in adj[x]:
+                    if owner[y] == -1:
+                        owner[y] = root
+                        stack.append(y)
+        if np.any(owner == -1):
+            raise GraphError("rooted_msf: internal error — unassigned sensor after MST")
     return MsfAssignment(
         n_sensors=m, n_roots=n_roots,
         sensor_edges=tuple(sensor_edges), root_links=tuple(root_links),
@@ -162,7 +171,8 @@ def rooted_msf(sensor_dist: np.ndarray, root_costs: np.ndarray) -> MsfAssignment
 
 
 def q_rooted_msf(dist: np.ndarray, sensors: Sequence[int],
-                 depots: Sequence[int]) -> RootedForest:
+                 depots: Sequence[int],
+                 *, obs: Instrumentation | None = None) -> RootedForest:
     """Algorithm 1 over graph indices: span ``sensors`` with one tree per
     depot in ``depots``.
 
@@ -194,7 +204,8 @@ def q_rooted_msf(dist: np.ndarray, sensors: Sequence[int],
         return RootedForest(roots=tuple(int(r) for r in r_idx),
                             trees=tuple(() for _ in r_idx))
 
-    assignment = rooted_msf(d[np.ix_(s_idx, s_idx)], d[np.ix_(s_idx, r_idx)])
+    assignment = rooted_msf(d[np.ix_(s_idx, s_idx)], d[np.ix_(s_idx, r_idx)],
+                            obs=obs)
     trees: list[list[tuple[int, int]]] = [[] for _ in range(r_idx.size)]
     for root, sensor in assignment.root_links:
         trees[root].append((int(r_idx[root]), int(s_idx[sensor])))

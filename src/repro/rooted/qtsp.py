@@ -21,6 +21,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.graphs.forest import RootedForest
+from repro.obs.instrument import Instrumentation, ensure
 from repro.rooted.msf import q_rooted_msf
 from repro.rooted.refine import refine_tours
 from repro.tsp.tour import Tour
@@ -29,7 +30,8 @@ __all__ = ["q_rooted_tsp", "tours_total_cost"]
 
 
 def q_rooted_tsp(dist: np.ndarray, sensors: Sequence[int], depots: Sequence[int],
-                 *, refine: bool = False) -> list[Tour]:
+                 *, refine: bool = False,
+                 obs: Instrumentation | None = None) -> list[Tour]:
     """Solve the q-rooted TSP 2-approximately (Algorithm 2).
 
     Parameters
@@ -46,16 +48,29 @@ def q_rooted_tsp(dist: np.ndarray, sensors: Sequence[int], depots: Sequence[int]
         Apply the 2-opt/Or-opt post-pass. Off by default — the paper's
         algorithm does not include it; the ``abl-refine`` bench measures
         what it buys.
+    obs:
+        Optional instrumentation context; records a ``qtsp`` span, the
+        ``qtsp.calls`` counter and the ``qtsp.shortcut_saving`` value
+        series (doubled-forest walk length minus the realised tour cost —
+        what the Euler short-cutting step saves).
 
     Returns
     -------
     list[Tour]
         One tour per depot, jointly covering ``sensors``.
     """
-    forest = q_rooted_msf(dist, sensors, depots)
-    tours = tours_from_forest(forest)
-    if refine:
-        tours = refine_tours(dist, tours)
+    o = ensure(obs)
+    o.incr("qtsp.calls")
+    sensors = list(sensors)
+    with o.span("qtsp", sensors=len(sensors)):
+        forest = q_rooted_msf(dist, sensors, depots, obs=obs)
+        tours = tours_from_forest(forest)
+        if refine:
+            tours = refine_tours(dist, tours, obs=obs)
+    if o.enabled:
+        d = np.asarray(dist)
+        o.observe("qtsp.shortcut_saving",
+                  2.0 * forest.weight(d) - tours_total_cost(d, tours))
     return tours
 
 

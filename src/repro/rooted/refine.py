@@ -12,6 +12,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.obs.instrument import Instrumentation
 from repro.tsp.improve import or_opt, two_opt
 from repro.tsp.tour import Tour
 
@@ -19,7 +20,8 @@ __all__ = ["refine_tours"]
 
 
 def refine_tours(dist: np.ndarray, tours: Sequence[Tour],
-                 *, method: str = "2opt") -> list[Tour]:
+                 *, method: str = "2opt",
+                 obs: Instrumentation | None = None) -> list[Tour]:
     """Improve each tour independently with local search.
 
     Parameters
@@ -31,6 +33,9 @@ def refine_tours(dist: np.ndarray, tours: Sequence[Tour],
         structure, i.e. which charger serves which sensors, is preserved).
     method:
         ``"2opt"`` (default) or ``"2opt+oropt"`` for the heavier pipeline.
+    obs:
+        Optional instrumentation context, forwarded to the improvers
+        (``two_opt.passes`` / ``two_opt.moves`` counters and friends).
 
     Returns
     -------
@@ -42,9 +47,9 @@ def refine_tours(dist: np.ndarray, tours: Sequence[Tour],
     d = np.asarray(dist)
     out: list[Tour] = []
     for t in tours:
-        improved = two_opt(d, t)
+        improved = two_opt(d, t, obs=obs)
         if method == "2opt+oropt":
-            improved = or_opt(d, improved)
-            improved = two_opt(d, improved)
+            improved = or_opt(d, improved, obs=obs)
+            improved = two_opt(d, improved, obs=obs)
         out.append(improved)
     return out

@@ -27,6 +27,8 @@ import numpy as np
 from repro.core.schedule import ChargingScheduling
 from repro.errors import SensorDeathError, SimulationError
 from repro.network.model import SensorNetwork
+from repro.obs.instrument import Instrumentation, ensure
+from repro.obs.log import get_logger
 from repro.sim.events import ChargeEvent, DeathEvent, DispatchEvent
 from repro.sim.metrics import Metrics
 from repro.sim.policies import ChargingPolicy, SimulationView
@@ -37,6 +39,8 @@ __all__ = ["Simulator", "SimulationResult", "simulate"]
 
 #: Two event times closer than this are treated as coincident.
 _TIME_TOL = 1e-9
+
+log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -70,11 +74,19 @@ class Simulator:
         :class:`~repro.errors.SensorDeathError`; otherwise deaths are
         recorded in the metrics and the run continues (dead sensors revive
         when charged — experiments report the death count).
+    instrumentation:
+        Optional :class:`~repro.obs.instrument.Instrumentation` context.
+        Each :meth:`run` executes under a ``simulate`` span, every loop
+        iteration counts toward ``sim.events``, and each executed
+        scheduling records a ``dispatch`` span (with cost / sensor /
+        charger attributes). ``None`` (the default) is a strict no-op.
     """
 
-    def __init__(self, network: SensorNetwork, *, strict: bool = False) -> None:
+    def __init__(self, network: SensorNetwork, *, strict: bool = False,
+                 instrumentation: Instrumentation | None = None) -> None:
         self.network = network
         self.strict = strict
+        self._obs = ensure(instrumentation)
 
     def run(self, policy: ChargingPolicy, workload: Workload,
             horizon: float) -> SimulationResult:
@@ -96,62 +108,68 @@ class Simulator:
         net = self.network
         state = EnergyState(net.batteries)
         metrics = Metrics(q=net.q)
-        policy.reset(net, horizon)
+        o = self._obs
+        with o.span("simulate", n=net.n, horizon=float(horizon)) as sp:
+            policy.reset(net, horizon)
 
-        slot_len = workload.slot_duration
-        slot = 0
-        rates = np.asarray(workload.rates_at(0), dtype=np.float64)
-        if rates.shape != (net.n,):
-            raise SimulationError(
-                f"workload produced rates of shape {rates.shape}, expected ({net.n},)")
-
-        # Initial observation so online policies can plan from t=0 state.
-        policy.observe(self._view(0.0, state, rates))
-
-        t = 0.0
-        guard = 0
-        max_iterations = 10_000_000
-        while t < horizon - _TIME_TOL:
-            guard += 1
-            if guard > max_iterations:
-                raise SimulationError("simulation exceeded iteration guard "
-                                      "(policy likely returning non-advancing times)")
-            t_boundary = (slot + 1) * slot_len if math.isfinite(slot_len) else math.inf
-            t_policy_raw = policy.next_dispatch_time(t)
-            t_policy = math.inf if t_policy_raw is None else float(t_policy_raw)
-            if t_policy < t - _TIME_TOL:
+            slot_len = workload.slot_duration
+            slot = 0
+            rates = np.asarray(workload.rates_at(0), dtype=np.float64)
+            if rates.shape != (net.n,):
                 raise SimulationError(
-                    f"policy requested dispatch at {t_policy} < current time {t}")
-            t_next = min(horizon, t_boundary, max(t_policy, t))
+                    f"workload produced rates of shape {rates.shape}, expected ({net.n},)")
 
-            # ---- drain exactly over [t, t_next)
-            deaths = state.drain(rates, t_next - t, t)
-            for sensor, when in deaths:
-                metrics.deaths.append(DeathEvent(time=when, sensor=sensor))
-                if self.strict:
-                    raise SensorDeathError(
-                        f"sensor {sensor} died at t={when:.6g}", sensor_id=sensor,
-                        time=when)
-            t = t_next
-            if t >= horizon - _TIME_TOL:
-                break
+            # Initial observation so online policies can plan from t=0 state.
+            policy.observe(self._view(0.0, state, rates))
 
-            # ---- slot boundary first: rates change, policy observes
-            if abs(t - t_boundary) <= _TIME_TOL:
-                slot += 1
-                rates = np.asarray(workload.rates_at(slot), dtype=np.float64)
-                policy.observe(self._view(t, state, rates))
-                # The observation may have changed the next dispatch time;
-                # loop around rather than acting on a stale t_policy.
-                if not (abs(t - t_policy) <= _TIME_TOL):
-                    continue
-                t_policy = policy.next_dispatch_time(t) or math.inf
+            t = 0.0
+            guard = 0
+            max_iterations = 10_000_000
+            while t < horizon - _TIME_TOL:
+                guard += 1
+                o.incr("sim.events")
+                if guard > max_iterations:
+                    raise SimulationError("simulation exceeded iteration guard "
+                                          "(policy likely returning non-advancing times)")
+                t_boundary = (slot + 1) * slot_len if math.isfinite(slot_len) else math.inf
+                t_policy_raw = policy.next_dispatch_time(t)
+                t_policy = math.inf if t_policy_raw is None else float(t_policy_raw)
+                if t_policy < t - _TIME_TOL:
+                    raise SimulationError(
+                        f"policy requested dispatch at {t_policy} < current time {t}")
+                t_next = min(horizon, t_boundary, max(t_policy, t))
 
-            # ---- policy dispatch
-            if abs(t - t_policy) <= _TIME_TOL:
-                sched = policy.dispatch(self._view(t, state, rates))
-                if sched is not None:
-                    self._execute(sched, t, state, metrics)
+                # ---- drain exactly over [t, t_next)
+                deaths = state.drain(rates, t_next - t, t)
+                for sensor, when in deaths:
+                    metrics.deaths.append(DeathEvent(time=when, sensor=sensor))
+                    log.debug("sensor %d died at t=%.6g", sensor, when)
+                    if self.strict:
+                        raise SensorDeathError(
+                            f"sensor {sensor} died at t={when:.6g}", sensor_id=sensor,
+                            time=when)
+                t = t_next
+                if t >= horizon - _TIME_TOL:
+                    break
+
+                # ---- slot boundary first: rates change, policy observes
+                if abs(t - t_boundary) <= _TIME_TOL:
+                    slot += 1
+                    rates = np.asarray(workload.rates_at(slot), dtype=np.float64)
+                    policy.observe(self._view(t, state, rates))
+                    # The observation may have changed the next dispatch time;
+                    # loop around rather than acting on a stale t_policy.
+                    if not (abs(t - t_policy) <= _TIME_TOL):
+                        continue
+                    t_policy = policy.next_dispatch_time(t) or math.inf
+
+                # ---- policy dispatch
+                if abs(t - t_policy) <= _TIME_TOL:
+                    sched = policy.dispatch(self._view(t, state, rates))
+                    if sched is not None:
+                        self._execute(sched, t, state, metrics)
+            sp.set(events=guard, dispatches=len(metrics.dispatches),
+                   deaths=len(metrics.deaths))
         return SimulationResult(metrics=metrics,
                                 final_energy=state.energy.copy(), horizon=horizon)
 
@@ -165,30 +183,34 @@ class Simulator:
                  state: EnergyState, metrics: Metrics) -> None:
         net = self.network
         d = net.dist
-        total = 0.0
-        active = 0
-        for l, tour in enumerate(sched.tours):
-            c = tour.cost(d)
-            total += c
-            if not tour.is_empty:
-                active += 1
-            if l < metrics.per_charger.shape[0]:
-                metrics.per_charger[l] += c
-        sensors = sorted(sched.charged_sensors)
-        for s in sensors:
-            if s >= net.n:
-                raise SimulationError(f"scheduling charges non-sensor node {s}")
-            before = float(state.energy[s])
-            metrics.charges.append(ChargeEvent(
-                time=t, sensor=s, energy_before=before))
-            metrics.energy_delivered += float(net.batteries[s]) - before
-        state.charge_full(sensors)
-        metrics.service_cost += total
-        metrics.dispatches.append(DispatchEvent(
-            time=t, cost=total, n_sensors=len(sensors), n_active_chargers=active))
+        with self._obs.span("dispatch", time=float(t)) as sp:
+            total = 0.0
+            active = 0
+            for l, tour in enumerate(sched.tours):
+                c = tour.cost(d)
+                total += c
+                if not tour.is_empty:
+                    active += 1
+                if l < metrics.per_charger.shape[0]:
+                    metrics.per_charger[l] += c
+            sensors = sorted(sched.charged_sensors)
+            for s in sensors:
+                if s >= net.n:
+                    raise SimulationError(f"scheduling charges non-sensor node {s}")
+                before = float(state.energy[s])
+                metrics.charges.append(ChargeEvent(
+                    time=t, sensor=s, energy_before=before))
+                metrics.energy_delivered += float(net.batteries[s]) - before
+            state.charge_full(sensors)
+            metrics.service_cost += total
+            metrics.dispatches.append(DispatchEvent(
+                time=t, cost=total, n_sensors=len(sensors), n_active_chargers=active))
+            sp.set(cost=total, sensors=len(sensors), chargers=active)
 
 
 def simulate(network: SensorNetwork, policy: ChargingPolicy, workload: Workload,
-             horizon: float, *, strict: bool = False) -> SimulationResult:
-    """One-call wrapper: ``Simulator(network, strict=strict).run(...)``."""
-    return Simulator(network, strict=strict).run(policy, workload, horizon)
+             horizon: float, *, strict: bool = False,
+             instrumentation: Instrumentation | None = None) -> SimulationResult:
+    """One-call wrapper: ``Simulator(network, ...).run(...)``."""
+    return Simulator(network, strict=strict,
+                     instrumentation=instrumentation).run(policy, workload, horizon)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.instrument import Instrumentation, ensure
 from repro.tsp.tour import Tour
 
 __all__ = ["two_opt", "or_opt"]
@@ -24,7 +25,8 @@ __all__ = ["two_opt", "or_opt"]
 _EPS = 1e-10
 
 
-def two_opt(dist: np.ndarray, tour: Tour, *, max_rounds: int = 50) -> Tour:
+def two_opt(dist: np.ndarray, tour: Tour, *, max_rounds: int = 50,
+            obs: Instrumentation | None = None) -> Tour:
     """First-improvement 2-opt with vectorised candidate evaluation.
 
     Repeatedly replaces edge pairs ``(p[i-1], p[i])``, ``(p[j], p[j+1])`` by
@@ -41,6 +43,10 @@ def two_opt(dist: np.ndarray, tour: Tour, *, max_rounds: int = 50) -> Tour:
     max_rounds:
         Safety cap on improvement passes (each pass is O(k^2) candidate
         evaluations in O(k) NumPy calls).
+    obs:
+        Optional instrumentation context; accumulates the ``two_opt.passes``
+        and ``two_opt.moves`` counters (one hook call per invocation — the
+        hot candidate scan itself is never instrumented).
     """
     k = len(tour.order)
     if k < 4:  # depot + <3 stops: no non-trivial 2-opt move exists
@@ -48,8 +54,11 @@ def two_opt(dist: np.ndarray, tour: Tour, *, max_rounds: int = 50) -> Tour:
     d = np.asarray(dist)
     p = np.asarray(tour.order, dtype=np.intp)
 
+    passes = 0
+    moves = 0
     for _ in range(max_rounds):
         improved = False
+        passes += 1
         # i ranges over segment starts (1..k-2), j over segment ends (i+1..k-1).
         for i in range(1, k - 1):
             a, b = p[i - 1], p[i]
@@ -63,25 +72,33 @@ def two_opt(dist: np.ndarray, tour: Tour, *, max_rounds: int = 50) -> Tour:
                 j = int(js[best])
                 p[i:j + 1] = p[i:j + 1][::-1]
                 improved = True
+                moves += 1
         if not improved:
             break
+    o = ensure(obs)
+    o.incr("two_opt.passes", passes)
+    o.incr("two_opt.moves", moves)
     return tour.with_order(p.tolist())
 
 
 def or_opt(dist: np.ndarray, tour: Tour, *, segment_lengths: tuple[int, ...] = (1, 2, 3),
-           max_rounds: int = 20) -> Tour:
+           max_rounds: int = 20, obs: Instrumentation | None = None) -> Tour:
     """Or-opt: relocate short segments to better positions.
 
     For each segment length ``s`` in ``segment_lengths``, tries moving every
     consecutive run of ``s`` stops to every other position (both
     orientations), accepting strict improvements. Complements 2-opt, which
     cannot express single-node relocations cheaply.
+
+    ``obs`` accumulates the ``or_opt.passes`` / ``or_opt.moves`` counters.
     """
     k = len(tour.order)
     if k < 3:
         return tour
     d = np.asarray(dist)
     p = list(tour.order)
+    passes = 0
+    moves = 0
 
     def closed_gain(seq: list[int], i: int, s: int, j: int, flip: bool) -> float:
         """Gain (positive = better) of moving seq[i:i+s] after position j."""
@@ -100,6 +117,7 @@ def or_opt(dist: np.ndarray, tour: Tour, *, segment_lengths: tuple[int, ...] = (
 
     for _ in range(max_rounds):
         improved = False
+        passes += 1
         n = len(p)
         for s in segment_lengths:
             if n - s < 2:
@@ -125,6 +143,7 @@ def or_opt(dist: np.ndarray, tour: Tour, *, segment_lengths: tuple[int, ...] = (
                     at = rest.index(anchor)
                     p = rest[:at + 1] + seg + rest[at + 1:]
                     improved = True
+                    moves += 1
                     n = len(p)
                 i += 1
         if not improved:
@@ -134,4 +153,7 @@ def or_opt(dist: np.ndarray, tour: Tour, *, segment_lengths: tuple[int, ...] = (
     if p[0] != tour.depot:
         at = p.index(tour.depot)
         p = p[at:] + p[:at]
+    o = ensure(obs)
+    o.incr("or_opt.passes", passes)
+    o.incr("or_opt.moves", moves)
     return tour.with_order(p)

@@ -5,8 +5,6 @@ checking perpetuity, adaptation behaviour, and the paper's qualitative
 regime findings (Figs. 5 and 6 endpoints).
 """
 
-import pytest
-
 from repro.adaptive.mintotal_var import MinTotalDistanceVarPolicy
 from repro.baselines.greedy import GreedyOnDemandPolicy
 from repro.network.cycles import LinearCycleDistribution

@@ -12,7 +12,6 @@ from repro.geometry.point import Point
 from repro.network.builder import NetworkBuilder
 from repro.rooted.capacity import split_tour_by_budget
 from repro.rooted.qtsp import q_rooted_tsp
-from repro.tsp.tour import Tour
 
 
 @st.composite

@@ -62,7 +62,8 @@ class TestRunFigure:
     def test_run_figure_forwards_reps(self, monkeypatch):
         captured = {}
 
-        def fake_run(self, *, n_topologies=None, full=False, progress=None):
+        def fake_run(self, *, n_topologies=None, full=False, progress=None,
+                     obs=None):
             captured["reps"] = n_topologies
             captured["full"] = full
             return "sentinel"

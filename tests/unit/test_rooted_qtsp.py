@@ -1,6 +1,5 @@
 """Unit tests for :mod:`repro.rooted.qtsp` (Algorithm 2) and refine."""
 
-import numpy as np
 import pytest
 
 from repro.geometry.distance import distance_matrix

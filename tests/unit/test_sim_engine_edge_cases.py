@@ -1,7 +1,5 @@
 """Edge-case tests for the simulation engine's event handling."""
 
-import math
-
 import numpy as np
 import pytest
 
