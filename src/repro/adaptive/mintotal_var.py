@@ -35,6 +35,7 @@ from repro.errors import ConfigError
 from repro.network.model import SensorNetwork
 from repro.obs.instrument import Instrumentation, ensure
 from repro.obs.log import get_logger
+from repro.plan.cache import PlanArtifactCache
 from repro.sim.policies import SimulationView
 
 __all__ = ["MinTotalDistanceVarPolicy"]
@@ -66,6 +67,16 @@ class MinTotalDistanceVarPolicy:
         (Fig. 5, ``ΔT = 1``). ``"defer"`` is this library's improvement:
         measurably cheaper under instability with identical safety (the
         ``abl-tiebreak`` bench quantifies it).
+    cache:
+        Plan-artifact reuse across re-plans. ``True`` (default) gives the
+        policy a private :class:`~repro.plan.cache.PlanArtifactCache`,
+        created fresh at every :meth:`reset`: successive re-plans over the
+        same fixed geometry then skip Algorithms 1–2 for every coverage set
+        already solved (the replanned plans are tour-for-tour identical to
+        the uncached ones — caching is a pure accelerator). ``False``
+        disables reuse. Passing a :class:`PlanArtifactCache` instance
+        shares it across resets/policies (keys carry the geometry
+        fingerprint, so cross-topology sharing is safe).
     instrumentation:
         Optional :class:`~repro.obs.instrument.Instrumentation` context.
         Each rebuild runs under a ``replan`` span; triggers are classified
@@ -83,6 +94,7 @@ class MinTotalDistanceVarPolicy:
 
     def __init__(self, *, gamma: float = 1.0, report_threshold: float = 0.0,
                  refine: bool = False, patch_tie_break: str = "immediate",
+                 cache: PlanArtifactCache | bool = True,
                  instrumentation: Instrumentation | None = None) -> None:
         if patch_tie_break not in ("defer", "immediate"):
             raise ConfigError(
@@ -92,6 +104,9 @@ class MinTotalDistanceVarPolicy:
         self.report_threshold = report_threshold
         self.refine = refine
         self.patch_tie_break = patch_tie_break
+        self._cache_policy = cache
+        self._cache: PlanArtifactCache | None = (
+            cache if isinstance(cache, PlanArtifactCache) else None)
         self.n_replans = 0
         self._net: SensorNetwork | None = None
         self._horizon = math.inf
@@ -107,6 +122,11 @@ class MinTotalDistanceVarPolicy:
     def reset(self, network: SensorNetwork, horizon: float) -> None:
         self._net = network
         self._horizon = horizon
+        if self._cache_policy is True:
+            self._cache = PlanArtifactCache()  # private, per run
+        elif self._cache_policy is False:
+            self._cache = None
+        # else: a shared cache instance was injected; keep it across resets.
         self._pred = EwmaRatePredictor(self.gamma)
         self._monitor = VariationMonitor(self.report_threshold)
         self._queue = []
@@ -186,10 +206,6 @@ class MinTotalDistanceVarPolicy:
             return "survival"
         return None
 
-    def _needs_replan(self, view: SimulationView, reported: np.ndarray) -> bool:
-        """The paper's reuse test plus the conservative survival check."""
-        return self._replan_reason(view, reported) is not None
-
     def _next_charge_times(self, now: float) -> np.ndarray:
         """Per-sensor next *guaranteed* charge under the active base plan.
 
@@ -220,7 +236,7 @@ class MinTotalDistanceVarPolicy:
         with self._obs.span("replan", initial=initial, time=float(t)) as sp:
             result = min_total_distance(self._net, self._horizon, cycles=cycles,
                                         refine=self.refine, start_time=t,
-                                        obs=self._obs)
+                                        cache=self._cache, obs=self._obs)
             quant = result.quantization
             queue: list[ChargingScheduling] = []
 
@@ -231,7 +247,8 @@ class MinTotalDistanceVarPolicy:
                                       out=np.full(view.energy.shape, np.inf),
                                       where=rates > 0)
                 patch = build_patch(self._net, quant, lifetimes, refine=self.refine,
-                                    tie_break=self.patch_tie_break, obs=self._obs)
+                                    tie_break=self.patch_tie_break,
+                                    cache=self._cache, obs=self._obs)
                 patched_tours = patch.tours
                 if patch.tours[0] is not None:
                     queue.append(ChargingScheduling(time=t, tours=patch.tours[0]))

@@ -33,8 +33,9 @@ from repro.core.quantize import Quantization
 from repro.errors import ScheduleError
 from repro.network.model import SensorNetwork
 from repro.obs.instrument import Instrumentation, ensure
+from repro.plan.cache import PlanArtifactCache
+from repro.plan.pipeline import plan_tours
 from repro.rooted.msf import rooted_msf
-from repro.rooted.qtsp import q_rooted_tsp
 from repro.tsp.tour import Tour
 
 __all__ = ["PatchResult", "build_patch"]
@@ -75,6 +76,7 @@ class PatchResult:
 def build_patch(network: SensorNetwork, quant: Quantization,
                 lifetimes: np.ndarray, *, refine: bool = False,
                 tie_break: str = "immediate",
+                cache: PlanArtifactCache | None = None,
                 obs: Instrumentation | None = None) -> PatchResult:
     """Run the repair step against a freshly computed plan.
 
@@ -99,6 +101,11 @@ def build_patch(network: SensorNetwork, quant: Quantization,
         improvement: avoids dispatching an immediate ``C'_0`` tour at every
         re-plan, measurably cheaper under extreme workload instability; see
         EXPERIMENTS.md and the ``abl-tiebreak`` bench).
+    cache:
+        Optional plan-artifact cache. Patched node sets go through the same
+        staged pipeline as base schedulings, so a set that recurs across
+        re-plans (or coincides with a base coverage set) reuses its forest
+        and tours instead of re-solving Algorithms 1–2.
     obs:
         Optional instrumentation context: ``patch`` span plus the
         ``patch.calls`` / ``patch.urgent`` / ``patch.immediate`` /
@@ -191,8 +198,8 @@ def build_patch(network: SensorNetwork, quant: Quantization,
             if j > 0 and sets[j] == base_sets[j]:
                 tours.append(None)
                 continue
-            tours.append(tuple(q_rooted_tsp(dist, sorted(sets[j]), depots,
-                                            refine=refine, obs=obs)))
+            tours.append(plan_tours(network, frozenset(sets[j]), refine=refine,
+                                    cache=cache, obs=obs))
         retoured = sum(1 for t in tours if t is not None)
         o.incr("patch.retoured", retoured)
         sp.set(retoured=retoured)

@@ -5,6 +5,7 @@
     repro list                         # catalogue of reproducible figures
     repro run fig1a                    # run a figure (coarse grid)
     repro run fig2a --full --reps 100  # the paper-dense version
+    repro run fig2a --jobs 4           # fan topologies over 4 processes
     repro run fig3 --csv out/fig3.csv  # also export the series
     repro demo                         # 30-second end-to-end demo
     repro --profile demo               # ... plus the instrumentation table
@@ -56,6 +57,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="use the paper-dense sweep grid")
     run.add_argument("--csv", default=None, metavar="PATH",
                      help="export the series to a CSV file")
+    run.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes per cell (topology jobs; results "
+                          "are bit-identical to --jobs 1)")
     run.add_argument("--quiet", action="store_true", help="suppress progress lines")
 
     sub.add_parser("demo", help="end-to-end demo on one small topology")
@@ -70,6 +74,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="paper-dense sweep grids")
     report.add_argument("--out", default="EXPERIMENTS.md", metavar="PATH",
                         help="output markdown file (default: EXPERIMENTS.md)")
+    report.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes per cell (topology jobs; results "
+                             "are bit-identical to --jobs 1)")
     report.add_argument("--quiet", action="store_true")
 
     plan = sub.add_parser(
@@ -110,7 +117,7 @@ def _cmd_run(args: argparse.Namespace, obs: Instrumentation | None) -> int:
     progress = None if args.quiet else log.info
     t0 = time.perf_counter()
     result = spec.run(n_topologies=args.reps, full=args.full, progress=progress,
-                      obs=obs)
+                      obs=obs, jobs=args.jobs)
     elapsed = time.perf_counter() - t0
     print()
     print(figure_report(spec, result, instrumentation=obs))
@@ -167,7 +174,7 @@ def _cmd_report(args: argparse.Namespace, obs: Instrumentation | None) -> int:
         get_figure(fid)  # validate before the long run
     progress = None if args.quiet else log.info
     text = experiments_markdown(ids, n_topologies=args.reps, full=args.full,
-                                progress=progress, obs=obs)
+                                progress=progress, obs=obs, jobs=args.jobs)
     out = Path(args.out)
     out.write_text(text)
     log.info("report written to %s", out.resolve())

@@ -14,6 +14,14 @@ Given fixed maximum charging cycles, the algorithm:
 The cost guarantee (paper's Theorem 2) is ``2(K+2) * OPT`` with
 ``K = floor(log2(tau_max / tau_min))``; in practice the ratio against the
 Lemma-3 lower bound is far smaller (see ``benchmarks/bench_ablation_lowerbound.py``).
+
+The heavy lifting is delegated to the staged planner pipeline
+(:mod:`repro.plan.pipeline`); passing a
+:class:`~repro.plan.cache.PlanArtifactCache` memoizes the per-coverage-set
+forests and tours across repeated calls over the same geometry (the
+``mtd-var`` re-plan path) and across refine variants. This module keeps the
+paper-facing orchestration: quantise, build the block, unroll it over the
+monitoring period.
 """
 
 from __future__ import annotations
@@ -27,7 +35,9 @@ from repro.core.schedule import ChargingScheduling, SchedulePlan
 from repro.errors import ScheduleError
 from repro.network.model import SensorNetwork
 from repro.obs.instrument import Instrumentation, ensure
-from repro.rooted.qtsp import q_rooted_tsp, tours_total_cost
+from repro.plan.cache import PlanArtifactCache
+from repro.plan.pipeline import build_block
+from repro.rooted.qtsp import tours_total_cost
 from repro.tsp.tour import Tour
 
 __all__ = ["MinTotalDistanceResult", "min_total_distance", "build_block"]
@@ -60,42 +70,12 @@ class MinTotalDistanceResult:
             [sum(t.cost(d) for t in tours) for tours in self.block], dtype=np.float64)
 
 
-def build_block(network: SensorNetwork, quant: Quantization,
-                *, refine: bool = False,
-                obs: Instrumentation | None = None) -> tuple[tuple[Tour, ...], ...]:
-    """The ``2^K`` distinct tour sets of one scheduling block.
-
-    Scheduling ``j`` covers every class whose assigned cycle divides
-    ``j * tau_1``; its tours come from Algorithm 2 on the induced subgraph.
-    Identical sensor sets across different ``j`` (common: any ``j`` with the
-    same divisor pattern) are solved once and shared. ``obs`` counts the
-    solver cache behaviour (``plan.block.solved`` / ``plan.block.reused``)
-    and times the whole construction under the ``plan.block`` span.
-    """
-    o = ensure(obs)
-    depots = [int(i) for i in network.depot_indices]
-    cache: dict[frozenset[int], tuple[Tour, ...]] = {}
-    block: list[tuple[Tour, ...]] = []
-    with o.span("plan.block", block_size=quant.block_size):
-        for j in range(1, quant.block_size + 1):
-            due = quant.sensors_due_at(j)
-            key = frozenset(int(s) for s in due)
-            if key not in cache:
-                tours = q_rooted_tsp(network.dist, sorted(key), depots,
-                                     refine=refine, obs=obs)
-                cache[key] = tuple(tours)
-                o.incr("plan.block.solved")
-            else:
-                o.incr("plan.block.reused")
-            block.append(cache[key])
-    return tuple(block)
-
-
 def min_total_distance(network: SensorNetwork, horizon: float,
                        *, cycles: np.ndarray | None = None,
                        refine: bool = False,
                        start_time: float = 0.0,
                        base: int = 2,
+                       cache: PlanArtifactCache | None = None,
                        obs: Instrumentation | None = None) -> MinTotalDistanceResult:
     """Run Algorithm 3.
 
@@ -118,6 +98,12 @@ def min_total_distance(network: SensorNetwork, horizon: float,
     base:
         Geometric base of the cycle quantisation (the paper's algorithm is
         ``base = 2``; the ``abl-base`` bench explores larger bases).
+    cache:
+        Optional :class:`~repro.plan.cache.PlanArtifactCache`. Memoizes the
+        per-coverage-set forests and tours so repeated plans over the same
+        geometry (``mtd-var`` re-plans; refine-variant pairs) skip
+        Algorithms 1–2 on cache hits. The result is tour-for-tour identical
+        with or without a cache.
     obs:
         Optional instrumentation context. Records the ``plan`` span, the
         class structure (``plan.K``, ``plan.class_size`` series), the
@@ -142,7 +128,7 @@ def min_total_distance(network: SensorNetwork, horizon: float,
     o = ensure(obs)
     with o.span("plan", n=network.n, horizon=float(horizon)) as sp:
         quant = quantize_cycles(tau, base=base)
-        block = build_block(network, quant, refine=refine, obs=obs)
+        block = build_block(network, quant, refine=refine, cache=cache, obs=obs)
 
         schedulings: list[ChargingScheduling] = []
         j = 1

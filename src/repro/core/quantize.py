@@ -116,6 +116,20 @@ class Quantization:
         mask = np.isin(self.k_of, ks)
         return np.nonzero(mask)[0]
 
+    def coverage_sets(self) -> tuple[frozenset[int], ...]:
+        """Stage-2 artifact of the planner pipeline: the frozen coverage set
+        of every within-block scheduling.
+
+        Element ``j - 1`` is scheduling ``j``'s sensor set
+        ``⋃ {V_k : j mod b^k = 0}`` as an immutable ``frozenset`` —
+        exactly the content-addressable key the plan-artifact cache uses
+        (see :mod:`repro.plan`). At most ``K + 1`` of the ``b^K`` sets are
+        distinct (one per divisor pattern of ``j``).
+        """
+        return tuple(
+            frozenset(int(s) for s in self.sensors_due_at(j))
+            for j in range(1, self.block_size + 1))
+
     def validate(self) -> None:
         """Assert the two defining inequalities ``tau_i/b < tau'_i <= tau_i``
         hold for every sensor (used by tests and the property suite)."""

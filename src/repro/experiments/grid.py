@@ -81,7 +81,8 @@ class GridResult:
 
 
 def grid_sweep(base: ExperimentConfig, axes: Mapping[str, Sequence[Any]],
-               *, progress: Callable[[str], None] | None = None) -> GridResult:
+               *, progress: Callable[[str], None] | None = None,
+               jobs: int = 1) -> GridResult:
     """Run ``base`` at every combination of the given axes.
 
     Parameters
@@ -93,6 +94,9 @@ def grid_sweep(base: ExperimentConfig, axes: Mapping[str, Sequence[Any]],
         fixes the axis order of the result tensors.
     progress:
         Optional per-cell progress callback.
+    jobs:
+        Worker processes per cell (forwarded to
+        :func:`~repro.experiments.runner.run_cell`; bit-identical results).
     """
     if not axes:
         raise ConfigError("grid_sweep: need at least one axis")
@@ -108,5 +112,5 @@ def grid_sweep(base: ExperimentConfig, axes: Mapping[str, Sequence[Any]],
         cfg = base.with_(**dict(zip(parameters, combo)))
         if progress is not None:
             progress(f"[grid {dict(zip(parameters, combo))}] {cfg.describe()}")
-        cells[combo] = run_cell(cfg)
+        cells[combo] = run_cell(cfg, jobs=jobs)
     return GridResult(parameters=parameters, values=values, cells=cells)

@@ -4,12 +4,25 @@ Every algorithm sees *exactly the same* topologies and workload
 realisations (common random numbers), so per-cell cost ratios are paired
 comparisons rather than noise against noise — the variance-reduction trick
 behind the paper's smooth curves at only 100 repetitions.
+
+The cell is executed as independent **topology jobs**: topology ``r`` is a
+pure function of ``(config, r)``, so jobs run serially or fan out onto a
+``ProcessPoolExecutor`` (``jobs > 1``) with bit-identical results — same
+seeds, same floating-point operations, same assembly order. Worker
+instrumentation comes back as mergeable
+:class:`~repro.obs.instrument.StatsSnapshot` payloads folded into the
+parent context in topology order. Within a job, all algorithms share one
+:class:`~repro.plan.cache.PlanArtifactCache`, so ``mtd`` and ``mtd+2opt``
+solve each base tour set once and ``mtd-var`` reuses artifacts across its
+re-plans.
 """
 
 from __future__ import annotations
 
 import math
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -22,8 +35,9 @@ from repro.errors import ConfigError
 from repro.experiments.config import ExperimentConfig
 from repro.network.builder import build_paper_network
 from repro.network.model import SensorNetwork
-from repro.obs.instrument import Instrumentation, ensure
+from repro.obs.instrument import Instrumentation, StatsSnapshot, ensure
 from repro.obs.log import get_logger
+from repro.plan.cache import PlanArtifactCache
 from repro.sim.engine import simulate
 from repro.sim.policies import ChargingPolicy, PlannedPolicy
 from repro.sim.workload import FixedWorkload, ResampledWorkload, Workload
@@ -31,6 +45,9 @@ from repro.sim.workload import FixedWorkload, ResampledWorkload, Workload
 __all__ = ["AlgorithmResult", "CellResult", "run_cell", "make_policy"]
 
 log = get_logger(__name__)
+
+#: Row shape one topology job produces per algorithm.
+_Row = tuple[float, int, int]  # (service cost, deaths, dispatches)
 
 
 @dataclass(frozen=True)
@@ -76,12 +93,16 @@ class CellResult:
     config: ExperimentConfig
     results: tuple[AlgorithmResult, ...]
 
+    @cached_property
+    def _by_name(self) -> dict[str, AlgorithmResult]:
+        return {r.algorithm: r for r in self.results}
+
     def by_name(self, algorithm: str) -> AlgorithmResult:
-        for r in self.results:
-            if r.algorithm == algorithm:
-                return r
-        raise KeyError(f"algorithm {algorithm!r} not in cell "
-                       f"(have {[r.algorithm for r in self.results]})")
+        try:
+            return self._by_name[algorithm]
+        except KeyError:
+            raise KeyError(f"algorithm {algorithm!r} not in cell "
+                           f"(have {[r.algorithm for r in self.results]})") from None
 
     def ratio(self, num: str, den: str) -> float:
         """Mean-cost ratio between two algorithms (e.g. MTD / Greedy)."""
@@ -104,26 +125,34 @@ class CellResult:
 
 def make_policy(name: str, config: ExperimentConfig,
                 network: SensorNetwork,
-                obs: Instrumentation | None = None) -> ChargingPolicy:
+                obs: Instrumentation | None = None,
+                cache: PlanArtifactCache | None = None) -> ChargingPolicy:
     """Instantiate the named algorithm for one topology.
 
     Offline algorithms (``mtd``, ``periodic``) are planned against the
     network's *nominal* cycles and wrapped in a
     :class:`~repro.sim.policies.PlannedPolicy`; online ones are returned as
     fresh policy objects. ``obs`` (optional instrumentation) is threaded
-    into the planners the algorithm runs.
+    into the planners the algorithm runs, and ``cache`` (optional
+    plan-artifact cache) into every staged-pipeline planner — sharing one
+    cache across the refine-variant pairs makes ``mtd+2opt`` reuse ``mtd``'s
+    base tours.
     """
     refine = name.endswith("+2opt")
     base = name.removesuffix("+2opt")
     if base == "mtd":
         result = min_total_distance(network, config.horizon, refine=refine,
-                                    base=config.quantization_base, obs=obs)
+                                    base=config.quantization_base,
+                                    cache=cache, obs=obs)
         return PlannedPolicy(result.plan)
     if base == "mtd-var":
-        return MinTotalDistanceVarPolicy(refine=refine, instrumentation=obs)
+        return MinTotalDistanceVarPolicy(
+            refine=refine, cache=cache if cache is not None else True,
+            instrumentation=obs)
     if base == "mtd-var-defer":
-        return MinTotalDistanceVarPolicy(refine=refine, patch_tie_break="defer",
-                                         instrumentation=obs)
+        return MinTotalDistanceVarPolicy(
+            refine=refine, patch_tie_break="defer",
+            cache=cache if cache is not None else True, instrumentation=obs)
     if base == "greedy":
         # The paper's Δl is the distribution parameter tau_min (not the
         # realised minimum of one topology): under variable workloads a
@@ -147,43 +176,110 @@ def _make_workload(config: ExperimentConfig, network: SensorNetwork,
         slot_duration=config.slot_duration, seed=topology_seed)
 
 
+def topology_seed(config: ExperimentConfig, r: int) -> int:
+    """Deterministic child seed of topology ``r`` (identical in every
+    execution mode — this is what makes parallel runs bit-reproducible)."""
+    return int(np.random.SeedSequence(
+        entropy=config.seed, spawn_key=(r,)).generate_state(1)[0])
+
+
+def _run_topology(config: ExperimentConfig, r: int,
+                  obs: Instrumentation | None) -> list[_Row]:
+    """One topology job: build, plan and simulate every algorithm.
+
+    Returns one ``(cost, deaths, dispatches)`` row per algorithm, in config
+    order. Pure in ``(config, r)`` — instrumentation never influences
+    results — so the serial loop and pool workers share this code path.
+    """
+    o = ensure(obs)
+    topo_seed = topology_seed(config, r)
+    network = build_paper_network(
+        n=config.n, q=config.q, distribution=config.make_distribution(),
+        seed=topo_seed, side=config.side, deployment=config.deployment)
+    workload = _make_workload(config, network, topo_seed)
+    plan_cache = PlanArtifactCache()  # shared by all algorithms of this topology
+    log.debug("cell topology %d/%d (seed %d)", r + 1,
+              config.n_topologies, topo_seed)
+    rows: list[_Row] = []
+    for name in config.algorithms:
+        with o.span(f"cell.{name}", topology=r):
+            policy = make_policy(name, config, network, obs=obs, cache=plan_cache)
+            out = simulate(network, policy, workload, config.horizon,
+                           strict=config.strict, instrumentation=obs)
+        rows.append((out.metrics.service_cost,
+                     out.metrics.n_deaths,
+                     out.metrics.n_dispatches))
+    return rows
+
+
+def _topology_worker(payload: tuple[ExperimentConfig, int, bool],
+                     ) -> tuple[int, list[_Row], StatsSnapshot | None]:
+    """Pool entry point: run one topology job in a worker process.
+
+    Collects into a worker-local instrumentation context (when the parent
+    is collecting) and ships it back as a picklable snapshot.
+    """
+    config, r, collect = payload
+    worker_obs = Instrumentation() if collect else None
+    rows = _run_topology(config, r, worker_obs)
+    return r, rows, None if worker_obs is None else worker_obs.snapshot()
+
+
 def run_cell(config: ExperimentConfig,
-             obs: Instrumentation | None = None) -> CellResult:
+             obs: Instrumentation | None = None,
+             *, jobs: int = 1) -> CellResult:
     """Run every configured algorithm on every topology of the cell.
 
     Topology ``r`` is derived deterministically from ``(config.seed, r)``;
     its workload realisation is shared across algorithms. ``obs``
     (optional instrumentation) wraps the whole cell in a ``cell`` span and
     times each algorithm's plan+simulate work under ``cell.<algorithm>``.
+
+    Parameters
+    ----------
+    config:
+        The cell definition.
+    obs:
+        Optional instrumentation context.
+    jobs:
+        Worker processes. ``1`` (default) runs in-process; ``N > 1`` fans
+        the topology jobs out on a ``ProcessPoolExecutor``. Results are
+        bit-identical to the serial path regardless of ``jobs`` — each job
+        derives its own seed and the parent assembles rows in topology
+        order — and worker instrumentation is merged back (by topology
+        index) into ``obs``.
     """
+    if jobs < 1:
+        raise ConfigError(f"run_cell: jobs must be >= 1, got {jobs}")
     o = ensure(obs)
-    per_alg: dict[str, list[tuple[float, int, int]]] = {a: [] for a in config.algorithms}
+    per_topology: list[list[_Row]] = []
     with o.span("cell", n=config.n, q=config.q,
-                topologies=config.n_topologies):
-        for r in range(config.n_topologies):
-            topo_seed = int(np.random.SeedSequence(
-                entropy=config.seed, spawn_key=(r,)).generate_state(1)[0])
-            network = build_paper_network(
-                n=config.n, q=config.q, distribution=config.make_distribution(),
-                seed=topo_seed, side=config.side, deployment=config.deployment)
-            workload = _make_workload(config, network, topo_seed)
-            log.debug("cell topology %d/%d (seed %d)", r + 1,
-                      config.n_topologies, topo_seed)
-            for name in config.algorithms:
-                with o.span(f"cell.{name}", topology=r):
-                    policy = make_policy(name, config, network, obs=obs)
-                    out = simulate(network, policy, workload, config.horizon,
-                                   strict=config.strict, instrumentation=obs)
-                per_alg[name].append((out.metrics.service_cost,
-                                      out.metrics.n_deaths,
-                                      out.metrics.n_dispatches))
+                topologies=config.n_topologies, jobs=jobs):
+        if jobs == 1 or config.n_topologies == 1:
+            for r in range(config.n_topologies):
+                per_topology.append(_run_topology(config, r, obs))
+        else:
+            collect = o.enabled
+            payloads = [(config, r, collect) for r in range(config.n_topologies)]
+            with ProcessPoolExecutor(
+                    max_workers=min(jobs, config.n_topologies)) as pool:
+                outcomes = list(pool.map(_topology_worker, payloads))
+            outcomes.sort(key=lambda item: item[0])
+            for _, rows, snap in outcomes:
+                per_topology.append(rows)
+                if snap is not None:
+                    o.merge(snap)
+
     results = tuple(
         AlgorithmResult(
             algorithm=name,
-            costs=np.asarray([c for c, _, _ in rows], dtype=np.float64),
-            deaths=np.asarray([d for _, d, _ in rows], dtype=np.int64),
-            dispatches=np.asarray([p for _, _, p in rows], dtype=np.int64),
+            costs=np.asarray([rows[i][0] for rows in per_topology],
+                             dtype=np.float64),
+            deaths=np.asarray([rows[i][1] for rows in per_topology],
+                              dtype=np.int64),
+            dispatches=np.asarray([rows[i][2] for rows in per_topology],
+                                  dtype=np.int64),
         )
-        for name, rows in per_alg.items()
+        for i, name in enumerate(config.algorithms)
     )
     return CellResult(config=config, results=results)

@@ -42,7 +42,12 @@ class SweepResult:
 
     @property
     def algorithms(self) -> tuple[str, ...]:
-        return self.cells[0].config.algorithms if self.cells else ()
+        if not self.cells:
+            raise ConfigError(
+                f"SweepResult over {self.parameter!r} has no cells; "
+                "a sweep must run at least one value before its algorithms "
+                "can be read")
+        return self.cells[0].config.algorithms
 
     def series(self, algorithm: str) -> tuple[np.ndarray, np.ndarray]:
         """``(x, mean_cost)`` arrays for one algorithm across the sweep."""
@@ -76,7 +81,8 @@ class SweepResult:
 
 def sweep(base: ExperimentConfig, parameter: str, values: Sequence[Any],
           *, progress: Callable[[str], None] | None = None,
-          obs: Instrumentation | None = None) -> SweepResult:
+          obs: Instrumentation | None = None,
+          jobs: int = 1) -> SweepResult:
     """Run ``base`` once per value of ``parameter``.
 
     Parameters
@@ -92,6 +98,11 @@ def sweep(base: ExperimentConfig, parameter: str, values: Sequence[Any],
         cell (the CLI passes a logger method).
     obs:
         Optional instrumentation context, forwarded to every cell.
+    jobs:
+        Worker processes per cell, forwarded to
+        :func:`~repro.experiments.runner.run_cell`; sweep points still run
+        in order (their topology jobs fan out), so results match the serial
+        path bit for bit.
     """
     if not values:
         raise ConfigError("sweep: empty value list")
@@ -102,5 +113,5 @@ def sweep(base: ExperimentConfig, parameter: str, values: Sequence[Any],
         cfg = base.with_(**{parameter: v})
         if progress is not None:
             progress(f"[sweep {parameter}={v}] {cfg.describe()}")
-        cells.append(run_cell(cfg, obs=obs))
+        cells.append(run_cell(cfg, obs=obs, jobs=jobs))
     return SweepResult(parameter=parameter, values=tuple(values), cells=tuple(cells))

@@ -118,6 +118,24 @@ class SensorNetwork:
         return d
 
     @cached_property
+    def geometry_fingerprint(self) -> str:
+        """Content hash of the metric geometry (coordinates + node roles).
+
+        Two networks share a fingerprint iff they have the same sensor and
+        depot positions in the same order — i.e. iff every q-rooted
+        subproblem over a given sensor set has the same answer. Cycles,
+        batteries and rates are deliberately *excluded*: tours depend on
+        them only through the coverage set, which the plan-artifact cache
+        keys separately (see :mod:`repro.plan.cache`).
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(f"geom|n={self.n}|q={self.q}|".encode())
+        h.update(np.ascontiguousarray(self.coordinates, dtype=np.float64).tobytes())
+        return h.hexdigest()
+
+    @cached_property
     def base_distances(self) -> np.ndarray:
         """``(n,)`` distances from each sensor to the base station."""
         bs = np.asarray(self.base_station.position.as_tuple(), dtype=np.float64)

@@ -17,6 +17,7 @@ from repro.obs.instrument import (
     Instrumentation,
     NullInstrumentation,
     RunningStat,
+    StatsSnapshot,
     ensure,
 )
 from repro.obs.log import configure_logging, get_logger
@@ -27,6 +28,7 @@ __all__ = [
     "Instrumentation",
     "NullInstrumentation",
     "RunningStat",
+    "StatsSnapshot",
     "TraceEvent",
     "configure_logging",
     "ensure",

@@ -22,13 +22,14 @@ exactly this).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any
 
 from repro.obs.trace import EVENT, SPAN, TraceEvent, write_jsonl
 
-__all__ = ["RunningStat", "Instrumentation", "NullInstrumentation", "NULL",
-           "ensure"]
+__all__ = ["RunningStat", "StatsSnapshot", "Instrumentation",
+           "NullInstrumentation", "NULL", "ensure"]
 
 
 class RunningStat:
@@ -55,9 +56,49 @@ class RunningStat:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other: "RunningStat") -> None:
+        """Fold another stat into this one (exact for count/total/min/max)."""
+        self.count += other.count
+        self.total += other.total
+        if other.vmin < self.vmin:
+            self.vmin = other.vmin
+        if other.vmax > self.vmax:
+            self.vmax = other.vmax
+
+    def as_tuple(self) -> tuple[int, float, float, float]:
+        """Picklable ``(count, total, min, max)`` form (snapshot encoding)."""
+        return (self.count, self.total, self.vmin, self.vmax)
+
+    @classmethod
+    def from_tuple(cls, data: tuple[int, float, float, float]) -> "RunningStat":
+        stat = cls()
+        stat.count, stat.total, stat.vmin, stat.vmax = data
+        return stat
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"RunningStat(count={self.count}, total={self.total:.6g}, "
                 f"min={self.vmin:.6g}, max={self.vmax:.6g})")
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """A picklable, mergeable view of one instrumentation context.
+
+    Produced by :meth:`Instrumentation.snapshot` and consumed by
+    :meth:`Instrumentation.merge`. This is the unit the parallel experiment
+    executor ships back from worker processes: each worker collects into its
+    own context, snapshots it, and the parent folds the snapshots in (a
+    deterministic order — the executor merges by topology index).
+
+    ``timers`` and ``series`` are encoded as ``(count, total, min, max)``
+    tuples rather than live :class:`RunningStat` objects so the payload is
+    plain data.
+    """
+
+    counters: dict[str, float] = field(default_factory=dict)
+    timers: dict[str, tuple[int, float, float, float]] = field(default_factory=dict)
+    series: dict[str, tuple[int, float, float, float]] = field(default_factory=dict)
+    events: tuple[TraceEvent, ...] = ()
 
 
 class _Span:
@@ -150,6 +191,38 @@ class Instrumentation:
             name=name, kind=EVENT, t=perf_counter() - self._t0,
             attrs=attrs))
 
+    # ----------------------------------------------------------- aggregation
+    def snapshot(self) -> StatsSnapshot:
+        """Freeze the current state into a picklable :class:`StatsSnapshot`."""
+        return StatsSnapshot(
+            counters=dict(self.counters),
+            timers={k: v.as_tuple() for k, v in self.timers.items()},
+            series={k: v.as_tuple() for k, v in self.series.items()},
+            events=tuple(self.events),
+        )
+
+    def merge(self, snap: StatsSnapshot) -> None:
+        """Fold a snapshot (e.g. from a worker process) into this context.
+
+        Counters add, timers/series merge their running stats, and the
+        snapshot's trace events are appended in their recorded order. Span
+        timestamps stay relative to the *producing* context's clock; the
+        counters and stats are exact regardless.
+        """
+        for name, value in snap.counters.items():
+            self.counters[name] = self.counters.get(name, 0.0) + value
+        for name, data in snap.timers.items():
+            stat = self.timers.get(name)
+            if stat is None:
+                stat = self.timers[name] = RunningStat()
+            stat.merge(RunningStat.from_tuple(data))
+        for name, data in snap.series.items():
+            stat = self.series.get(name)
+            if stat is None:
+                stat = self.series[name] = RunningStat()
+            stat.merge(RunningStat.from_tuple(data))
+        self.events.extend(snap.events)
+
     # --------------------------------------------------------------- outputs
     def spans(self, name: str | None = None) -> list[TraceEvent]:
         """All span records, optionally filtered by name."""
@@ -197,6 +270,9 @@ class NullInstrumentation(Instrumentation):
         return _NULL_SPAN
 
     def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+    def merge(self, snap: StatsSnapshot) -> None:
         return None
 
 

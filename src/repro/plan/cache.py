@@ -1,0 +1,138 @@
+"""The content-addressed plan-artifact cache.
+
+Algorithm 3 plans are assembled from a tiny set of expensive, *pure*
+artifacts: the q-rooted MSF of one coverage set, the base tours constructed
+from it, and (optionally) their 2-opt refinement. All three depend only on
+
+* the network **geometry** (``SensorNetwork.geometry_fingerprint``),
+* the **frozen coverage set** being spanned, and
+* for tours, the **refine flag**.
+
+Notably they do *not* depend on the charging cycles, the horizon, or the
+plan's start time — which is why one cache serves three very different
+reuse patterns:
+
+1. **Within a block**: at most ``K + 1`` of the ``2^K`` schedulings are
+   distinct (Algorithm 3's own structure).
+2. **Across re-plans**: ``mtd-var`` re-runs Algorithm 3 over the *same
+   fixed geometry* every time the workload shifts; coverage sets recur
+   whenever cycle estimates land in the same quantisation classes.
+3. **Across algorithm variants**: ``mtd`` and ``mtd+2opt`` share base
+   tours — the refined variant only pays for the 2-opt pass.
+
+The cache is a plain in-process LRU store; it is *not* shared across
+processes (the parallel experiment executor gives each topology job its
+own, which is also what keeps parallel runs bit-identical to serial ones).
+Lookups and their hit/miss accounting happen in
+:func:`repro.plan.pipeline.plan_tours`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Hashable
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graphs.forest import RootedForest
+    from repro.tsp.tour import Tour
+
+__all__ = ["PlanArtifactCache"]
+
+#: Default LRU capacity (per artifact kind). Generous: a 2^K block holds at
+#: most K+1 distinct coverage sets, and mtd-var re-plans recycle them.
+_DEFAULT_MAX_ENTRIES = 4096
+
+
+class PlanArtifactCache:
+    """LRU store of planning artifacts, keyed by content.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity of each of the two stores (forests; tours). The least
+        recently used entry is evicted on overflow. ``None`` means
+        unbounded.
+
+    Notes
+    -----
+    Artifacts are immutable (:class:`~repro.graphs.forest.RootedForest` and
+    :class:`~repro.tsp.tour.Tour` are frozen dataclasses; the MSF's arrays
+    are write-protected), so handing the same object to many callers is
+    safe. The cache itself keeps no instrumentation — the pipeline layer
+    owns the ``plan.cache.*`` counters — but tracks plain hit/miss tallies
+    for :meth:`info` and ``repr``.
+    """
+
+    def __init__(self, max_entries: int | None = _DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ConfigError(
+                f"PlanArtifactCache: max_entries must be >= 1 or None, got {max_entries}")
+        self.max_entries = max_entries
+        self._forests: OrderedDict[tuple, "RootedForest"] = OrderedDict()
+        self._tours: OrderedDict[tuple, tuple["Tour", ...]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------ internals
+    def _get(self, store: OrderedDict, key: Hashable):
+        try:
+            value = store[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        store.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def _put(self, store: OrderedDict, key: Hashable, value) -> None:
+        store[key] = value
+        store.move_to_end(key)
+        if self.max_entries is not None and len(store) > self.max_entries:
+            store.popitem(last=False)
+
+    # -------------------------------------------------------------- forests
+    def get_forest(self, fingerprint: str,
+                   coverage: frozenset[int]) -> "RootedForest | None":
+        """Cached q-rooted MSF of ``coverage``, or ``None``."""
+        return self._get(self._forests, (fingerprint, coverage))
+
+    def put_forest(self, fingerprint: str, coverage: frozenset[int],
+                   forest: "RootedForest") -> None:
+        self._put(self._forests, (fingerprint, coverage), forest)
+
+    # ---------------------------------------------------------------- tours
+    def get_tours(self, fingerprint: str, coverage: frozenset[int],
+                  refine: bool) -> "tuple[Tour, ...] | None":
+        """Cached tour set of ``coverage`` at the given refine level."""
+        return self._get(self._tours, (fingerprint, coverage, bool(refine)))
+
+    def put_tours(self, fingerprint: str, coverage: frozenset[int],
+                  refine: bool, tours: "tuple[Tour, ...]") -> None:
+        self._put(self._tours, (fingerprint, coverage, bool(refine)), tours)
+
+    # ------------------------------------------------------------- lifecycle
+    def clear(self) -> None:
+        """Drop every artifact (tallies are kept)."""
+        self._forests.clear()
+        self._tours.clear()
+
+    @property
+    def n_entries(self) -> int:
+        """Total stored artifacts across both stores."""
+        return len(self._forests) + len(self._tours)
+
+    def info(self) -> dict[str, int]:
+        """Size and traffic summary (used by tests and diagnostics)."""
+        return {
+            "forests": len(self._forests),
+            "tours": len(self._tours),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PlanArtifactCache(forests={len(self._forests)}, "
+                f"tours={len(self._tours)}, hits={self.hits}, "
+                f"misses={self.misses})")

@@ -1,0 +1,158 @@
+"""The staged planner pipeline.
+
+Algorithm 3 decomposes into five stages with clean artifact boundaries::
+
+    quantize ──► coverage sets ──► q-rooted forest ──► tour construction ──► 2-opt refine
+    (stage 1)      (stage 2)          (stage 3)            (stage 4)        (stage 5, opt.)
+
+* **quantize** — :func:`repro.core.quantize.quantize_cycles`: cycles to
+  power-of-``b`` classes. Depends on (cycles, base) only.
+* **coverage sets** — :meth:`repro.core.quantize.Quantization.coverage_sets`:
+  the frozen sensor set each within-block scheduling must charge. Depends
+  on the quantisation only.
+* **q-rooted forest** — :func:`repro.rooted.msf.q_rooted_msf` (Algorithm 1)
+  over one coverage set. Depends on (geometry, coverage set) only.
+* **tour construction** — :func:`repro.tsp.construct.tours_from_forest`
+  (Algorithm 2's double/Euler/shortcut walk). Depends on the forest only.
+* **refine** — :func:`repro.rooted.refine.refine_tours` (optional 2-opt
+  post-pass). Depends on (geometry, base tours) only.
+
+Because stages 3–5 are pure in ``(geometry fingerprint, coverage set,
+refine flag)``, their artifacts memoize perfectly: :func:`plan_tours` is
+the cached stage-3..5 runner every planner goes through, backed by a
+:class:`~repro.plan.cache.PlanArtifactCache`. With ``cache=None`` it
+degrades to exactly the uncached Algorithm 2 call — same tours, same
+instrumentation — so the cache is a pure accelerator, never a semantic
+switch (``tests/property/test_prop_plan_cache.py`` holds it to that).
+
+Cache instrumentation (all under the enabled context only):
+
+========================== =================================================
+``plan.cache.tours.hit``   final tour set served from cache (no work at all)
+``plan.cache.tours.miss``  final tour set had to be (partially) built
+``plan.cache.base.hit``    refine requested, base tours reused (2-opt only)
+``plan.cache.base.miss``   refine requested, base tours absent too
+``plan.cache.forest.hit``  MSF reused, only the tree walk re-ran
+``plan.cache.forest.miss`` full Algorithm 1 + 2 run
+========================== =================================================
+"""
+
+from __future__ import annotations
+
+from repro.core.quantize import Quantization
+from repro.network.model import SensorNetwork
+from repro.obs.instrument import Instrumentation, ensure
+from repro.plan.cache import PlanArtifactCache
+from repro.rooted.msf import q_rooted_msf
+from repro.rooted.qtsp import q_rooted_tsp
+from repro.rooted.refine import refine_tours
+from repro.tsp.construct import tours_from_forest
+from repro.tsp.tour import Tour
+
+__all__ = ["plan_tours", "build_block", "distinct_coverage"]
+
+
+def distinct_coverage(quant: Quantization) -> tuple[frozenset[int], ...]:
+    """The block's distinct coverage sets, in first-appearance order.
+
+    A ``2^K`` block contains at most ``K + 1`` distinct sets (one per
+    divisor pattern of the scheduling index); this is the work list stage 3
+    actually has to solve.
+    """
+    seen: dict[frozenset[int], None] = {}
+    for cov in quant.coverage_sets():
+        seen.setdefault(cov, None)
+    return tuple(seen)
+
+
+def plan_tours(network: SensorNetwork, coverage: frozenset[int],
+               *, refine: bool = False,
+               cache: PlanArtifactCache | None = None,
+               obs: Instrumentation | None = None) -> tuple[Tour, ...]:
+    """Stages 3–5 for one coverage set, with artifact reuse.
+
+    Parameters
+    ----------
+    network:
+        The WSN instance; supplies geometry, depots and the fingerprint.
+    coverage:
+        The frozen to-be-charged sensor set (graph = sensor indices).
+    refine:
+        Apply the 2-opt post-pass (stage 5).
+    cache:
+        Optional :class:`~repro.plan.cache.PlanArtifactCache`. ``None``
+        (the default) runs Algorithm 2 directly — output is tour-for-tour
+        identical either way, since the cached path is the same stage
+        composition with memoized intermediates.
+    obs:
+        Optional instrumentation; the cached path records the
+        ``plan.cache.*`` hit/miss counters documented in the module
+        docstring, and forwards to the stage implementations it runs.
+
+    Returns
+    -------
+    tuple[Tour, ...]
+        One tour per depot, jointly covering ``coverage``.
+    """
+    depots = [int(i) for i in network.depot_indices]
+    if cache is None:
+        return tuple(q_rooted_tsp(network.dist, sorted(coverage), depots,
+                                  refine=refine, obs=obs))
+
+    o = ensure(obs)
+    fp = network.geometry_fingerprint
+    tours = cache.get_tours(fp, coverage, refine)
+    if tours is not None:
+        o.incr("plan.cache.tours.hit")
+        return tours
+    o.incr("plan.cache.tours.miss")
+
+    base: tuple[Tour, ...] | None = None
+    if refine:
+        base = cache.get_tours(fp, coverage, False)
+        o.incr("plan.cache.base.hit" if base is not None else "plan.cache.base.miss")
+    if base is None:
+        forest = cache.get_forest(fp, coverage)
+        if forest is None:
+            o.incr("plan.cache.forest.miss")
+            forest = q_rooted_msf(network.dist, sorted(coverage), depots, obs=obs)
+            cache.put_forest(fp, coverage, forest)
+        else:
+            o.incr("plan.cache.forest.hit")
+        base = tuple(tours_from_forest(forest))
+        cache.put_tours(fp, coverage, False, base)
+        if not refine:
+            return base
+    refined = tuple(refine_tours(network.dist, base, obs=obs))
+    cache.put_tours(fp, coverage, True, refined)
+    return refined
+
+
+def build_block(network: SensorNetwork, quant: Quantization,
+                *, refine: bool = False,
+                cache: PlanArtifactCache | None = None,
+                obs: Instrumentation | None = None) -> tuple[tuple[Tour, ...], ...]:
+    """The ``2^K`` distinct tour sets of one scheduling block (stages 2–5).
+
+    Scheduling ``j`` covers every class whose assigned cycle divides
+    ``j * tau_1``; its tours come from :func:`plan_tours` on the frozen
+    coverage set. Identical sensor sets across different ``j`` (common: any
+    ``j`` with the same divisor pattern) are resolved once and shared by
+    reference. ``obs`` counts the within-block structure
+    (``plan.block.solved`` / ``plan.block.reused``) and times the whole
+    construction under the ``plan.block`` span; the ``plan.cache.*``
+    counters (cached runs only) reveal how cheap each resolution was.
+    """
+    o = ensure(obs)
+    resolved: dict[frozenset[int], tuple[Tour, ...]] = {}
+    block: list[tuple[Tour, ...]] = []
+    with o.span("plan.block", block_size=quant.block_size):
+        for cov in quant.coverage_sets():
+            if cov not in resolved:
+                resolved[cov] = plan_tours(network, cov, refine=refine,
+                                           cache=cache, obs=obs)
+                o.incr("plan.block.solved")
+            else:
+                o.incr("plan.block.reused")
+            block.append(resolved[cov])
+    return tuple(block)

@@ -134,11 +134,12 @@ def experiments_markdown(
         figure_ids: Iterable[str], *, n_topologies: int | None = None,
         full: bool = False,
         progress: Callable[[str], None] | None = None,
-        obs=None) -> str:
+        obs=None, jobs: int = 1) -> str:
     """Run the given figures and render the full document (summary table
     first, then one section per figure). ``obs`` (optional
     :class:`~repro.obs.instrument.Instrumentation`) is forwarded to every
-    figure run."""
+    figure run, ``jobs`` to every cell (parallel topology jobs; results are
+    identical to the serial path)."""
     ids = list(figure_ids)
     sections: list[str] = []
     summary_rows: list[str] = []
@@ -148,7 +149,7 @@ def experiments_markdown(
             progress(f"[report] running {fid} ...")
         t0 = time.perf_counter()
         result = spec.run(n_topologies=n_topologies, full=full,
-                          progress=progress, obs=obs)
+                          progress=progress, obs=obs, jobs=jobs)
         elapsed = time.perf_counter() - t0
         sections.append(figure_markdown(spec, result)
                         + f"*(run time {elapsed:.0f}s)*\n")

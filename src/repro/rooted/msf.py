@@ -163,6 +163,10 @@ def rooted_msf(sensor_dist: np.ndarray, root_costs: np.ndarray,
                         stack.append(y)
         if np.any(owner == -1):
             raise GraphError("rooted_msf: internal error — unassigned sensor after MST")
+        # Assignments may be shared by reference (the plan-artifact cache
+        # hands forests to many callers); freeze the array so no consumer
+        # can corrupt another's view.
+        owner.setflags(write=False)
     return MsfAssignment(
         n_sensors=m, n_roots=n_roots,
         sensor_edges=tuple(sensor_edges), root_links=tuple(root_links),

@@ -20,13 +20,13 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.graphs.forest import RootedForest
 from repro.obs.instrument import Instrumentation, ensure
 from repro.rooted.msf import q_rooted_msf
 from repro.rooted.refine import refine_tours
+from repro.tsp.construct import tours_from_forest
 from repro.tsp.tour import Tour
 
-__all__ = ["q_rooted_tsp", "tours_total_cost"]
+__all__ = ["q_rooted_tsp", "tours_from_forest", "tours_total_cost"]
 
 
 def q_rooted_tsp(dist: np.ndarray, sensors: Sequence[int], depots: Sequence[int],
@@ -71,19 +71,6 @@ def q_rooted_tsp(dist: np.ndarray, sensors: Sequence[int], depots: Sequence[int]
         d = np.asarray(dist)
         o.observe("qtsp.shortcut_saving",
                   2.0 * forest.weight(d) - tours_total_cost(d, tours))
-    return tours
-
-
-def tours_from_forest(forest: RootedForest) -> list[Tour]:
-    """The double/Euler/shortcut step applied to every tree of ``forest``.
-
-    Exposed separately so the adaptive heuristic can re-tour patched node
-    sets without re-running the MSF.
-    """
-    tours: list[Tour] = []
-    for l in range(forest.q):
-        order = forest.preorder_of(l)
-        tours.append(Tour(depot=forest.roots[l], order=tuple(order)))
     return tours
 
 

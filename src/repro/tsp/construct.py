@@ -14,7 +14,7 @@ path allocates ``O(k)`` per call, not ``O(k^2)``.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -23,7 +23,29 @@ from repro.graphs.mst import prim_mst
 from repro.graphs.traversal import adjacency_from_edges, preorder
 from repro.tsp.tour import Tour
 
-__all__ = ["mst_doubling_tour", "nearest_neighbor_tour", "cheapest_insertion_tour"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (graphs -> tsp)
+    from repro.graphs.forest import RootedForest
+
+__all__ = ["mst_doubling_tour", "nearest_neighbor_tour",
+           "cheapest_insertion_tour", "tours_from_forest"]
+
+
+def tours_from_forest(forest: "RootedForest") -> list[Tour]:
+    """The double/Euler/shortcut step applied to every tree of ``forest``.
+
+    This is the *tour construction* stage of the planner pipeline
+    (:mod:`repro.plan.pipeline`): given a solved q-rooted forest, walk each
+    tree in DFS preorder — provably identical to doubling the tree, taking
+    an Eulerian circuit and short-cutting repeats. Exposed as a standalone
+    stage so the plan-artifact cache can re-tour a memoized forest without
+    re-running Algorithm 1, and so the adaptive heuristic can re-tour
+    patched node sets.
+    """
+    tours: list[Tour] = []
+    for l in range(forest.q):
+        order = forest.preorder_of(l)
+        tours.append(Tour(depot=forest.roots[l], order=tuple(order)))
+    return tours
 
 
 def _prepare(dist: np.ndarray, depot: int, nodes: Sequence[int]) -> tuple[np.ndarray, list[int]]:

@@ -45,20 +45,6 @@ def mst_lower_bound(dist: np.ndarray, nodes: Sequence[int]) -> float:
     return float(sub[e[:, 0], e[:, 1]].sum())
 
 
-def _one_tree_weight(sub: np.ndarray) -> float:
-    """Minimum 1-tree anchored at node 0: MST over nodes 1..k-1 plus node
-    0's two cheapest incident edges."""
-    k = sub.shape[0]
-    if k == 2:
-        return float(2.0 * sub[0, 1])
-    inner = sub[1:, 1:]
-    edges = prim_mst(inner)
-    e = np.asarray(edges, dtype=np.intp)
-    w = float(inner[e[:, 0], e[:, 1]].sum())
-    row = np.sort(sub[0, 1:])
-    return w + float(row[0] + row[1])
-
-
 def held_karp_lower_bound(dist: np.ndarray, nodes: Sequence[int],
                           *, iterations: int = 50) -> float:
     """1-tree lower bound sharpened by subgradient ascent.

@@ -16,6 +16,13 @@ class TestParser:
         assert (args.figure, args.reps, args.full, args.csv) == (
             "fig1a", 3, True, "out.csv")
 
+    def test_jobs_flags(self):
+        args = build_parser().parse_args(["run", "fig1a", "--jobs", "4"])
+        assert args.jobs == 4
+        args = build_parser().parse_args(["report", "--jobs", "2"])
+        assert args.jobs == 2
+        assert build_parser().parse_args(["run", "fig1a"]).jobs == 1
+
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

@@ -11,6 +11,7 @@ from repro.obs import (
     Instrumentation,
     NullInstrumentation,
     RunningStat,
+    StatsSnapshot,
     TraceEvent,
     configure_logging,
     ensure,
@@ -126,6 +127,69 @@ class TestDisabled:
     def test_enabled_flag(self):
         assert Instrumentation().enabled is True
         assert NullInstrumentation().enabled is False
+
+
+class TestSnapshotMerge:
+    def _populated(self):
+        obs = Instrumentation()
+        obs.incr("calls", 2)
+        obs.observe("len", 10.0)
+        obs.observe("len", 30.0)
+        with obs.span("work", n=1):
+            pass
+        return obs
+
+    def test_running_stat_tuple_round_trip(self):
+        s = RunningStat()
+        for v in (1.0, 3.0, 2.0):
+            s.add(v)
+        back = RunningStat.from_tuple(s.as_tuple())
+        assert (back.count, back.total, back.vmin, back.vmax) == (3, 6.0, 1.0, 3.0)
+
+    def test_running_stat_merge(self):
+        a, b = RunningStat(), RunningStat()
+        a.add(1.0)
+        a.add(5.0)
+        b.add(3.0)
+        a.merge(b)
+        assert (a.count, a.total, a.vmin, a.vmax) == (3, 9.0, 1.0, 5.0)
+
+    def test_snapshot_is_plain_data(self):
+        snap = self._populated().snapshot()
+        assert isinstance(snap, StatsSnapshot)
+        assert snap.counters == {"calls": 2.0}
+        assert snap.series["len"] == (2, 40.0, 10.0, 30.0)
+        assert [e.name for e in snap.events] == ["work"]
+        import pickle
+
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+    def test_merge_into_empty_reproduces_source(self):
+        src = self._populated()
+        dst = Instrumentation()
+        dst.merge(src.snapshot())
+        assert dst.counters == src.counters
+        assert dst.series["len"].mean == src.series["len"].mean
+        assert dst.timers["work"].count == 1
+        assert [e.name for e in dst.events] == [e.name for e in src.events]
+
+    def test_merge_accumulates(self):
+        dst = self._populated()
+        dst.merge(self._populated().snapshot())
+        assert dst.counters["calls"] == 4.0
+        assert dst.series["len"].count == 4
+        assert dst.timers["work"].count == 2
+        assert len(dst.events) == 2
+
+    def test_snapshot_is_a_copy(self):
+        obs = self._populated()
+        snap = obs.snapshot()
+        obs.incr("calls")
+        assert snap.counters == {"calls": 2.0}  # unaffected by later incrs
+
+    def test_null_merge_is_noop(self):
+        NULL.merge(self._populated().snapshot())
+        assert NULL.counters == {}
 
 
 class TestTrace:

@@ -1,0 +1,220 @@
+"""Unit tests for the staged planner pipeline and its artifact cache.
+
+Covers :mod:`repro.plan.cache` (LRU mechanics) and
+:mod:`repro.plan.pipeline` (per-stage hit/miss accounting, base-tour
+sharing across refine variants, invalidation when cycle changes move
+sensors between quantisation classes). The cached-equals-uncached
+guarantee is additionally property-tested in
+``tests/property/test_prop_plan_cache.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mintotal import min_total_distance
+from repro.core.quantize import quantize_cycles
+from repro.errors import ConfigError
+from repro.network.builder import build_paper_network
+from repro.obs import Instrumentation
+from repro.plan import PlanArtifactCache, build_block, distinct_coverage, plan_tours
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_paper_network(n=20, q=3, seed=7)
+
+
+class TestCacheStore:
+    def test_empty(self):
+        c = PlanArtifactCache()
+        assert c.n_entries == 0
+        assert c.get_tours("fp", frozenset({1}), False) is None
+        assert c.info() == {"forests": 0, "tours": 0, "hits": 0, "misses": 1}
+
+    def test_put_get_round_trip(self, net):
+        c = PlanArtifactCache()
+        cov = frozenset({0, 1, 2})
+        tours = plan_tours(net, cov)
+        c.put_tours("fp", cov, False, tours)
+        assert c.get_tours("fp", cov, False) is tours
+        assert c.get_tours("fp", cov, True) is None      # refine flag is keyed
+        assert c.get_tours("other", cov, False) is None  # fingerprint is keyed
+
+    def test_bad_capacity_raises(self):
+        with pytest.raises(ConfigError):
+            PlanArtifactCache(max_entries=0)
+
+    def test_lru_eviction(self):
+        c = PlanArtifactCache(max_entries=2)
+        for i in range(3):
+            c.put_tours("fp", frozenset({i}), False, ())
+        assert c.get_tours("fp", frozenset({0}), False) is None  # evicted
+        assert c.get_tours("fp", frozenset({2}), False) == ()
+
+    def test_lru_touch_on_get(self):
+        c = PlanArtifactCache(max_entries=2)
+        c.put_tours("fp", frozenset({0}), False, ())
+        c.put_tours("fp", frozenset({1}), False, ())
+        c.get_tours("fp", frozenset({0}), False)         # 0 becomes most recent
+        c.put_tours("fp", frozenset({2}), False, ())     # evicts 1, not 0
+        assert c.get_tours("fp", frozenset({0}), False) == ()
+        assert c.get_tours("fp", frozenset({1}), False) is None
+
+    def test_clear_keeps_tallies(self, net):
+        c = PlanArtifactCache()
+        cov = frozenset({0, 1})
+        plan_tours(net, cov, cache=c)
+        plan_tours(net, cov, cache=c)
+        hits_before = c.hits
+        c.clear()
+        assert c.n_entries == 0
+        assert c.hits == hits_before > 0
+
+
+class TestPlanToursCounters:
+    def test_cold_then_warm(self, net):
+        c, obs = PlanArtifactCache(), Instrumentation()
+        cov = frozenset({0, 1, 2, 3})
+        first = plan_tours(net, cov, cache=c, obs=obs)
+        assert obs.counters["plan.cache.tours.miss"] == 1
+        assert obs.counters["plan.cache.forest.miss"] == 1
+        second = plan_tours(net, cov, cache=c, obs=obs)
+        assert second is first                       # served by reference
+        assert obs.counters["plan.cache.tours.hit"] == 1
+
+    def test_refine_reuses_base_tours(self, net):
+        """mtd+2opt after mtd pays only for the 2-opt pass (base hit)."""
+        c, obs = PlanArtifactCache(), Instrumentation()
+        cov = frozenset(range(8))
+        plan_tours(net, cov, refine=False, cache=c, obs=obs)
+        plan_tours(net, cov, refine=True, cache=c, obs=obs)
+        assert obs.counters["plan.cache.base.hit"] == 1
+        assert obs.counters["plan.cache.forest.miss"] == 1  # only the first call
+        assert "plan.cache.forest.hit" not in obs.counters
+
+    def test_refine_cold_counts_base_miss(self, net):
+        c, obs = PlanArtifactCache(), Instrumentation()
+        plan_tours(net, frozenset({1, 2}), refine=True, cache=c, obs=obs)
+        assert obs.counters["plan.cache.base.miss"] == 1
+        assert obs.counters["plan.cache.forest.miss"] == 1
+        # The base tours were stored as a by-product and now hit directly.
+        obs2 = Instrumentation()
+        plan_tours(net, frozenset({1, 2}), refine=False, cache=c, obs=obs2)
+        assert obs2.counters["plan.cache.tours.hit"] == 1
+
+    def test_forest_hit_after_eviction_of_tours(self, net):
+        """A surviving forest still saves Algorithm 1 when tours are gone."""
+        c = PlanArtifactCache()
+        cov = frozenset({0, 1, 2})
+        plan_tours(net, cov, cache=c)
+        c._tours.clear()  # simulate tour eviction with the forest retained
+        obs = Instrumentation()
+        plan_tours(net, cov, cache=c, obs=obs)
+        assert obs.counters["plan.cache.forest.hit"] == 1
+
+    def test_cached_equals_uncached(self, net):
+        cov = frozenset(range(10))
+        for refine in (False, True):
+            uncached = plan_tours(net, cov, refine=refine)
+            cached = plan_tours(net, cov, refine=refine,
+                                cache=PlanArtifactCache())
+            assert cached == uncached
+
+
+class TestBlockAndInvalidation:
+    def test_distinct_coverage_bound(self, net):
+        quant = quantize_cycles(net.cycles)
+        distinct = distinct_coverage(quant)
+        assert 1 <= len(distinct) <= quant.K + 1
+        assert set(distinct) == set(quant.coverage_sets())
+
+    def test_block_solves_each_coverage_once(self, net):
+        quant = quantize_cycles(net.cycles)
+        obs = Instrumentation()
+        block = build_block(net, quant, cache=PlanArtifactCache(), obs=obs)
+        assert len(block) == quant.block_size
+        assert obs.counters["plan.block.solved"] == len(distinct_coverage(quant))
+        assert obs.counters.get("plan.block.reused", 0) == \
+            quant.block_size - len(distinct_coverage(quant))
+        # Within one block the dedup map resolves repeats before the cache
+        # is ever consulted, so every cache lookup was a (tours) miss.
+        assert obs.counters["plan.cache.tours.miss"] == \
+            obs.counters["plan.block.solved"]
+
+    def test_replan_same_cycles_all_hits(self, net):
+        """The mtd-var reuse pattern: a re-plan over unchanged classes is
+        answered from the cache for every coverage set."""
+        cache, obs = PlanArtifactCache(), Instrumentation()
+        quant = quantize_cycles(net.cycles)
+        first = build_block(net, quant, cache=cache, obs=obs)
+        obs2 = Instrumentation()
+        second = build_block(net, quant, cache=cache, obs=obs2)
+        assert second == first
+        assert obs2.counters["plan.cache.tours.hit"] == \
+            obs2.counters["plan.block.solved"]
+        assert "plan.cache.tours.miss" not in obs2.counters
+
+    def test_bucket_change_invalidates(self, net):
+        """Moving one sensor to another quantisation class changes the
+        affected coverage sets, so those schedulings re-plan (cache misses)
+        while untouched sets still hit."""
+        cache = PlanArtifactCache()
+        quant = quantize_cycles(net.cycles)
+        build_block(net, quant, cache=cache)
+
+        # Pull one top-class sensor down a class. (Never the base-cycle
+        # minimum, so tau_1 and everyone else's class stay put.)
+        idx = int(np.argmax(quant.k_of))
+        k = int(quant.k_of[idx])
+        assert k > 0  # the paper's [1, 50] cycles span multiple classes
+        moved = net.cycles.copy()
+        moved[idx] = quant.tau1 * quant.base ** (k - 1)
+        quant2 = quantize_cycles(moved)
+        assert int(quant2.k_of[idx]) == k - 1
+
+        obs = Instrumentation()
+        build_block(net, quant2, cache=cache, obs=obs)
+        changed = set(quant2.coverage_sets()) - set(quant.coverage_sets())
+        assert changed  # the move really altered some coverage sets
+        assert obs.counters["plan.cache.tours.miss"] == len(changed)
+        unchanged = set(quant2.coverage_sets()) & set(quant.coverage_sets())
+        if unchanged:
+            assert obs.counters["plan.cache.tours.hit"] == len(unchanged)
+
+    def test_geometry_change_misses(self):
+        """Same cycles on different coordinates must never share tours."""
+        a = build_paper_network(n=15, q=2, seed=1)
+        b = build_paper_network(n=15, q=2, seed=2)
+        assert a.geometry_fingerprint != b.geometry_fingerprint
+        cache = PlanArtifactCache()
+        cov = frozenset(range(5))
+        plan_tours(a, cov, cache=cache)
+        obs = Instrumentation()
+        plan_tours(b, cov, cache=cache, obs=obs)
+        assert obs.counters["plan.cache.tours.miss"] == 1
+
+
+class TestMinTotalDistanceWithCache:
+    def test_identical_plans_and_speedy_replan(self, net):
+        cache = PlanArtifactCache()
+        obs = Instrumentation()
+        base = min_total_distance(net, 200.0)
+        warm1 = min_total_distance(net, 200.0, cache=cache, obs=obs)
+        assert warm1.block == base.block
+        assert [s.time for s in warm1.plan] == [s.time for s in base.plan]
+        # Second plan over the same geometry + cycles: zero solves.
+        obs2 = Instrumentation()
+        warm2 = min_total_distance(net, 150.0, cache=cache, obs=obs2)
+        assert warm2.block == base.block
+        assert "plan.cache.tours.miss" not in obs2.counters
+
+    def test_refine_variant_shares_base(self, net):
+        cache, obs = PlanArtifactCache(), Instrumentation()
+        plain = min_total_distance(net, 200.0, cache=cache, obs=obs)
+        refined = min_total_distance(net, 200.0, refine=True,
+                                     cache=cache, obs=obs)
+        assert obs.counters["plan.cache.base.hit"] >= 1
+        assert "plan.cache.forest.hit" not in obs.counters  # never re-walked
+        d = net.dist
+        for bt, rt in zip(plain.block_costs(d), refined.block_costs(d)):
+            assert rt <= bt + 1e-9

@@ -44,7 +44,8 @@ class TestExperimentsMarkdown:
         spec = figs.FIGURES["fig1a"]
         monkeypatch.setattr(
             type(spec), "run",
-            lambda self, *, n_topologies=None, full=False, progress=None, obs=None: tiny_sweep)
+            lambda self, *, n_topologies=None, full=False, progress=None,
+            obs=None, jobs=1: tiny_sweep)
         md = experiments_markdown(["fig1a"], n_topologies=2)
         assert md.startswith("# EXPERIMENTS")
         assert "### fig1a" in md
@@ -57,7 +58,8 @@ class TestExperimentsMarkdown:
         spec = figs.FIGURES["fig1a"]
         monkeypatch.setattr(
             type(spec), "run",
-            lambda self, *, n_topologies=None, full=False, progress=None, obs=None: tiny_sweep)
+            lambda self, *, n_topologies=None, full=False, progress=None,
+            obs=None, jobs=1: tiny_sweep)
         out = tmp_path / "EXP.md"
         assert main(["report", "--figures", "fig1a", "--out", str(out),
                      "--quiet"]) == 0
