@@ -1,0 +1,106 @@
+"""Serving benchmarks: throughput and tail latency of the planning service.
+
+Starts a real :class:`~repro.serve.server.PlanningServer` (thread executor;
+no process-spawn noise in the numbers) and drives it with the load
+generator at several concurrency levels, the way an external harness
+would. Three workloads:
+
+* ``plan_cN`` — distinct-ish planning traffic (a pool of topologies, the
+  parent response cache disabled) at concurrency ``N``: the end-to-end
+  planner-under-load numbers.
+* ``coalesce`` — one hot payload under a concurrent burst: how much work
+  single-flight coalescing plus the response cache absorb.
+* ``health`` — protocol floor: transport + event-loop latency without any
+  planning.
+
+All measurements (throughput + p50/p95/p99 latency) are emitted to
+``BENCH_serve.json`` in the working directory, mirroring
+``BENCH_pipeline.json`` from ``bench_scaling.py``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.io.network_json import network_to_dict
+from repro.network.builder import build_paper_network
+from repro.serve import LoadGenerator, ServeConfig, ServerThread
+
+_SERVE_JSON = Path("BENCH_serve.json")
+_serve_measurements: dict = {}
+
+#: Concurrency levels for the planning workload.
+_LEVELS = (1, 4, 8)
+_N_REQUESTS = 48
+_N_TOPOLOGIES = 6
+
+
+@pytest.fixture(scope="module")
+def serve_json():
+    """Collects this module's numbers; written once at the end (partial
+    runs emit whatever they measured)."""
+    yield _serve_measurements
+    if _serve_measurements:
+        _SERVE_JSON.write_text(
+            json.dumps(_serve_measurements, indent=2, sort_keys=True) + "\n")
+        print(f"\nserving measurements -> {_SERVE_JSON.resolve()}")
+
+
+@pytest.fixture(scope="module")
+def topology_pool():
+    return [network_to_dict(build_paper_network(n=40, q=4, seed=s))
+            for s in range(_N_TOPOLOGIES)]
+
+
+def _report_line(tag: str, rep) -> None:
+    lat = rep.latency_summary()
+    print(f"{tag}: {rep.throughput:7.1f} req/s  "
+          f"p50 {lat['p50']:7.2f}ms  p95 {lat['p95']:7.2f}ms  "
+          f"p99 {lat['p99']:7.2f}ms  "
+          f"(ok {rep.n_ok}/{rep.n_requests}, coalesced {rep.coalesced}, "
+          f"planner runs {rep.planner_runs})")
+
+
+@pytest.mark.parametrize("concurrency", _LEVELS)
+def test_serve_plan_throughput(serve_json, topology_pool, concurrency):
+    """Planning traffic over a topology pool at one concurrency level."""
+    config = ServeConfig(executor="thread", workers=4, queue_limit=256,
+                         default_deadline=300.0, plan_responses=0)
+    with ServerThread(config) as srv:
+        host, port = srv.address
+        requests = [("plan", {"network": topology_pool[i % _N_TOPOLOGIES],
+                              "horizon": 300.0})
+                    for i in range(_N_REQUESTS)]
+        rep = LoadGenerator(host, port, concurrency=concurrency).run(requests)
+    assert rep.n_ok == rep.n_requests, (
+        f"serving failed under load: {rep.to_dict()}")
+    _report_line(f"plan   c{concurrency}", rep)
+    serve_json[f"plan_c{concurrency}"] = rep.to_dict()
+
+
+def test_serve_coalescing_burst(serve_json, topology_pool):
+    """A hot identical payload: single-flight + response cache absorb most
+    of the burst, so planner executions stay far below request count."""
+    config = ServeConfig(executor="thread", workers=2, queue_limit=256,
+                         default_deadline=300.0)
+    with ServerThread(config) as srv:
+        host, port = srv.address
+        requests = [("plan", {"network": topology_pool[0], "horizon": 300.0,
+                              "delay": 0.05})] * 32
+        rep = LoadGenerator(host, port, concurrency=8).run(requests)
+    assert rep.n_ok == rep.n_requests
+    assert rep.planner_runs <= 2  # the burst collapsed onto 1-2 executions
+    assert rep.coalesced + rep.plan_cache_hits >= 30
+    _report_line("coalesce  ", rep)
+    serve_json["coalesce_burst"] = rep.to_dict()
+
+
+def test_serve_health_floor(serve_json):
+    """Protocol floor: health probes, no planning work at all."""
+    with ServerThread(ServeConfig(executor="thread", workers=1)) as srv:
+        host, port = srv.address
+        rep = LoadGenerator(host, port, concurrency=4).run([("health", {})] * 200)
+    assert rep.n_ok == rep.n_requests
+    _report_line("health    ", rep)
+    serve_json["health"] = rep.to_dict()

@@ -10,6 +10,7 @@
     repro demo                         # 30-second end-to-end demo
     repro --profile demo               # ... plus the instrumentation table
     repro --profile --trace t.jsonl plan   # ... plus a JSONL trace file
+    repro serve --port 7351 --workers 4    # long-lived planning service
 
 Also available as ``python -m repro ...``.
 """
@@ -20,6 +21,7 @@ import argparse
 import sys
 import time
 
+from repro.errors import ConfigError
 from repro.experiments.figures import FIGURES, get_figure
 from repro.obs import Instrumentation, configure_logging, get_logger
 from repro.reporting.csvio import sweep_to_csv
@@ -28,6 +30,18 @@ from repro.reporting.summary import figure_report
 __all__ = ["main", "build_parser"]
 
 log = get_logger(__name__)
+
+
+def _require_positive(value: int, flag: str) -> int:
+    """Reject non-positive worker counts before any pool is constructed.
+
+    ``--jobs 0`` (or a negative value) used to surface as a raw executor
+    traceback deep inside the run; fail fast with a clean
+    :class:`~repro.errors.ConfigError` naming the flag instead.
+    """
+    if value < 1:
+        raise ConfigError(f"{flag} must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -100,6 +114,26 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_p.add_argument("--speed", type=float, default=None,
                             help="vehicle speed for the timescale check "
                                  "(distance units per time unit)")
+
+    serve_p = sub.add_parser(
+        "serve", help="long-lived planning service (newline-delimited JSON over TCP)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=7351,
+                         help="TCP port (0 picks an ephemeral one; default 7351)")
+    serve_p.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="planner workers (processes by default)")
+    serve_p.add_argument("--executor", choices=["process", "thread"],
+                         default="process",
+                         help="worker pool kind: 'process' for CPU parallelism "
+                              "(per-process artifact caches), 'thread' for one "
+                              "shared cache and cheap startup")
+    serve_p.add_argument("--queue-limit", type=int, default=32, metavar="N",
+                         help="max in-flight jobs before requests are rejected "
+                              "with a structured 'overloaded' error")
+    serve_p.add_argument("--deadline", type=float, default=30.0, metavar="SEC",
+                         help="default per-request deadline (0 disables)")
+    serve_p.add_argument("--drain-timeout", type=float, default=10.0, metavar="SEC",
+                         help="grace period for in-flight requests on SIGTERM")
     return parser
 
 
@@ -113,6 +147,7 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args: argparse.Namespace, obs: Instrumentation | None) -> int:
+    _require_positive(args.jobs, "--jobs")
     spec = get_figure(args.figure)
     progress = None if args.quiet else log.info
     t0 = time.perf_counter()
@@ -165,6 +200,7 @@ def _cmd_demo(obs: Instrumentation | None) -> int:
 
 
 def _cmd_report(args: argparse.Namespace, obs: Instrumentation | None) -> int:
+    _require_positive(args.jobs, "--jobs")
     from pathlib import Path
 
     from repro.reporting.experiments_md import PAPER_PANELS, experiments_markdown
@@ -231,6 +267,19 @@ def _cmd_simulate(args: argparse.Namespace, obs: Instrumentation | None) -> int:
     return 0 if out.metrics.perpetual else 1
 
 
+def _cmd_serve(args: argparse.Namespace, obs: Instrumentation | None) -> int:
+    _require_positive(args.workers, "--workers")
+    _require_positive(args.queue_limit, "--queue-limit")
+    from repro.serve.server import ServeConfig, serve
+
+    config = ServeConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        executor=args.executor, queue_limit=args.queue_limit,
+        default_deadline=(args.deadline if args.deadline > 0 else None),
+        drain_timeout=args.drain_timeout)
+    return serve(config, obs=obs)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -249,7 +298,14 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_plan(args, obs)
         if args.command == "simulate":
             return _cmd_simulate(args, obs)
+        if args.command == "serve":
+            return _cmd_serve(args, obs)
         return 2  # unreachable: argparse enforces the choices
+    except ConfigError as exc:
+        # Invalid flag values (--jobs 0, --workers 0, ...) are usage
+        # errors: one line on stderr, argparse's exit code, no traceback.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
     finally:
         if obs is not None:
             if args.profile:

@@ -18,6 +18,7 @@ __all__ = [
     "SimulationError",
     "SensorDeathError",
     "ConfigError",
+    "ServeError",
 ]
 
 
@@ -86,3 +87,23 @@ class SensorDeathError(SimulationError):
 
 class ConfigError(ReproError):
     """Invalid experiment or algorithm configuration."""
+
+
+class ServeError(ReproError):
+    """Planning-service failure (wire-protocol violation or server error).
+
+    Raised by :mod:`repro.serve` on both sides of the wire: the server maps
+    it to a structured error response, and the client raises it when a
+    response carries ``ok: false``.
+
+    Attributes
+    ----------
+    code:
+        The protocol error code (one of
+        :data:`repro.serve.protocol.ERROR_CODES`; e.g. ``"overloaded"``,
+        ``"deadline_exceeded"``) so callers can switch on the failure mode.
+    """
+
+    def __init__(self, message: str, *, code: str = "internal") -> None:
+        super().__init__(message)
+        self.code = code

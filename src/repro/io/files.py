@@ -8,7 +8,7 @@ from typing import Any
 
 from repro.errors import ReproError
 
-__all__ = ["save_json", "load_json", "FORMAT_VERSION"]
+__all__ = ["save_json", "load_json", "unwrap_envelope", "FORMAT_VERSION"]
 
 #: Bumped whenever a serialised structure changes incompatibly.
 FORMAT_VERSION = 1
@@ -52,3 +52,30 @@ def load_json(path: str | Path, kind: str) -> dict[str, Any]:
             f"load_json: {p} is format version {envelope.get('version')}, "
             f"this library reads version {FORMAT_VERSION}")
     return envelope["data"]
+
+
+def unwrap_envelope(data: Any, kind: str) -> Any:
+    """Accept either a bare payload or a ``{kind, version, data}`` envelope.
+
+    Files written by :func:`save_json` carry the envelope; in-memory
+    documents (``network_to_dict`` / ``plan_to_dict`` output) do not.
+    Wire-facing consumers (the planning service) accept both, so a file
+    saved with ``repro plan --network-out`` can be shipped to the server
+    verbatim.
+
+    Raises
+    ------
+    ReproError
+        When the envelope is present but holds the wrong kind or an
+        unsupported version.
+    """
+    if isinstance(data, dict) and "kind" in data and "data" in data:
+        if data["kind"] != kind:
+            raise ReproError(
+                f"unwrap_envelope: got a {data['kind']!r} envelope, expected {kind!r}")
+        if data.get("version") != FORMAT_VERSION:
+            raise ReproError(
+                f"unwrap_envelope: envelope is format version {data.get('version')}, "
+                f"this library reads version {FORMAT_VERSION}")
+        return data["data"]
+    return data

@@ -22,13 +22,17 @@ reuse patterns:
 
 The cache is a plain in-process LRU store; it is *not* shared across
 processes (the parallel experiment executor gives each topology job its
-own, which is also what keeps parallel runs bit-identical to serial ones).
-Lookups and their hit/miss accounting happen in
-:func:`repro.plan.pipeline.plan_tours`.
+own, which is also what keeps parallel runs bit-identical to serial ones),
+but it *is* shared across threads: the planning service's thread-mode
+workers all plan against one instance, so every store access is guarded by
+an internal :class:`threading.Lock` (``OrderedDict`` reorder-on-read plus
+eviction is not atomic under concurrent callers). Lookups and their
+hit/miss accounting happen in :func:`repro.plan.pipeline.plan_tours`.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Hashable
 
@@ -70,6 +74,7 @@ class PlanArtifactCache:
             raise ConfigError(
                 f"PlanArtifactCache: max_entries must be >= 1 or None, got {max_entries}")
         self.max_entries = max_entries
+        self._lock = threading.Lock()
         self._forests: OrderedDict[tuple, "RootedForest"] = OrderedDict()
         self._tours: OrderedDict[tuple, tuple["Tour", ...]] = OrderedDict()
         self.hits = 0
@@ -77,20 +82,22 @@ class PlanArtifactCache:
 
     # ------------------------------------------------------------ internals
     def _get(self, store: OrderedDict, key: Hashable):
-        try:
-            value = store[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        store.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = store[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            store.move_to_end(key)
+            self.hits += 1
+            return value
 
     def _put(self, store: OrderedDict, key: Hashable, value) -> None:
-        store[key] = value
-        store.move_to_end(key)
-        if self.max_entries is not None and len(store) > self.max_entries:
-            store.popitem(last=False)
+        with self._lock:
+            store[key] = value
+            store.move_to_end(key)
+            if self.max_entries is not None and len(store) > self.max_entries:
+                store.popitem(last=False)
 
     # -------------------------------------------------------------- forests
     def get_forest(self, fingerprint: str,
@@ -115,22 +122,25 @@ class PlanArtifactCache:
     # ------------------------------------------------------------- lifecycle
     def clear(self) -> None:
         """Drop every artifact (tallies are kept)."""
-        self._forests.clear()
-        self._tours.clear()
+        with self._lock:
+            self._forests.clear()
+            self._tours.clear()
 
     @property
     def n_entries(self) -> int:
         """Total stored artifacts across both stores."""
-        return len(self._forests) + len(self._tours)
+        with self._lock:
+            return len(self._forests) + len(self._tours)
 
     def info(self) -> dict[str, int]:
         """Size and traffic summary (used by tests and diagnostics)."""
-        return {
-            "forests": len(self._forests),
-            "tours": len(self._tours),
-            "hits": self.hits,
-            "misses": self.misses,
-        }
+        with self._lock:
+            return {
+                "forests": len(self._forests),
+                "tours": len(self._tours),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"PlanArtifactCache(forests={len(self._forests)}, "

@@ -1,0 +1,12 @@
+"""``python -m repro.serve`` — the load generator / smoke harness CLI.
+
+(The server side is ``repro serve``; see :mod:`repro.serve.client` for the
+flags.)
+"""
+
+import sys
+
+from repro.serve.client import main
+
+if __name__ == "__main__":
+    sys.exit(main())

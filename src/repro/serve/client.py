@@ -1,0 +1,349 @@
+"""Blocking client and concurrent load generator for the planning service.
+
+:class:`ServeClient` is the minimal synchronous counterpart of the server:
+one TCP connection, one request line out, one response line in, errors
+surfaced as :class:`~repro.errors.ServeError` with the protocol's error
+code attached.
+
+:class:`LoadGenerator` drives many clients from worker threads to measure
+the server under concurrency: per-request wall-clock latencies, nearest-rank
+percentiles (p50/p95/p99), throughput, and the outcome mix (ok / rejected /
+deadline / failed). The server-side coalescing and planner-execution
+counters are read through a ``stats`` request before and after the run, so
+a load report also says how much work the single-flight layer *avoided*.
+
+``python -m repro.serve.client`` exposes the generator on the command line,
+including a self-contained ``--smoke`` mode (spawns an in-process thread
+server, drives a mixed plan/health workload, asserts zero failures and at
+least one coalesced request) used by CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import socket
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ServeError
+from repro.serve.protocol import DEADLINE_EXCEEDED, OVERLOADED, decode_response, encode
+from repro.serve.protocol import raise_for_error as _raise_for_error
+
+__all__ = ["ServeClient", "LoadGenerator", "LoadReport", "percentile", "run_smoke"]
+
+
+def percentile(samples: list[float], p: float) -> float:
+    """Nearest-rank percentile (``p`` in [0, 100]) of ``samples``.
+
+    The standard load-testing convention: p99 of 100 samples is the 99th
+    smallest, no interpolation. Empty input returns ``nan``.
+    """
+    if not samples:
+        return float("nan")
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile: p must be in [0, 100], got {p}")
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+class ServeClient:
+    """One blocking connection to a :class:`~repro.serve.server.PlanningServer`.
+
+    Usable as a context manager. Not thread-safe — give each thread its own
+    client (connections are cheap; the server multiplexes).
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 60.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ core
+    def request(self, rtype: str, *, deadline: float | None = None,
+                **params: Any) -> dict[str, Any]:
+        """Send one request, block for its response, return the result.
+
+        Raises
+        ------
+        ServeError
+            With the server's error ``code`` on a failure response, or
+            ``code="internal"`` on a broken/closed connection.
+        """
+        self._next_id += 1
+        message: dict[str, Any] = {"type": rtype, "id": self._next_id, **params}
+        if deadline is not None:
+            message["deadline"] = deadline
+        self._file.write(encode(message))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServeError("connection closed by server", code="internal")
+        return _raise_for_error(decode_response(line))
+
+    # ------------------------------------------------------------- shorthands
+    def plan(self, network: dict[str, Any], horizon: float, *,
+             refine: bool = False, base: int = 2,
+             deadline: float | None = None, **extra: Any) -> dict[str, Any]:
+        """``plan`` request; returns the result (``result["plan"]`` is the
+        :func:`~repro.io.plan_json.plan_to_dict` document)."""
+        return self.request("plan", network=network, horizon=horizon,
+                            refine=refine, base=base, deadline=deadline, **extra)
+
+    def simulate(self, network: dict[str, Any], plan: dict[str, Any], *,
+                 deadline: float | None = None, **extra: Any) -> dict[str, Any]:
+        """``simulate`` request; returns the metrics dict."""
+        return self.request("simulate", network=network, plan=plan,
+                            deadline=deadline, **extra)
+
+    def stats(self) -> dict[str, Any]:
+        """Live server statistics (obs counters/timers, queue, caches)."""
+        return self.request("stats")
+
+    def health(self) -> dict[str, Any]:
+        """Liveness/readiness snapshot."""
+        return self.request("health")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+@dataclass
+class LoadReport:
+    """What one :meth:`LoadGenerator.run` measured."""
+
+    concurrency: int
+    n_requests: int = 0
+    n_ok: int = 0
+    n_rejected: int = 0      # structured `overloaded` responses
+    n_deadline: int = 0      # structured `deadline_exceeded` responses
+    n_failed: int = 0        # anything else that was not ok
+    duration: float = 0.0
+    latencies_ms: list[float] = field(default_factory=list)
+    coalesced: int = 0       # server-side serve.coalesced delta
+    plan_cache_hits: int = 0  # server-side serve.plan_cache.hit delta
+    planner_runs: int = 0    # server-side plan.calls delta (actual executions)
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second (all outcomes)."""
+        return self.n_requests / self.duration if self.duration > 0 else 0.0
+
+    def latency_summary(self) -> dict[str, float]:
+        lats = self.latencies_ms
+        return {
+            "p50": percentile(lats, 50),
+            "p95": percentile(lats, 95),
+            "p99": percentile(lats, 99),
+            "mean": sum(lats) / len(lats) if lats else float("nan"),
+            "max": max(lats) if lats else float("nan"),
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready summary (latencies collapsed to percentiles)."""
+        return {
+            "concurrency": self.concurrency,
+            "n_requests": self.n_requests,
+            "n_ok": self.n_ok,
+            "n_rejected": self.n_rejected,
+            "n_deadline": self.n_deadline,
+            "n_failed": self.n_failed,
+            "duration_s": self.duration,
+            "throughput_rps": self.throughput,
+            "latency_ms": self.latency_summary(),
+            "coalesced": self.coalesced,
+            "plan_cache_hits": self.plan_cache_hits,
+            "planner_runs": self.planner_runs,
+        }
+
+
+class LoadGenerator:
+    """Drive a request mix at a fixed concurrency and measure it.
+
+    ``requests`` is a list of ``(type, params)`` pairs; worker threads pull
+    from it in order (shared cursor), each over its own connection, so the
+    wire behaviour matches ``concurrency`` independent clients.
+    """
+
+    def __init__(self, host: str, port: int, *, concurrency: int = 4,
+                 timeout: float = 120.0) -> None:
+        if concurrency < 1:
+            raise ValueError(f"LoadGenerator: concurrency must be >= 1, got {concurrency}")
+        self.host = host
+        self.port = port
+        self.concurrency = concurrency
+        self.timeout = timeout
+
+    def run(self, requests: list[tuple[str, dict[str, Any]]],
+            *, start_barrier: bool = True) -> LoadReport:
+        """Execute the mix; returns the filled :class:`LoadReport`.
+
+        With ``start_barrier`` (default) all threads connect first and
+        release together, so the initial burst is genuinely concurrent —
+        what the coalescing assertions in CI rely on.
+        """
+        report = LoadReport(concurrency=self.concurrency)
+        before = self._server_counters()
+        cursor = {"i": 0}
+        lock = threading.Lock()
+        barrier = threading.Barrier(self.concurrency) if start_barrier else None
+
+        def worker() -> None:
+            with ServeClient(self.host, self.port, timeout=self.timeout) as client:
+                if barrier is not None:
+                    barrier.wait(timeout=self.timeout)
+                while True:
+                    with lock:
+                        i = cursor["i"]
+                        if i >= len(requests):
+                            return
+                        cursor["i"] = i + 1
+                    rtype, params = requests[i]
+                    t0 = time.perf_counter()
+                    try:
+                        client.request(rtype, **params)
+                        outcome = "ok"
+                    except ServeError as exc:
+                        outcome = exc.code
+                    latency = (time.perf_counter() - t0) * 1e3
+                    with lock:
+                        report.n_requests += 1
+                        report.latencies_ms.append(latency)
+                        if outcome == "ok":
+                            report.n_ok += 1
+                        elif outcome == OVERLOADED:
+                            report.n_rejected += 1
+                        elif outcome == DEADLINE_EXCEEDED:
+                            report.n_deadline += 1
+                        else:
+                            report.n_failed += 1
+
+        threads = [threading.Thread(target=worker, daemon=True)
+                   for _ in range(self.concurrency)]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        report.duration = time.perf_counter() - t0
+        after = self._server_counters()
+        report.coalesced = int(after.get("serve.coalesced", 0)
+                               - before.get("serve.coalesced", 0))
+        report.plan_cache_hits = int(after.get("serve.plan_cache.hit", 0)
+                                     - before.get("serve.plan_cache.hit", 0))
+        report.planner_runs = int(after.get("plan.calls", 0)
+                                  - before.get("plan.calls", 0))
+        return report
+
+    def _server_counters(self) -> dict[str, float]:
+        try:
+            with ServeClient(self.host, self.port, timeout=self.timeout) as client:
+                return dict(client.stats().get("counters", {}))
+        except (OSError, ServeError):  # stats are best-effort decoration
+            return {}
+
+
+# --------------------------------------------------------------------------
+# Smoke mode (CI) and the command-line front end
+# --------------------------------------------------------------------------
+
+def _smoke_requests(n_requests: int) -> list[tuple[str, dict[str, Any]]]:
+    """A mixed workload over two small topologies plus health probes.
+
+    Repeating two plan payloads guarantees single-flight joins and/or
+    response-cache hits under any thread interleaving; a 150 ms synthetic
+    service time keeps the first flights open long enough that a concurrent
+    burst *must* coalesce.
+    """
+    from repro.io.network_json import network_to_dict
+    from repro.network.builder import build_paper_network
+
+    nets = [network_to_dict(build_paper_network(n=24, q=3, seed=s)) for s in (1, 2)]
+    requests: list[tuple[str, dict[str, Any]]] = []
+    for i in range(n_requests):
+        if i % 5 == 4:
+            requests.append(("health", {}))
+        else:
+            requests.append(("plan", {"network": nets[(i % 10) // 5],
+                                      "horizon": 200.0, "delay": 0.15}))
+    return requests
+
+
+def run_smoke(*, host: str | None = None, port: int | None = None,
+              n_requests: int = 50, concurrency: int = 8) -> int:
+    """The CI smoke: drive a mixed load, assert clean serving, return 0/1.
+
+    Without ``host``/``port`` an in-process thread-mode server on an
+    ephemeral port is spawned for the duration. Asserts every response was
+    ``ok`` (no failures, no rejections — the smoke queue is sized for the
+    load) and that at least one request was coalesced onto another's
+    in-flight computation.
+    """
+    from repro.serve.server import ServeConfig, ServerThread
+
+    spawned = None
+    if host is None or port is None:
+        spawned = ServerThread(ServeConfig(
+            executor="thread", workers=2, queue_limit=max(64, n_requests),
+            default_deadline=120.0))
+        host, port = spawned.start()
+    try:
+        gen = LoadGenerator(host, port, concurrency=concurrency)
+        report = gen.run(_smoke_requests(n_requests))
+    finally:
+        if spawned is not None:
+            spawned.stop()
+    print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    failures: list[str] = []
+    if report.n_ok != report.n_requests:
+        failures.append(f"expected {report.n_requests} ok responses, got {report.n_ok} "
+                        f"(rejected={report.n_rejected}, deadline={report.n_deadline}, "
+                        f"failed={report.n_failed})")
+    if report.coalesced + report.plan_cache_hits < 1:
+        failures.append("expected at least one coalesced or response-cached plan")
+    for f in failures:
+        print(f"SMOKE FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print(f"smoke ok: {report.n_ok}/{report.n_requests} responses, "
+              f"{report.coalesced} coalesced, {report.plan_cache_hits} cache hits, "
+              f"{report.planner_runs} planner runs", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.serve.client`` — load generator / smoke harness."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve-client",
+        description="Load generator for the repro planning service")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7351)
+    parser.add_argument("--requests", type=int, default=50, metavar="N")
+    parser.add_argument("--concurrency", type=int, default=8, metavar="N")
+    parser.add_argument("--smoke", action="store_true",
+                        help="spawn an in-process server, drive the mixed "
+                             "workload, assert clean serving (used by CI)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke(n_requests=args.requests, concurrency=args.concurrency)
+    gen = LoadGenerator(args.host, args.port, concurrency=args.concurrency)
+    report = gen.run(_smoke_requests(args.requests))
+    print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    return 0 if report.n_failed == 0 else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

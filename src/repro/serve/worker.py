@@ -1,0 +1,156 @@
+"""Executor-side request execution for the planning service.
+
+The server offloads CPU-bound commands (``plan``, ``simulate``) to a pool of
+workers; this module is the code that actually runs there. Everything is a
+module-level function so the :class:`~concurrent.futures.ProcessPoolExecutor`
+can ship it by reference, and the same functions run unchanged on a
+:class:`~concurrent.futures.ThreadPoolExecutor` (the server's ``thread``
+mode, used by tests and the smoke harness).
+
+Each worker keeps a **warm** :class:`~repro.plan.cache.PlanArtifactCache`
+resident in :data:`_CACHE`:
+
+* ``process`` mode — one cache *per worker process*, created by the pool's
+  ``initializer`` (:func:`init_worker`) and reused across every request that
+  lands on that process. Repeat geometries skip Algorithms 1–2 entirely.
+* ``thread`` mode — one cache shared by *all* worker threads (the server
+  passes its own instance), which is exactly why
+  :class:`~repro.plan.cache.PlanArtifactCache` is internally locked.
+
+Workers collect their own :class:`~repro.obs.Instrumentation` per request
+and return a picklable snapshot next to the result; the server merges the
+snapshot (events stripped — a long-lived server must not accumulate an
+unbounded trace) into its live stats, so ``plan.cache.*`` hit rates and
+stage timers show up in the ``stats`` response.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from repro.io.files import unwrap_envelope
+from repro.io.network_json import network_from_dict
+from repro.io.plan_json import plan_from_dict, plan_to_dict
+from repro.obs.instrument import Instrumentation, StatsSnapshot
+from repro.plan.cache import PlanArtifactCache
+
+__all__ = ["init_worker", "execute_plan", "execute_simulate", "worker_cache_info"]
+
+_CACHE: PlanArtifactCache | None = None
+_CACHE_GUARD = threading.Lock()
+
+
+def init_worker(max_entries: int | None = 4096) -> None:
+    """Create the worker process's resident plan-artifact cache.
+
+    Passed as the :class:`~concurrent.futures.ProcessPoolExecutor`
+    ``initializer``: the first call in each process creates a private cache
+    of ``max_entries`` entries; later calls keep it. Thread-mode servers do
+    not use this — they pass their shared (locked) cache per call instead,
+    so two servers embedded in one process never clobber each other's
+    state through this module global.
+    """
+    global _CACHE
+    with _CACHE_GUARD:
+        if _CACHE is None:
+            _CACHE = PlanArtifactCache(max_entries)
+
+
+def worker_cache_info() -> dict[str, int] | None:
+    """The resident cache's :meth:`~repro.plan.cache.PlanArtifactCache.info`."""
+    return None if _CACHE is None else _CACHE.info()
+
+
+def _strip_events(snap: StatsSnapshot) -> StatsSnapshot:
+    """Counters/timers/series only — the server must not grow a trace."""
+    return StatsSnapshot(counters=snap.counters, timers=snap.timers,
+                         series=snap.series, events=())
+
+
+def _synthetic_delay(payload: dict[str, Any]) -> None:
+    """Optional service-time padding (``"delay": seconds``).
+
+    A load-testing knob: saturation/deadline/coalescing behaviour is timing
+    dependent, and padding the service time makes it deterministic for the
+    integration tests, the load generator and the benchmarks. Capped so a
+    hostile request cannot park a worker for long.
+    """
+    delay = float(payload.get("delay", 0.0) or 0.0)
+    if delay > 0:
+        time.sleep(min(delay, 10.0))
+
+
+def execute_plan(payload: dict[str, Any],
+                 cache: PlanArtifactCache | None = None,
+                 ) -> tuple[dict[str, Any], StatsSnapshot]:
+    """Run one ``plan`` command: network document → plan document.
+
+    ``payload`` carries ``network`` (a
+    :func:`~repro.io.network_json.network_to_dict` document, bare or inside
+    the ``save_network`` file envelope), ``horizon``,
+    and optional ``refine``/``base``/``delay``. Planning goes through
+    Algorithm 3 (:func:`~repro.core.mintotal.min_total_distance`, i.e. the
+    staged :func:`~repro.plan.pipeline.build_block` pipeline) against the
+    worker's resident cache (``cache`` overrides the process-global one —
+    the thread-mode server passes its shared instance here). Library errors
+    (malformed network, bad horizon) propagate as
+    :class:`~repro.errors.ReproError` and become ``bad_request`` responses
+    server-side.
+    """
+    from repro.core.mintotal import min_total_distance
+
+    obs = Instrumentation()
+    _synthetic_delay(payload)
+    net = network_from_dict(unwrap_envelope(payload["network"], "sensor-network"))
+    horizon = float(payload["horizon"])
+    result = min_total_distance(
+        net, horizon,
+        refine=bool(payload.get("refine", False)),
+        base=int(payload.get("base", 2)),
+        cache=cache if cache is not None else _CACHE, obs=obs)
+    out = {
+        "plan": plan_to_dict(result.plan),
+        "K": int(result.quantization.K),
+        "n_schedulings": len(result.plan),
+        "service_cost": float(result.plan.total_cost(net.dist)),
+        "fingerprint": net.geometry_fingerprint,
+    }
+    return out, _strip_events(obs.snapshot())
+
+
+def execute_simulate(payload: dict[str, Any],
+                     cache: PlanArtifactCache | None = None,
+                     ) -> tuple[dict[str, Any], StatsSnapshot]:
+    """Run one ``simulate`` command: (network, plan) documents → metrics.
+
+    ``cache`` is accepted for submission-path uniformity and unused —
+    simulation has no plan artifacts to reuse. Replays the plan with the
+    planned policy under the network's nominal
+    fixed workload over the plan's own horizon;
+    :meth:`~repro.core.schedule.SchedulePlan.validate_for` rejects a
+    plan/network mismatch before any simulation work happens.
+    """
+    from repro.sim.engine import simulate
+    from repro.sim.policies import PlannedPolicy
+    from repro.sim.workload import FixedWorkload
+
+    obs = Instrumentation()
+    _synthetic_delay(payload)
+    net = network_from_dict(unwrap_envelope(payload["network"], "sensor-network"))
+    plan = plan_from_dict(unwrap_envelope(payload["plan"], "schedule-plan"))
+    plan.validate_for(net)
+    run = simulate(net, PlannedPolicy(plan), FixedWorkload.from_network(net),
+                   plan.horizon, instrumentation=obs)
+    m = run.metrics
+    out = {
+        "service_cost": float(m.service_cost),
+        "energy_delivered": float(m.energy_delivered),
+        "n_dispatches": int(m.n_dispatches),
+        "n_charges": int(m.n_charges),
+        "n_deaths": int(m.n_deaths),
+        "perpetual": bool(m.perpetual),
+        "summary": m.summary(),
+    }
+    return out, _strip_events(obs.snapshot())

@@ -35,11 +35,11 @@ class TestMain:
         for fid in ["fig1a", "fig2b", "fig5", "abl-q"]:
             assert fid in out
 
-    def test_unknown_figure_errors(self):
-        from repro.errors import ConfigError
-
-        with pytest.raises(ConfigError):
-            main(["run", "fig77"])
+    def test_unknown_figure_errors(self, capsys):
+        assert main(["run", "fig77"]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error: unknown figure 'fig77'" in err
+        assert "Traceback" not in err
 
     def test_errors_module_hierarchy(self):
         # Sanity: every library error is catchable as ReproError.
@@ -48,3 +48,41 @@ class TestMain:
         for name in errors.__all__:
             exc = getattr(errors, name)
             assert issubclass(exc, errors.ReproError) or exc is errors.ReproError
+
+
+class TestJobsValidation:
+    """`--jobs 0` used to die deep in the executor; now it is a clean
+    one-line usage error (no traceback) before any work starts."""
+
+    @pytest.mark.parametrize("argv,message", [
+        (["run", "fig1a", "--jobs", "0"], "--jobs must be >= 1, got 0"),
+        (["run", "fig1a", "--jobs", "-4"], "--jobs must be >= 1, got -4"),
+        (["report", "--jobs", "0"], "--jobs must be >= 1, got 0"),
+        (["serve", "--workers", "0"], "--workers must be >= 1, got 0"),
+        (["serve", "--workers", "-1"], "--workers must be >= 1, got -1"),
+        (["serve", "--queue-limit", "0"], "--queue-limit must be >= 1, got 0"),
+    ])
+    def test_nonpositive_rejected_cleanly(self, argv, message, capsys):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert f"repro: error: {message}" in err
+        assert "Traceback" not in err
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert (args.command, args.host, args.port) == ("serve", "127.0.0.1", 7351)
+        assert (args.workers, args.executor, args.queue_limit) == (1, "process", 32)
+        assert args.deadline == 30.0
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "4", "--executor", "thread",
+             "--queue-limit", "8", "--deadline", "5", "--drain-timeout", "2"])
+        assert (args.port, args.workers, args.executor) == (0, 4, "thread")
+        assert (args.queue_limit, args.deadline, args.drain_timeout) == (8, 5.0, 2.0)
+
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--executor", "fiber"])

@@ -218,3 +218,82 @@ class TestMinTotalDistanceWithCache:
         d = net.dist
         for bt, rt in zip(plain.block_costs(d), refined.block_costs(d)):
             assert rt <= bt + 1e-9
+
+
+class TestCacheThreadSafety:
+    """Regression: the store used to mutate its OrderedDicts unlocked.
+
+    Unsynchronised ``move_to_end`` / ``popitem`` racing against lookups can
+    raise ``KeyError``/``RuntimeError`` or corrupt the LRU order once the
+    cache is shared — which the planning service's thread-mode workers do.
+    Hammer one instance from many threads through every public entry point
+    and require zero exceptions plus intact bounds.
+    """
+
+    def test_concurrent_hammer(self):
+        import random
+        import threading
+
+        cache = PlanArtifactCache(max_entries=32)  # tiny: evict constantly
+        n_threads, n_ops = 8, 3000
+        start = threading.Barrier(n_threads)
+        failures: list[BaseException] = []
+
+        def hammer(seed: int) -> None:
+            rng = random.Random(seed)
+            try:
+                start.wait(timeout=10)
+                for i in range(n_ops):
+                    cov = frozenset({rng.randrange(64)})
+                    refine = rng.random() < 0.5
+                    op = rng.random()
+                    if op < 0.45:
+                        cache.put_tours("fp", cov, refine, (seed, i))
+                    elif op < 0.9:
+                        cache.get_tours("fp", cov, refine)
+                    elif op < 0.96:
+                        assert cache.n_entries >= 0
+                        cache.info()
+                    else:
+                        cache.clear()
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                failures.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(s,)) for s in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not failures, f"cache raced: {failures[:3]}"
+        info = cache.info()
+        assert info["tours"] <= 32
+        assert info["hits"] + info["misses"] > 0
+
+    def test_shared_across_planning_threads(self, net):
+        """The service's real pattern: many threads planning against ONE
+        cache must be crash-free and still produce identical tours."""
+        import threading
+
+        cache = PlanArtifactCache()
+        reference = min_total_distance(net, 150.0)
+        outputs: list[tuple] = []
+        failures: list[BaseException] = []
+        start = threading.Barrier(6)
+
+        def plan_once() -> None:
+            try:
+                start.wait(timeout=10)
+                for _ in range(5):
+                    result = min_total_distance(net, 150.0, cache=cache)
+                    outputs.append(result.block)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                failures.append(exc)
+
+        threads = [threading.Thread(target=plan_once) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not failures
+        assert len(outputs) == 30
+        assert all(block == reference.block for block in outputs)

@@ -66,10 +66,11 @@ class TestExperimentsMarkdown:
         assert out.exists()
         assert "### fig1a" in out.read_text()
 
-    def test_cli_report_validates_figures_before_running(self, tmp_path):
+    def test_cli_report_validates_figures_before_running(self, tmp_path, capsys):
         from repro.cli import main
-        from repro.errors import ConfigError
 
-        with pytest.raises(ConfigError):
-            main(["report", "--figures", "not-a-figure",
-                  "--out", str(tmp_path / "x.md")])
+        assert main(["report", "--figures", "not-a-figure",
+                     "--out", str(tmp_path / "x.md")]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err and "not-a-figure" in err
+        assert not (tmp_path / "x.md").exists()  # nothing ran
