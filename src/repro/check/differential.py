@@ -1,0 +1,397 @@
+"""The cross-path differential oracle suite.
+
+Every check pits two independent computations of the same answer against
+each other on one :class:`~repro.check.scenario.Scenario`:
+
+``oracle``
+    Algorithm 3's plan must be feasible by construction (the paper's
+    Lemma 2), the analytical :func:`~repro.core.feasibility.check_feasibility`
+    verdict must agree with trajectory-level death detection in
+    :mod:`repro.sim.engine`, and the run must pass the full
+    :class:`~repro.check.invariants.InvariantChecker` suite.
+``cache``
+    Plans built cold, against a fresh :class:`~repro.plan.cache.PlanArtifactCache`,
+    and against the same cache warmed, must be tour-for-tour identical —
+    the cache is a pure accelerator, never a semantic switch. A warm
+    re-plan must also create no new cache entries.
+``exact``
+    On coverage sets small enough for :func:`~repro.rooted.exact.exact_q_rooted_tsp`,
+    the pipeline's tour set must cost at least the optimum and at most
+    twice it (Algorithm 2's guarantee).
+``bound``
+    The plan's service cost must dominate the Lemma-3 lower bound and, for
+    the paper's base-2 quantisation with at least one full window per
+    level, stay within the ``4(K+1)`` factor the Theorem-2 argument
+    certifies against that bound.
+``serve``
+    A plan/simulate answered over the :mod:`repro.serve` wire must match
+    the in-process computation byte-for-byte (plan document) and
+    number-for-number (metrics).
+``executor``
+    :func:`~repro.experiments.runner.run_cell` with ``jobs=2`` must be
+    bit-identical to the serial run.
+
+Checks *report* failures (as :class:`CheckFailure` values) rather than
+raising, so the fuzzer can count, continue, and shrink.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.check.invariants import InvariantChecker
+from repro.check.scenario import Scenario
+from repro.core.bounds import lemma3_lower_bound
+from repro.core.feasibility import check_feasibility
+from repro.core.mintotal import MinTotalDistanceResult, min_total_distance
+from repro.errors import CheckError, ReproError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_cell
+from repro.io.network_json import network_to_dict
+from repro.io.plan_json import plan_to_dict
+from repro.obs.instrument import Instrumentation, ensure
+from repro.plan.cache import PlanArtifactCache
+from repro.plan.pipeline import distinct_coverage, plan_tours
+from repro.rooted.exact import exact_q_rooted_tsp
+from repro.rooted.qtsp import tours_total_cost
+from repro.sim.engine import SimulationResult, simulate
+from repro.sim.policies import PlannedPolicy
+from repro.sim.workload import FixedWorkload
+
+__all__ = ["CheckFailure", "ScenarioChecker", "ALL_CHECKS", "plans_equal"]
+
+#: Check names in execution order. ``serve`` and ``executor`` are the
+#: expensive ones — the fuzzer runs them on a cadence.
+ALL_CHECKS = ("oracle", "cache", "exact", "bound", "serve", "executor")
+
+#: Per-coverage-set sensor cap for the exact oracle: ``q^m`` assignments,
+#: kept below the library's own cap so fuzz iterations stay sub-second.
+_EXACT_SENSOR_CAP = 7
+
+#: Relative slack for cost comparisons between independent computations.
+_REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class CheckFailure:
+    """One differential check that did not hold.
+
+    Parameters
+    ----------
+    check:
+        The check's name (an element of :data:`ALL_CHECKS`).
+    message:
+        What disagreed, with the values.
+    """
+
+    check: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.message}"
+
+
+def plans_equal(a: dict[str, Any], b: dict[str, Any]) -> bool:
+    """Structural equality of two plan documents.
+
+    Both sides go through :func:`~repro.io.plan_json.plan_to_dict`, which
+    canonicalises shared tour sets, so plain ``==`` is an exact
+    tour-for-tour, time-for-time comparison. Split out (rather than
+    inlined) because the self-test uses the *same* predicate to prove a
+    poisoned cache would be caught — the detector under test must be the
+    detector in production.
+    """
+    return a == b
+
+
+def _close(a: float, b: float, *, rel: float = _REL_TOL) -> bool:
+    return math.isclose(a, b, rel_tol=rel, abs_tol=rel)
+
+
+class ScenarioChecker:
+    """Runs the differential suite against scenarios.
+
+    One checker instance amortises the expensive fixtures — most notably a
+    lazily started thread-mode :class:`~repro.serve.server.ServerThread`
+    reused across every ``serve`` check — so a fuzz run pays server
+    startup once, not per scenario. Call :meth:`close` (or use as a
+    context manager) to tear the server down.
+
+    Parameters
+    ----------
+    obs:
+        Optional instrumentation: ``check.scenarios``, ``check.failures``
+        and per-check ``check.<name>.fail`` counters.
+    """
+
+    def __init__(self, obs: Instrumentation | None = None) -> None:
+        self._obs = ensure(obs)
+        self._server = None   # lazily started ServerThread
+        self._client = None   # lazily connected ServeClient
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Stop the shared serve fixture (idempotent)."""
+        if self._client is not None:
+            try:
+                self._client.close()
+            finally:
+                self._client = None
+        if self._server is not None:
+            try:
+                self._server.stop()
+            finally:
+                self._server = None
+
+    def __enter__(self) -> "ScenarioChecker":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ entry point
+    def check(self, scenario: Scenario,
+              checks: Iterable[str] = ALL_CHECKS) -> list[CheckFailure]:
+        """Run the named checks; returns every failure (empty = clean)."""
+        self._obs.incr("check.scenarios")
+        failures: list[CheckFailure] = []
+        for name in checks:
+            runner = getattr(self, f"_check_{name}", None)
+            if runner is None:
+                raise CheckError(f"unknown check {name!r}; "
+                                 f"available: {ALL_CHECKS}")
+            try:
+                found = runner(scenario)
+            except CheckError as exc:
+                found = [CheckFailure(check=name, message=str(exc))]
+            except ReproError as exc:
+                # The library rejecting a scenario outright is also a
+                # harness failure: scenarios are generated to be valid.
+                found = [CheckFailure(
+                    check=name,
+                    message=f"library error ({type(exc).__name__}): {exc}")]
+            for f in found:
+                self._obs.incr("check.failures")
+                self._obs.incr(f"check.{f.check}.fail")
+            failures.extend(found)
+        return failures
+
+    # --------------------------------------------------------------- helpers
+    def _plan(self, scenario: Scenario,
+              cache: PlanArtifactCache | None = None) -> MinTotalDistanceResult:
+        return min_total_distance(
+            scenario.build_network(), scenario.horizon,
+            refine=scenario.refine, base=scenario.base, cache=cache)
+
+    def _simulate(self, scenario: Scenario,
+                  result: MinTotalDistanceResult,
+                  hooks: InvariantChecker | None = None) -> SimulationResult:
+        net = scenario.build_network()
+        return simulate(net, PlannedPolicy(result.plan),
+                        FixedWorkload.from_network(net), scenario.horizon,
+                        hooks=hooks)
+
+    # ---------------------------------------------------------------- checks
+    def _check_oracle(self, scenario: Scenario) -> list[CheckFailure]:
+        failures: list[CheckFailure] = []
+        net = scenario.build_network()
+        result = self._plan(scenario)
+        report = check_feasibility(result.plan, net.cycles)
+        checker = InvariantChecker(net, raise_on_violation=False,
+                                   obs=self._obs)
+        run = self._simulate(scenario, result, hooks=checker)
+        deaths = len(run.metrics.deaths)
+
+        if not report.feasible:
+            failures.append(CheckFailure(
+                "oracle", f"MinTotalDistance produced an infeasible plan "
+                          f"(Lemma 2 broken): {report.summary()}"))
+        if deaths > 0:
+            failures.append(CheckFailure(
+                "oracle", f"simulating the MinTotalDistance plan killed "
+                          f"{deaths} sensor(s): "
+                          f"{[(d.sensor, d.time) for d in run.metrics.deaths]}"))
+        if report.feasible != (deaths == 0):
+            failures.append(CheckFailure(
+                "oracle", f"analytical feasibility ({bool(report)}) disagrees "
+                          f"with trajectory death count ({deaths})"))
+        failures.extend(
+            CheckFailure("oracle", f"invariant violation: {v}")
+            for v in checker.violations)
+
+        if not _close(run.metrics.service_cost,
+                      result.plan.total_cost(net.dist),
+                      rel=1e-9):
+            failures.append(CheckFailure(
+                "oracle", f"simulated service cost "
+                          f"{run.metrics.service_cost!r} differs from the "
+                          f"plan's own total "
+                          f"{result.plan.total_cost(net.dist)!r}"))
+        return failures
+
+    def _check_cache(self, scenario: Scenario) -> list[CheckFailure]:
+        failures: list[CheckFailure] = []
+        cold = plan_to_dict(self._plan(scenario, cache=None).plan)
+        cache = PlanArtifactCache()
+        first = plan_to_dict(self._plan(scenario, cache=cache).plan)
+        entries_after_first = cache.keys()
+        warm = plan_to_dict(self._plan(scenario, cache=cache).plan)
+        entries_after_warm = cache.keys()
+
+        if not plans_equal(cold, first):
+            failures.append(CheckFailure(
+                "cache", "plan built against an empty cache differs from the "
+                         "uncached plan"))
+        if not plans_equal(first, warm):
+            failures.append(CheckFailure(
+                "cache", "warm re-plan differs from the cold plan (cache "
+                         "returned a wrong artifact)"))
+        # Compare as sets: a warm hit legitimately reorders the LRU recency
+        # list, but must never add or drop an entry.
+        for kind in ("forests", "tours"):
+            before = set(entries_after_first[kind])
+            after = set(entries_after_warm[kind])
+            if before != after:
+                failures.append(CheckFailure(
+                    "cache", f"warm re-plan changed the cached {kind} key set: "
+                             f"added {sorted(after - before, key=repr)}, "
+                             f"dropped {sorted(before - after, key=repr)}"))
+        return failures
+
+    def _check_exact(self, scenario: Scenario) -> list[CheckFailure]:
+        failures: list[CheckFailure] = []
+        net = scenario.build_network()
+        quant = self._plan(scenario).quantization
+        depots = [int(i) for i in net.depot_indices]
+        for coverage in distinct_coverage(quant):
+            if not coverage or len(coverage) > _EXACT_SENSOR_CAP:
+                continue
+            approx = plan_tours(net, coverage, refine=scenario.refine)
+            optimal = exact_q_rooted_tsp(net.dist, sorted(coverage), depots)
+            c_approx = tours_total_cost(net.dist, approx)
+            c_exact = tours_total_cost(net.dist, optimal)
+            slack = _REL_TOL * max(1.0, c_exact)
+            if c_approx < c_exact - slack:
+                failures.append(CheckFailure(
+                    "exact", f"pipeline tours over {sorted(coverage)} cost "
+                             f"{c_approx!r} < exact optimum {c_exact!r} — "
+                             f"the 'exact' solver is not exact or the tours "
+                             f"skip required sensors"))
+            if c_approx > 2.0 * c_exact + slack:
+                failures.append(CheckFailure(
+                    "exact", f"pipeline tours over {sorted(coverage)} cost "
+                             f"{c_approx!r} > 2x the exact optimum "
+                             f"{c_exact!r} (Algorithm 2's guarantee broken)"))
+        return failures
+
+    def _check_bound(self, scenario: Scenario) -> list[CheckFailure]:
+        if scenario.base != 2:
+            return []  # Lemma 3 is stated (and implemented) for base 2
+        failures: list[CheckFailure] = []
+        net = scenario.build_network()
+        result = self._plan(scenario)
+        plan_cost = result.plan.total_cost(net.dist)
+        lb = lemma3_lower_bound(net, scenario.horizon)
+        quant = lb.quantization
+        slack = _REL_TOL * max(1.0, plan_cost, lb.bound)
+
+        if plan_cost < lb.bound - slack:
+            failures.append(CheckFailure(
+                "bound", f"plan cost {plan_cost!r} beats the Lemma-3 lower "
+                         f"bound {lb.bound!r} — a feasible plan cheaper than "
+                         f"the certified optimum is impossible"))
+
+        # Upper factor: scheduling j covers prefix class v2(j), Algorithm 2
+        # tours cost <= 2 MSF, and floor(T/(2^k tau1)) windows of level k
+        # give cost <= sum_k 4 * per_level[k] <= 4(K+1) * bound. Valid only
+        # when every level has a full window (no per-level zeroing), i.e.
+        # horizon >= 2 * block_cycle.
+        if scenario.horizon >= 2.0 * quant.block_cycle and lb.bound > 0:
+            factor = 4.0 * (quant.K + 1)
+            if plan_cost > factor * lb.bound + slack:
+                failures.append(CheckFailure(
+                    "bound", f"plan cost {plan_cost!r} exceeds "
+                             f"{factor:g}x the Lemma-3 bound {lb.bound!r} "
+                             f"(K={quant.K}) — the approximation argument "
+                             f"no longer holds"))
+        return failures
+
+    def _check_serve(self, scenario: Scenario) -> list[CheckFailure]:
+        failures: list[CheckFailure] = []
+        client = self._ensure_server()
+        net = scenario.build_network()
+        doc = network_to_dict(net)
+        local = self._plan(scenario)
+        local_doc = plan_to_dict(local.plan)
+        local_cost = local.plan.total_cost(net.dist)
+
+        remote = client.plan(doc, scenario.horizon, refine=scenario.refine,
+                             base=scenario.base)
+        if not plans_equal(remote["plan"], local_doc):
+            failures.append(CheckFailure(
+                "serve", "plan document over the wire differs from the "
+                         "in-process plan"))
+        if not _close(float(remote["service_cost"]), local_cost):
+            failures.append(CheckFailure(
+                "serve", f"server reports service cost "
+                         f"{remote['service_cost']!r}, local plan costs "
+                         f"{local_cost!r}"))
+
+        run = self._simulate(scenario, local)
+        sim = client.simulate(doc, local_doc)
+        for key, local_value in (
+                ("service_cost", run.metrics.service_cost),
+                ("n_deaths", len(run.metrics.deaths)),
+                ("n_dispatches", len(run.metrics.dispatches))):
+            remote_value = sim[key]
+            same = (_close(float(remote_value), float(local_value))
+                    if isinstance(local_value, float)
+                    else int(remote_value) == int(local_value))
+            if not same:
+                failures.append(CheckFailure(
+                    "serve", f"simulate over the wire reports {key}="
+                             f"{remote_value!r}, in-process run says "
+                             f"{local_value!r}"))
+        return failures
+
+    def _check_executor(self, scenario: Scenario) -> list[CheckFailure]:
+        # The executor differential is scenario-seeded but runs the
+        # library's own topology generator (run_cell is a fixed pipeline);
+        # the scenario contributes the seed so each fuzz iteration
+        # exercises a different stream.
+        seed = scenario.stable_digest() % (2 ** 31)
+        config = ExperimentConfig(
+            n=12, q=2, side=200.0, horizon=60.0, tau_min=1.0, tau_max=8.0,
+            algorithms=("mtd", "greedy"), n_topologies=2, seed=seed)
+        serial = run_cell(config, jobs=1)
+        parallel = run_cell(config, jobs=2)
+        failures: list[CheckFailure] = []
+        for s, p in zip(serial.results, parallel.results):
+            for attr in ("costs", "deaths", "dispatches"):
+                a = getattr(s, attr)
+                b = getattr(p, attr)
+                if not np.array_equal(a, b):
+                    failures.append(CheckFailure(
+                        "executor", f"{s.algorithm}: {attr} differ between "
+                                    f"jobs=1 ({a.tolist()}) and jobs=2 "
+                                    f"({b.tolist()}) — parallel runs must be "
+                                    f"bit-identical"))
+        return failures
+
+    # ----------------------------------------------------------- serve fixture
+    def _ensure_server(self):
+        if self._client is None:
+            from repro.serve.client import ServeClient
+            from repro.serve.server import ServeConfig, ServerThread
+
+            self._server = ServerThread(ServeConfig(
+                executor="thread", workers=2, queue_limit=32,
+                default_deadline=120.0, drain_timeout=10.0),
+                obs=self._obs)
+            host, port = self._server.start()
+            self._client = ServeClient(host, port, timeout=120.0)
+        return self._client

@@ -1,0 +1,197 @@
+"""Check scenarios: small random instances as explicit documents.
+
+A :class:`Scenario` is one complete verification input — a network document
+(the :func:`~repro.io.network_json.network_to_dict` form), a horizon and
+the planner knobs. The fuzzer stores the *instance data* rather than the
+generator seed on purpose: shrinking transforms the instance (drop a
+sensor, round a coordinate, compress the cycle spread), and those edits
+have no seed-space representation. Keeping the document explicit also
+makes every reproducer file self-contained — replaying needs nothing but
+the JSON.
+
+Generated instances stay deliberately tiny (≤ ~10 sensors): the exact
+q-rooted TSP oracle is exponential, and small instances shrink to readable
+reproducers. Coverage comes from *many* scenarios, not big ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.errors import CheckError
+from repro.geometry.bbox import Rect
+from repro.geometry.point import Point
+from repro.io.files import load_json, save_json
+from repro.io.network_json import network_from_dict, network_to_dict
+from repro.network.builder import NetworkBuilder
+from repro.network.model import SensorNetwork
+
+__all__ = ["Scenario", "random_scenario", "SCENARIO_KIND"]
+
+#: Envelope kind of a serialised scenario (see :mod:`repro.io.files`).
+SCENARIO_KIND = "check-scenario"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One verification instance.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label (``fuzz-<seed>-<iteration>``, or a test name).
+    network_doc:
+        The :func:`~repro.io.network_json.network_to_dict` document. Treated
+        as immutable — transforms build a new dict.
+    horizon:
+        Monitoring period ``T`` for planning and simulation.
+    refine:
+        Whether the planner's 2-opt post-pass is on.
+    base:
+        Geometric base of the cycle quantisation.
+    """
+
+    name: str
+    network_doc: dict[str, Any]
+    horizon: float
+    refine: bool = False
+    base: int = 2
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise CheckError(f"scenario {self.name!r}: horizon must be positive, "
+                             f"got {self.horizon}")
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def n_sensors(self) -> int:
+        return len(self.network_doc["sensors"])
+
+    @property
+    def n_depots(self) -> int:
+        return len(self.network_doc["depots"])
+
+    @property
+    def cycles(self) -> np.ndarray:
+        return np.asarray([s["cycle"] for s in self.network_doc["sensors"]],
+                          dtype=np.float64)
+
+    def build_network(self) -> SensorNetwork:
+        """Materialise the network (validates the document)."""
+        return network_from_dict(self.network_doc)
+
+    def describe(self) -> str:
+        tau = self.cycles
+        return (f"{self.name}: n={self.n_sensors} q={self.n_depots} "
+                f"tau=[{tau.min():g},{tau.max():g}] T={self.horizon:g} "
+                f"refine={self.refine} base={self.base}")
+
+    # ----------------------------------------------------------- persistence
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "network": self.network_doc,
+            "horizon": self.horizon,
+            "refine": self.refine,
+            "base": self.base,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Scenario":
+        try:
+            return cls(name=str(data["name"]), network_doc=dict(data["network"]),
+                       horizon=float(data["horizon"]),
+                       refine=bool(data.get("refine", False)),
+                       base=int(data.get("base", 2)))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckError(f"malformed scenario document ({exc})") from exc
+
+    def save(self, path: str | Path) -> Path:
+        return save_json(path, SCENARIO_KIND, self.to_dict())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Scenario":
+        return cls.from_dict(load_json(path, SCENARIO_KIND))
+
+    # ------------------------------------------------------------ transforms
+    def with_doc(self, network_doc: dict[str, Any], suffix: str) -> "Scenario":
+        """Copy with a new network document and a name suffix (shrinking)."""
+        return replace(self, network_doc=network_doc,
+                       name=f"{self.name}~{suffix}")
+
+    def with_horizon(self, horizon: float, suffix: str) -> "Scenario":
+        return replace(self, horizon=horizon, name=f"{self.name}~{suffix}")
+
+    def __str__(self) -> str:
+        return self.describe()
+
+    def stable_digest(self) -> int:
+        """Process-independent content hash (unlike ``hash(str)``, which is
+        salted per interpreter). Seeds derived computations — e.g. the
+        executor differential's experiment seed — so a replayed reproducer
+        runs the identical work in a fresh process."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True).encode()
+        return int.from_bytes(hashlib.sha256(canonical).digest()[:4], "big")
+
+    def __hash__(self) -> int:
+        return self.stable_digest()
+
+
+def _random_cycles(rng: np.random.Generator, n: int, tau1: float) -> np.ndarray:
+    """One cycle vector; styles chosen to exercise different quantisations.
+
+    ``pow2`` lands every ratio exactly on a class boundary (the float-care
+    edge in :mod:`repro.core.quantize`); ``uniform`` produces generic
+    spreads; ``tight`` collapses to K = 0 (single-class degenerate block).
+    """
+    style = rng.choice(["pow2", "uniform", "tight"], p=[0.4, 0.4, 0.2])
+    if style == "pow2":
+        k = rng.integers(0, 4, size=n)
+        return tau1 * np.power(2.0, k)
+    if style == "uniform":
+        spread = float(rng.uniform(1.5, 12.0))
+        return rng.uniform(tau1, tau1 * spread, size=n)
+    return np.full(n, tau1, dtype=np.float64)
+
+
+def random_scenario(rng: np.random.Generator, name: str) -> Scenario:
+    """One random small instance, fully determined by ``rng``'s state.
+
+    Topology, cycle spread, horizon and planner knobs are all drawn here;
+    the caller owns determinism by seeding the generator (the fuzzer uses
+    ``default_rng([seed, iteration])``).
+    """
+    n = int(rng.integers(3, 11))
+    q = int(rng.integers(1, 4))
+    side = float(rng.choice([10.0, 100.0, 1000.0]))
+    area = Rect.square(side)
+
+    sensors = [Point(float(x), float(y))
+               for x, y in rng.uniform(0.0, side, size=(n, 2))]
+    depots = [Point(float(x), float(y))
+              for x, y in rng.uniform(0.0, side, size=(q, 2))]
+    tau1 = float(rng.uniform(0.5, 4.0))
+    cycles = _random_cycles(rng, n, tau1)
+
+    net = (NetworkBuilder()
+           .with_area(area)
+           .with_sensors_at(sensors)
+           .with_base_station_at_center()
+           .with_depots_at(depots)
+           .with_cycles(cycles)
+           .build())
+
+    # Horizon comfortably past the longest cycle so every quantisation
+    # level sees at least one full Lemma-3 window (>= 2x the block cycle,
+    # which the bound differential requires) and the plan repeats blocks.
+    horizon = float(cycles.max() * rng.uniform(2.5, 6.0))
+    refine = bool(rng.random() < 0.25)
+    base = 2 if rng.random() < 0.8 else 3
+    return Scenario(name=name, network_doc=network_to_dict(net),
+                    horizon=horizon, refine=refine, base=base)

@@ -1,0 +1,152 @@
+"""Harness self-test: plant known bugs, assert the checkers catch them.
+
+A verification harness that silently stops detecting is worse than none —
+green runs breed false confidence. This module keeps the harness honest by
+injecting two known mutations and requiring a failure:
+
+* **Coverage mutation** — :meth:`~repro.core.quantize.Quantization.sensors_due_at`
+  is monkeypatched to skip the highest class ``V_K``, the exact bug class
+  Algorithm 3's construction exists to prevent. Sensors in ``V_K`` are
+  then never charged, so the oracle check must flag the plan (Lemma 2
+  broken: infeasible plan and/or simulated deaths).
+* **Cache poisoning** — two tour-set entries in a warmed
+  :class:`~repro.plan.cache.PlanArtifactCache` are swapped under each
+  other's keys. The cache differential must see the warm re-plan diverge
+  from the cold plan (via the same :func:`~repro.check.differential.plans_equal`
+  predicate the production check uses).
+
+Both mutations are applied under ``try/finally`` so a crashing self-test
+cannot leak a mutated library into the process.
+
+``run_selftest`` returns the list of problems (empty = the harness works);
+``repro check selftest`` maps that to the exit code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.check.differential import ScenarioChecker, plans_equal
+from repro.check.scenario import Scenario
+from repro.core.quantize import Quantization
+from repro.errors import CheckError
+from repro.io.network_json import network_to_dict
+from repro.io.plan_json import plan_to_dict
+from repro.network.builder import NetworkBuilder
+from repro.obs.instrument import Instrumentation, ensure
+from repro.obs.log import get_logger
+from repro.plan.cache import PlanArtifactCache
+
+__all__ = ["run_selftest", "selftest_scenario"]
+
+log = get_logger(__name__)
+
+
+def selftest_scenario() -> Scenario:
+    """A fixed two-class instance (K = 1) every self-test runs against.
+
+    Hand-placed rather than fuzzed: the coverage mutation needs ``K >= 1``
+    (there must *be* a highest class to skip) and the cache poisoning
+    needs at least two distinct coverage sets to swap.
+    """
+    from repro.geometry.bbox import Rect
+    from repro.geometry.point import Point
+
+    net = (NetworkBuilder()
+           .with_area(Rect.square(100.0))
+           .with_sensors_at([Point(10.0, 10.0), Point(90.0, 10.0),
+                             Point(10.0, 90.0), Point(90.0, 90.0),
+                             Point(50.0, 20.0), Point(20.0, 50.0)])
+           .with_base_station_at_center()
+           .with_depots_at([Point(50.0, 50.0), Point(80.0, 80.0)])
+           .with_cycles(np.asarray([1.0, 2.0, 1.0, 2.0, 2.0, 1.0]))
+           .build())
+    return Scenario(name="selftest", network_doc=network_to_dict(net),
+                    horizon=9.0, refine=False, base=2)
+
+
+def _mutated_sensors_due_at(self: Quantization, j: int) -> np.ndarray:
+    """The planted bug: scheduling ``j`` silently skips class ``V_K``."""
+    ks = [k for k in range(self.K + 1)
+          if j % (self.base ** k) == 0 and k != self.K]
+    if not ks:
+        return np.empty(0, dtype=np.intp)
+    return np.nonzero(np.isin(self.k_of, ks))[0]
+
+
+def _problem_if(condition: bool, message: str,
+                problems: list[str]) -> None:
+    if condition:
+        problems.append(message)
+
+
+def run_selftest(obs: Instrumentation | None = None) -> list[str]:
+    """Run all planted-mutation checks; returns problems (empty = pass)."""
+    o = ensure(obs)
+    problems: list[str] = []
+    scenario = selftest_scenario()
+    base_checks = ("oracle", "cache", "exact", "bound")
+
+    with ScenarioChecker(obs=obs) as checker:
+        # ---- 0. baseline: the unmutated library must pass clean
+        clean = checker.check(scenario, checks=base_checks)
+        _problem_if(bool(clean),
+                    f"baseline scenario fails without any mutation: "
+                    f"{[str(f) for f in clean]}", problems)
+
+        # ---- 1. coverage mutation must be caught by the oracle suite
+        original = Quantization.sensors_due_at
+        try:
+            Quantization.sensors_due_at = _mutated_sensors_due_at
+            caught = checker.check(scenario, checks=("oracle", "bound"))
+        finally:
+            Quantization.sensors_due_at = original
+        _problem_if(not caught,
+                    "planted sensors_due_at mutation (skip class V_K) was "
+                    "NOT caught — the oracle check is blind", problems)
+        if caught:
+            log.info("selftest: coverage mutation caught by %s",
+                     sorted({f.check for f in caught}))
+            o.incr("check.selftest.caught")
+
+        # ---- 2. cache poisoning must be visible to the cache differential
+        problems.extend(_poisoned_cache_check(scenario))
+
+    if problems:
+        o.incr("check.selftest.problems", len(problems))
+    return problems
+
+
+def _poisoned_cache_check(scenario: Scenario) -> list[str]:
+    """Swap two cached tour sets; the warm plan must diverge from cold."""
+    from repro.core.mintotal import min_total_distance
+
+    net = scenario.build_network()
+    cold = plan_to_dict(min_total_distance(
+        net, scenario.horizon, refine=scenario.refine,
+        base=scenario.base).plan)
+
+    cache = PlanArtifactCache()
+    min_total_distance(net, scenario.horizon, refine=scenario.refine,
+                       base=scenario.base, cache=cache)
+    tour_keys = cache.keys()["tours"]
+    if len(tour_keys) < 2:
+        raise CheckError("selftest scenario produced fewer than two distinct "
+                         "tour-set entries; cannot poison the cache")
+
+    # Swap the artifacts stored under the first two keys.
+    (fp_a, cov_a, ref_a), (fp_b, cov_b, ref_b) = tour_keys[0], tour_keys[1]
+    tours_a = cache.get_tours(fp_a, cov_a, ref_a)
+    tours_b = cache.get_tours(fp_b, cov_b, ref_b)
+    cache.put_tours(fp_a, cov_a, ref_a, tours_b)
+    cache.put_tours(fp_b, cov_b, ref_b, tours_a)
+
+    warm = plan_to_dict(min_total_distance(
+        net, scenario.horizon, refine=scenario.refine,
+        base=scenario.base, cache=cache).plan)
+    if plans_equal(cold, warm):
+        return ["poisoned cache produced a plan indistinguishable from the "
+                "cold one — the cache differential cannot detect corrupt "
+                "artifacts"]
+    log.info("selftest: cache poisoning visible to the plan differential")
+    return []

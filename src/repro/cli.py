@@ -11,6 +11,9 @@
     repro --profile demo               # ... plus the instrumentation table
     repro --profile --trace t.jsonl plan   # ... plus a JSONL trace file
     repro serve --port 7351 --workers 4    # long-lived planning service
+    repro check fuzz --seed 4 --budget 50  # differential verification fuzzer
+    repro check replay check_reproducer.json   # re-run a shrunk failure
+    repro check selftest                   # assert the harness catches planted bugs
 
 Also available as ``python -m repro ...``.
 """
@@ -21,7 +24,7 @@ import argparse
 import sys
 import time
 
-from repro.errors import ConfigError
+from repro.errors import CheckError, ConfigError
 from repro.experiments.figures import FIGURES, get_figure
 from repro.obs import Instrumentation, configure_logging, get_logger
 from repro.reporting.csvio import sweep_to_csv
@@ -134,6 +137,38 @@ def build_parser() -> argparse.ArgumentParser:
                          help="default per-request deadline (0 disables)")
     serve_p.add_argument("--drain-timeout", type=float, default=10.0, metavar="SEC",
                          help="grace period for in-flight requests on SIGTERM")
+
+    check_p = sub.add_parser(
+        "check", help="differential verification harness (fuzz / replay / selftest)")
+    check_sub = check_p.add_subparsers(dest="check_command", required=True)
+
+    fuzz_p = check_sub.add_parser(
+        "fuzz", help="fuzz random scenarios through the differential suite")
+    fuzz_p.add_argument("--seed", default="0", metavar="SEED",
+                        help="determinism seed; any string is accepted "
+                             "(non-integers, e.g. a commit hash, are mapped "
+                             "through sha256)")
+    fuzz_p.add_argument("--budget", type=int, default=50, metavar="N",
+                        help="scenarios to run (default 50)")
+    fuzz_p.add_argument("--out", default="check_reproducer.json", metavar="PATH",
+                        help="where to write the shrunk reproducer on failure")
+    fuzz_p.add_argument("--serve-every", type=int, default=5, metavar="N",
+                        help="run the serve differential every N-th scenario "
+                             "(0 disables)")
+    fuzz_p.add_argument("--executor-every", type=int, default=25, metavar="N",
+                        help="run the executor differential every N-th "
+                             "scenario (0 disables)")
+    fuzz_p.add_argument("--quiet", action="store_true",
+                        help="suppress per-scenario progress lines")
+
+    replay_p = check_sub.add_parser(
+        "replay", help="re-run a reproducer file written by a failing fuzz")
+    replay_p.add_argument("reproducer", metavar="PATH",
+                          help="reproducer JSON (default fuzz output: "
+                               "check_reproducer.json)")
+
+    check_sub.add_parser(
+        "selftest", help="plant known bugs and assert the harness catches them")
     return parser
 
 
@@ -267,6 +302,57 @@ def _cmd_simulate(args: argparse.Namespace, obs: Instrumentation | None) -> int:
     return 0 if out.metrics.perpetual else 1
 
 
+def _coerce_seed(raw: str) -> int:
+    """Accept any string as a fuzz seed.
+
+    Integers pass through; anything else (a git commit hash in CI, a branch
+    name) is mapped through sha256 so the same string always fuzzes the
+    same scenarios.
+    """
+    import hashlib
+
+    try:
+        return int(raw, 0)
+    except ValueError:
+        digest = hashlib.sha256(raw.encode("utf-8")).digest()
+        return int.from_bytes(digest[:4], "big")
+
+
+def _cmd_check(args: argparse.Namespace, obs: Instrumentation | None) -> int:
+    from repro.check import fuzz, replay, run_selftest
+
+    if args.check_command == "fuzz":
+        _require_positive(args.budget, "--budget")
+        seed = _coerce_seed(args.seed)
+        if str(seed) != args.seed:
+            log.info("seed %r -> %d", args.seed, seed)
+        progress = None if args.quiet else print
+        report = fuzz(seed, args.budget, out=args.out,
+                      serve_every=args.serve_every,
+                      executor_every=args.executor_every,
+                      obs=obs, progress=progress)
+        print(report.summary())
+        return 0 if report.ok else 1
+    if args.check_command == "replay":
+        failures = replay(args.reproducer, obs=obs)
+        if failures:
+            print(f"replay: {args.reproducer} still fails:")
+            for f in failures:
+                print(f"  - {f}")
+            return 1
+        print(f"replay: {args.reproducer} no longer fails")
+        return 0
+    # selftest
+    problems = run_selftest(obs=obs)
+    if problems:
+        print("selftest: the harness has gone blind:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print("selftest: all planted mutations caught")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace, obs: Instrumentation | None) -> int:
     _require_positive(args.workers, "--workers")
     _require_positive(args.queue_limit, "--queue-limit")
@@ -300,8 +386,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_simulate(args, obs)
         if args.command == "serve":
             return _cmd_serve(args, obs)
+        if args.command == "check":
+            return _cmd_check(args, obs)
         return 2  # unreachable: argparse enforces the choices
-    except ConfigError as exc:
+    except (CheckError, ConfigError) as exc:
         # Invalid flag values (--jobs 0, --workers 0, ...) are usage
         # errors: one line on stderr, argparse's exit code, no traceback.
         print(f"repro: error: {exc}", file=sys.stderr)

@@ -19,6 +19,7 @@ __all__ = [
     "SensorDeathError",
     "ConfigError",
     "ServeError",
+    "CheckError",
 ]
 
 
@@ -107,3 +108,25 @@ class ServeError(ReproError):
     def __init__(self, message: str, *, code: str = "internal") -> None:
         super().__init__(message)
         self.code = code
+
+
+class CheckError(ReproError):
+    """A verification-harness invariant or differential oracle failed.
+
+    Raised by :mod:`repro.check` when two execution paths disagree or a
+    runtime invariant is violated. Deliberately distinct from the errors
+    the checked code itself raises, so the harness can tell "the library
+    rejected bad input" (expected on malformed scenarios) apart from "the
+    library silently produced a wrong answer" (the bug class this
+    exception exists to report).
+
+    Attributes
+    ----------
+    invariant:
+        Short machine-readable name of the violated invariant or check
+        (e.g. ``"full_charge"``, ``"cache_differential"``), or ``None``.
+    """
+
+    def __init__(self, message: str, *, invariant: str | None = None) -> None:
+        super().__init__(message)
+        self.invariant = invariant

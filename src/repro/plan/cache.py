@@ -132,6 +132,21 @@ class PlanArtifactCache:
         with self._lock:
             return len(self._forests) + len(self._tours)
 
+    def keys(self) -> dict[str, list[tuple]]:
+        """Point-in-time snapshot of both stores' keys (LRU → MRU order).
+
+        Diagnostic accessor for the :mod:`repro.check` differential
+        harness, which uses it to plant poisoned entries under the exact
+        keys the pipeline will look up and to assert that a warm re-plan
+        created no new entries. Taken under the lock; the returned lists
+        are copies and safe to iterate while the cache keeps serving.
+        """
+        with self._lock:
+            return {
+                "forests": list(self._forests.keys()),
+                "tours": list(self._tours.keys()),
+            }
+
     def info(self) -> dict[str, int]:
         """Size and traffic summary (used by tests and diagnostics)."""
         with self._lock:

@@ -42,11 +42,12 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import json
 import signal
 import threading
 import time
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from functools import partial
 from typing import Any, Callable
@@ -79,6 +80,12 @@ __all__ = ["ServeConfig", "PlanningServer", "ServerThread", "serve", "plan_key"]
 log = get_logger(__name__)
 
 _EXECUTORS = ("process", "thread")
+
+#: Per-connection bound on remembered request ids (duplicate detection).
+#: Requests on one connection are answered in order, so a well-behaved
+#: client reusing ids after this many requests is indistinguishable from a
+#: fresh id — the window only needs to catch accidental immediate reuse.
+_SEEN_IDS_LIMIT = 1024
 
 
 @dataclass
@@ -296,6 +303,7 @@ class PlanningServer:
         task = asyncio.current_task()
         if task is not None:
             self._conns.add(task)
+        seen_ids: OrderedDict[str, None] = OrderedDict()
         try:
             while True:
                 try:
@@ -313,7 +321,7 @@ class PlanningServer:
                 self._busy += 1
                 self._idle.clear()
                 try:
-                    response = await self._handle_line(line)
+                    response = await self._handle_line(line, seen_ids)
                     writer.write(encode(response))
                     await writer.drain()
                 finally:
@@ -335,7 +343,9 @@ class PlanningServer:
             except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
                 pass
 
-    async def _handle_line(self, line: bytes) -> dict[str, Any]:
+    async def _handle_line(self, line: bytes,
+                           seen_ids: "OrderedDict[str, None] | None" = None,
+                           ) -> dict[str, Any]:
         o = self.obs
         o.incr("serve.requests")
         try:
@@ -344,6 +354,19 @@ class PlanningServer:
             o.incr("serve.failed")
             o.incr(f"serve.failed.{exc.code}")
             return error_response(None, exc.code, str(exc))
+        if seen_ids is not None and req.id is not None:
+            # Ids are free-form JSON; canonicalise to a hashable key.
+            id_key = json.dumps(req.id, sort_keys=True, default=str)
+            if id_key in seen_ids:
+                o.incr("serve.duplicate_id")
+                o.incr("serve.failed")
+                o.incr(f"serve.failed.{BAD_REQUEST}")
+                return error_response(
+                    req.id, BAD_REQUEST,
+                    f"duplicate request id {req.id!r} on this connection")
+            seen_ids[id_key] = None
+            while len(seen_ids) > _SEEN_IDS_LIMIT:
+                seen_ids.popitem(last=False)
         o.incr(f"serve.requests.{req.type}")
         with o.span("serve.request", type=req.type):
             if req.type == "health":
@@ -464,14 +487,47 @@ class PlanningServer:
         return loop.run_in_executor(self._executor, fn, params)
 
     async def _run_job(self, fn: Callable, params: dict[str, Any]) -> dict[str, Any]:
-        """One admitted executor job; always releases its admission slot."""
+        """One admitted executor job; always releases its admission slot.
+
+        A worker failure hard enough to break the pool (e.g. a killed
+        process — ``BrokenProcessPool``) would otherwise leave every later
+        request failing against a dead executor; the pool is rebuilt once
+        and the triggering request still fails (``internal``), which is the
+        honest answer — its job may have half-run.
+        """
+        executor = self._executor
         try:
             result, snap = await self._submit(fn, params)
+        except BrokenExecutor:
+            self._rebuild_executor(executor)
+            raise
         finally:
             self._pending -= 1
             self.obs.observe("serve.queue_depth", self._pending)
         self.obs.merge(snap)
         return result
+
+    def _rebuild_executor(self, broken: object) -> None:
+        """Replace a broken pool with a fresh one (idempotent per pool).
+
+        ``broken`` is the executor the failing job was submitted to;
+        concurrent jobs that died with the same pool all call this, and the
+        identity guard makes sure only the first rebuilds.
+        """
+        if self._stopping or self._executor is not broken:
+            return
+        self.obs.incr("serve.executor_rebuilt")
+        log.warning("repro serve: executor broke; rebuilding the %s pool",
+                    self.config.executor)
+        cfg = self.config
+        if cfg.executor == "process":
+            self._executor = ProcessPoolExecutor(
+                max_workers=cfg.workers, initializer=init_worker,
+                initargs=(cfg.cache_entries,))
+        else:  # pragma: no cover - thread pools break only via initializer
+            self._executor = ThreadPoolExecutor(
+                max_workers=cfg.workers, thread_name_prefix="repro-serve")
+        broken.shutdown(wait=False, cancel_futures=True)
 
     async def _run_plan(self, key: tuple, params: dict[str, Any]) -> dict[str, Any]:
         """A plan job: a :meth:`_run_job` that is single-flight registered."""

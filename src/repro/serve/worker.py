@@ -26,6 +26,8 @@ stage timers show up in the ``stats`` response.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import threading
 import time
 from typing import Any
@@ -82,6 +84,29 @@ def _synthetic_delay(payload: dict[str, Any]) -> None:
         time.sleep(min(delay, 10.0))
 
 
+def _inject_fault(payload: dict[str, Any]) -> None:
+    """Fault-injection knob (``"fault": "exception" | "kill"``).
+
+    Used by the :mod:`repro.check` fault-injection suite to exercise the
+    server's failure paths with real worker failures rather than mocks:
+
+    * ``"exception"`` — raise from inside the worker; the server must map
+      it to an ``internal`` error response, never a dropped connection.
+    * ``"kill"`` — hard-exit the worker process mid-request, which makes
+      the :class:`~concurrent.futures.ProcessPoolExecutor` raise
+      ``BrokenProcessPool``; the server must answer ``internal`` and
+      rebuild the pool. Only honoured in a *child* process — in thread
+      mode ``os._exit`` would take down the whole server (and the test
+      suite embedding it), so it degrades to the exception fault.
+    """
+    fault = payload.get("fault")
+    if not fault:
+        return
+    if fault == "kill" and multiprocessing.parent_process() is not None:
+        os._exit(86)
+    raise RuntimeError(f"injected worker fault: {fault}")
+
+
 def execute_plan(payload: dict[str, Any],
                  cache: PlanArtifactCache | None = None,
                  ) -> tuple[dict[str, Any], StatsSnapshot]:
@@ -103,6 +128,7 @@ def execute_plan(payload: dict[str, Any],
 
     obs = Instrumentation()
     _synthetic_delay(payload)
+    _inject_fault(payload)
     net = network_from_dict(unwrap_envelope(payload["network"], "sensor-network"))
     horizon = float(payload["horizon"])
     result = min_total_distance(
@@ -138,6 +164,7 @@ def execute_simulate(payload: dict[str, Any],
 
     obs = Instrumentation()
     _synthetic_delay(payload)
+    _inject_fault(payload)
     net = network_from_dict(unwrap_envelope(payload["network"], "sensor-network"))
     plan = plan_from_dict(unwrap_envelope(payload["plan"], "schedule-plan"))
     plan.validate_for(net)

@@ -35,12 +35,50 @@ from repro.sim.policies import ChargingPolicy, SimulationView
 from repro.sim.state import EnergyState
 from repro.sim.workload import Workload
 
-__all__ = ["Simulator", "SimulationResult", "simulate"]
+__all__ = ["Simulator", "SimulationResult", "SimulationHooks", "simulate"]
 
 #: Two event times closer than this are treated as coincident.
 _TIME_TOL = 1e-9
 
 log = get_logger(__name__)
+
+
+class SimulationHooks:
+    """Opt-in observer protocol for the engine's event loop.
+
+    Subclass and override the callbacks you care about; the defaults are
+    no-ops. The engine calls each hook *after* it has applied the
+    corresponding state change, with live (non-copied) arrays — hooks must
+    treat them as read-only. This is the attachment point for
+    :mod:`repro.check`'s runtime invariant checker; keeping it an abstract
+    observer (rather than importing the checker here) preserves the
+    layering: ``sim`` knows nothing about ``check``.
+
+    A hook that raises aborts the run — that is intentional, so an
+    invariant checker can fail fast at the exact event that violated it.
+    """
+
+    def on_start(self, network: SensorNetwork, horizon: float,
+                 energy: np.ndarray) -> None:
+        """Called once before the event loop, with the initial energies."""
+
+    def on_advance(self, t_from: float, t_to: float, rates: np.ndarray,
+                   energy: np.ndarray) -> None:
+        """Called after each exact drain over ``[t_from, t_to)``.
+
+        ``energy`` is the engine's post-drain state (clamped at zero for
+        any sensor that died in the interval).
+        """
+
+    def on_death(self, sensor: int, time: float) -> None:
+        """Called for each death event recorded during a drain."""
+
+    def on_dispatch(self, time: float, scheduling: ChargingScheduling,
+                    energy: np.ndarray) -> None:
+        """Called after a scheduling executed (post-charge energies)."""
+
+    def on_finish(self, result: SimulationResult) -> None:
+        """Called once with the final result before :meth:`Simulator.run` returns."""
 
 
 @dataclass(frozen=True)
@@ -80,13 +118,19 @@ class Simulator:
         iteration counts toward ``sim.events``, and each executed
         scheduling records a ``dispatch`` span (with cost / sensor /
         charger attributes). ``None`` (the default) is a strict no-op.
+    hooks:
+        Optional :class:`SimulationHooks` observer receiving a callback at
+        every state transition (start, drain, death, dispatch, finish).
+        ``None`` (the default) adds zero overhead to the loop.
     """
 
     def __init__(self, network: SensorNetwork, *, strict: bool = False,
-                 instrumentation: Instrumentation | None = None) -> None:
+                 instrumentation: Instrumentation | None = None,
+                 hooks: SimulationHooks | None = None) -> None:
         self.network = network
         self.strict = strict
         self._obs = ensure(instrumentation)
+        self._hooks = hooks
 
     def run(self, policy: ChargingPolicy, workload: Workload,
             horizon: float) -> SimulationResult:
@@ -109,7 +153,10 @@ class Simulator:
         state = EnergyState(net.batteries)
         metrics = Metrics(q=net.q)
         o = self._obs
+        hooks = self._hooks
         with o.span("simulate", n=net.n, horizon=float(horizon)) as sp:
+            if hooks is not None:
+                hooks.on_start(net, float(horizon), state.energy)
             policy.reset(net, horizon)
 
             slot_len = workload.slot_duration
@@ -141,9 +188,13 @@ class Simulator:
 
                 # ---- drain exactly over [t, t_next)
                 deaths = state.drain(rates, t_next - t, t)
+                if hooks is not None:
+                    hooks.on_advance(t, t_next, rates, state.energy)
                 for sensor, when in deaths:
                     metrics.deaths.append(DeathEvent(time=when, sensor=sensor))
                     log.debug("sensor %d died at t=%.6g", sensor, when)
+                    if hooks is not None:
+                        hooks.on_death(sensor, when)
                     if self.strict:
                         raise SensorDeathError(
                             f"sensor {sensor} died at t={when:.6g}", sensor_id=sensor,
@@ -170,8 +221,11 @@ class Simulator:
                         self._execute(sched, t, state, metrics)
             sp.set(events=guard, dispatches=len(metrics.dispatches),
                    deaths=len(metrics.deaths))
-        return SimulationResult(metrics=metrics,
-                                final_energy=state.energy.copy(), horizon=horizon)
+        result = SimulationResult(metrics=metrics,
+                                  final_energy=state.energy.copy(), horizon=horizon)
+        if hooks is not None:
+            hooks.on_finish(result)
+        return result
 
     # ------------------------------------------------------------------ internals
     def _view(self, t: float, state: EnergyState, rates: np.ndarray) -> SimulationView:
@@ -206,11 +260,14 @@ class Simulator:
             metrics.dispatches.append(DispatchEvent(
                 time=t, cost=total, n_sensors=len(sensors), n_active_chargers=active))
             sp.set(cost=total, sensors=len(sensors), chargers=active)
+        if self._hooks is not None:
+            self._hooks.on_dispatch(t, sched, state.energy)
 
 
 def simulate(network: SensorNetwork, policy: ChargingPolicy, workload: Workload,
              horizon: float, *, strict: bool = False,
-             instrumentation: Instrumentation | None = None) -> SimulationResult:
+             instrumentation: Instrumentation | None = None,
+             hooks: SimulationHooks | None = None) -> SimulationResult:
     """One-call wrapper: ``Simulator(network, ...).run(...)``."""
-    return Simulator(network, strict=strict,
-                     instrumentation=instrumentation).run(policy, workload, horizon)
+    return Simulator(network, strict=strict, instrumentation=instrumentation,
+                     hooks=hooks).run(policy, workload, horizon)

@@ -1,0 +1,164 @@
+"""Integration tests for the repro.check harness end to end.
+
+Covers the fuzz loop (clean run, determinism), the planted-mutation
+self-test, the failure path (mutated library -> shrunk reproducer on disk
+-> replay), and the ``repro check`` CLI. The paper-scale fuzz runs are
+marked ``slow`` and excluded from tier-1.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.check import ScenarioChecker, fuzz, replay, run_selftest
+from repro.check.fuzz import REPRODUCER_KIND
+from repro.check.scenario import Scenario
+from repro.check.selftest import _mutated_sensors_due_at, selftest_scenario
+from repro.cli import main
+from repro.core.quantize import Quantization
+from repro.errors import CheckError
+from repro.obs import Instrumentation
+
+
+@pytest.fixture
+def mutated_quantization():
+    """Plant the selftest's coverage bug for the duration of one test."""
+    original = Quantization.sensors_due_at
+    Quantization.sensors_due_at = _mutated_sensors_due_at
+    try:
+        yield
+    finally:
+        Quantization.sensors_due_at = original
+
+
+class TestFuzzCleanPath:
+    def test_small_budget_clean(self, tmp_path):
+        out = tmp_path / "r.json"
+        report = fuzz(4, 4, out=out, serve_every=0, executor_every=0)
+        assert report.ok
+        assert report.scenarios_run == 4
+        assert not out.exists()  # no failure, no reproducer
+        assert "clean" in report.summary()
+
+    def test_deterministic_across_runs(self, tmp_path):
+        a = fuzz(11, 3, out=tmp_path / "a.json", serve_every=0,
+                 executor_every=0)
+        b = fuzz(11, 3, out=tmp_path / "b.json", serve_every=0,
+                 executor_every=0)
+        assert (a.ok, a.scenarios_run) == (b.ok, b.scenarios_run)
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(CheckError):
+            fuzz(1, 0)
+
+    @pytest.mark.slow
+    def test_acceptance_budget_50_seed_4(self, tmp_path):
+        """The PR's acceptance run: 50 scenarios, seed 4, fully clean."""
+        report = fuzz(4, 50, out=tmp_path / "r.json")
+        assert report.ok, report.summary()
+        assert report.scenarios_run == 50
+
+
+class TestFailurePath:
+    def test_mutation_fails_shrinks_and_replays(self, tmp_path,
+                                                mutated_quantization):
+        out = tmp_path / "repro.json"
+        obs = Instrumentation()
+        report = fuzz(4, 5, out=out, serve_every=0, executor_every=0, obs=obs)
+        assert not report.ok
+        assert report.scenario is not None
+        assert report.reproducer_path == out
+        assert out.exists()
+        assert obs.counters["check.fuzz.failed_scenarios"] == 1
+        # The shrunk scenario is no larger than the failing original.
+        doc = json.loads(out.read_text())
+        assert doc["kind"] == REPRODUCER_KIND
+        shrunk = Scenario.from_dict(doc["data"]["scenario"])
+        assert shrunk.n_sensors <= 10
+        assert doc["data"]["failures"]
+        assert doc["data"]["provenance"]["seed"] == 4
+
+        # Replay against the still-mutated library: must still fail.
+        assert replay(out) != []
+
+    def test_replay_goes_green_once_fixed(self, tmp_path):
+        # Write a reproducer "from a past failure" whose scenario is fine
+        # for the current (unmutated) library: replay must return clean.
+        scenario = selftest_scenario()
+        from repro.check.fuzz import _write_reproducer
+        from repro.check.differential import CheckFailure
+
+        path = _write_reproducer(
+            tmp_path / "old.json", scenario,
+            [CheckFailure("oracle", "was failing before the fix")],
+            seed=9, iteration=0, checks=("oracle", "bound"))
+        assert replay(path) == []
+
+    def test_replay_rejects_malformed(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"kind": REPRODUCER_KIND, "version": 1,
+                                   "data": {"failures": []}}))
+        with pytest.raises(CheckError):
+            replay(bad)
+
+
+class TestSelftest:
+    def test_selftest_passes(self):
+        obs = Instrumentation()
+        assert run_selftest(obs=obs) == []
+        assert obs.counters["check.selftest.caught"] == 1
+        assert "check.selftest.problems" not in obs.counters
+
+    def test_checker_flags_the_mutation(self, mutated_quantization):
+        # Directly: the differential suite must fail on the selftest
+        # scenario while the planted bug is live.
+        with ScenarioChecker() as checker:
+            failures = checker.check(selftest_scenario(),
+                                     checks=("oracle", "bound"))
+        assert failures
+        assert "oracle" in {f.check for f in failures}
+
+
+class TestCheckCLI:
+    def test_fuzz_clean_exit_zero(self, tmp_path, capsys):
+        rc = main(["check", "fuzz", "--seed", "4", "--budget", "2",
+                   "--serve-every", "0", "--executor-every", "0",
+                   "--quiet", "--out", str(tmp_path / "r.json")])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_fuzz_accepts_string_seed(self, tmp_path, capsys):
+        rc = main(["check", "fuzz", "--seed", "abc123sha", "--budget", "1",
+                   "--serve-every", "0", "--executor-every", "0",
+                   "--quiet", "--out", str(tmp_path / "r.json")])
+        assert rc == 0
+
+    def test_fuzz_failure_exit_one_and_reproducer(self, tmp_path, capsys,
+                                                  mutated_quantization):
+        out = tmp_path / "r.json"
+        rc = main(["check", "fuzz", "--seed", "4", "--budget", "3",
+                   "--serve-every", "0", "--executor-every", "0",
+                   "--quiet", "--out", str(out)])
+        assert rc == 1
+        assert out.exists()
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_replay_cli(self, tmp_path, capsys):
+        from repro.check.differential import CheckFailure
+        from repro.check.fuzz import _write_reproducer
+
+        path = _write_reproducer(tmp_path / "r.json", selftest_scenario(),
+                                 [CheckFailure("oracle", "old failure")],
+                                 seed=1, iteration=0, checks=("oracle",))
+        assert main(["check", "replay", str(path)]) == 0
+        assert "no longer fails" in capsys.readouterr().out
+
+    def test_selftest_cli(self, capsys):
+        assert main(["check", "selftest"]) == 0
+        assert "planted mutations caught" in capsys.readouterr().out
+
+    def test_rejects_zero_budget(self, capsys):
+        assert main(["check", "fuzz", "--budget", "0"]) == 2
+        assert "--budget" in capsys.readouterr().err

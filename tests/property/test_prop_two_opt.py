@@ -1,0 +1,74 @@
+"""Property: 2-opt is a safe refinement for every tour it can receive.
+
+The planner applies :func:`repro.tsp.improve.two_opt` to tours produced by
+Algorithm 2 *after* the approximation bound is established, so the bound
+survives only if 2-opt (a) never increases cost and (b) returns a valid
+tour over the same stops with the depot still anchored first. Degenerate
+tours (0, 1, 2 stops — a charger sent to a single sensor, or kept home)
+must pass through untouched: no non-trivial 2-opt move exists there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.distance import distance_matrix
+from repro.tsp.improve import two_opt
+from repro.tsp.tour import Tour
+
+
+@st.composite
+def tour_instances(draw, min_stops=0, max_stops=12):
+    """A random metric (points in the plane) plus a random-permutation tour
+    rooted at node 0 over a subset of the remaining nodes."""
+    n_stops = draw(st.integers(min_stops, max_stops))
+    pts = draw(st.lists(
+        st.tuples(st.floats(0, 500, allow_nan=False, width=32),
+                  st.floats(0, 500, allow_nan=False, width=32)),
+        min_size=n_stops + 1, max_size=n_stops + 1))
+    dist = distance_matrix(np.asarray(pts, dtype=np.float64))
+    stops = draw(st.permutations(list(range(1, n_stops + 1))))
+    return dist, Tour(depot=0, order=(0, *stops))
+
+
+class TestTwoOptProperties:
+    @given(tour_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_never_increases_cost(self, instance):
+        dist, tour = instance
+        improved = two_opt(dist, tour)
+        assert improved.cost(dist) <= tour.cost(dist) + 1e-9
+
+    @given(tour_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_depot_anchored_and_stops_preserved(self, instance):
+        dist, tour = instance
+        improved = two_opt(dist, tour)
+        assert improved.depot == tour.depot
+        assert improved.order[0] == tour.depot
+        assert sorted(improved.order) == sorted(tour.order)
+
+    @given(tour_instances(max_stops=2))
+    @settings(max_examples=30, deadline=None)
+    def test_degenerate_tours_returned_unchanged(self, instance):
+        """0, 1 or 2 stops: the closed tour is unique, 2-opt must no-op."""
+        dist, tour = instance
+        improved = two_opt(dist, tour)
+        assert improved.order == tour.order
+
+    def test_empty_tour_unchanged(self):
+        dist = distance_matrix(np.asarray([[0.0, 0.0], [3.0, 4.0]]))
+        tour = Tour(depot=1, order=(1,))
+        assert two_opt(dist, tour).order == (1,)
+
+    @given(tour_instances(min_stops=4, max_stops=9))
+    @settings(max_examples=25, deadline=None)
+    def test_idempotent_after_convergence(self, instance):
+        """Running a converged 2-opt again finds nothing to do."""
+        dist, tour = instance
+        once = two_opt(dist, tour, max_rounds=200)
+        again = two_opt(dist, once, max_rounds=200)
+        assert again.cost(dist) >= once.cost(dist) - 1e-9
+        assert again.order == once.order

@@ -1,0 +1,86 @@
+"""Unit tests for repro.check.scenario."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.check.scenario import SCENARIO_KIND, Scenario, random_scenario
+from repro.errors import CheckError
+from repro.io.network_json import network_to_dict
+
+
+@pytest.fixture
+def scenario(tiny_network) -> Scenario:
+    return Scenario(name="t", network_doc=network_to_dict(tiny_network),
+                    horizon=20.0)
+
+
+class TestScenario:
+    def test_accessors(self, scenario, tiny_network):
+        assert scenario.n_sensors == tiny_network.n
+        assert scenario.n_depots == tiny_network.q
+        np.testing.assert_allclose(scenario.cycles, tiny_network.cycles)
+
+    def test_build_network_round_trips(self, scenario, tiny_network):
+        net = scenario.build_network()
+        assert net.n == tiny_network.n
+        np.testing.assert_allclose(net.dist, tiny_network.dist)
+
+    def test_rejects_non_positive_horizon(self, tiny_network):
+        with pytest.raises(CheckError):
+            Scenario(name="bad", network_doc=network_to_dict(tiny_network),
+                     horizon=0.0)
+
+    def test_dict_round_trip(self, scenario):
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_from_dict_rejects_malformed(self):
+        with pytest.raises(CheckError):
+            Scenario.from_dict({"name": "x"})  # no network / horizon
+
+    def test_save_load_envelope(self, scenario, tmp_path):
+        path = scenario.save(tmp_path / "s.json")
+        assert Scenario.load(path) == scenario
+        import json
+
+        assert json.loads(path.read_text())["kind"] == SCENARIO_KIND
+
+    def test_transforms_rename_and_replace(self, scenario):
+        shorter = scenario.with_horizon(10.0, "half")
+        assert shorter.horizon == 10.0
+        assert shorter.name == "t~half"
+        doc = dict(scenario.network_doc)
+        doc["sensors"] = doc["sensors"][:-1]
+        smaller = scenario.with_doc(doc, "drop")
+        assert smaller.n_sensors == scenario.n_sensors - 1
+        assert scenario.n_sensors == 6  # original untouched
+
+    def test_stable_digest_is_content_addressed(self, scenario):
+        # Same content => same digest (even via a dict round trip); any
+        # field change => different digest. (Python's hash(str) is salted
+        # per process, which is exactly what this must not be.)
+        clone = Scenario.from_dict(scenario.to_dict())
+        assert clone.stable_digest() == scenario.stable_digest()
+        assert hash(clone) == hash(scenario)
+        assert (scenario.with_horizon(11.0, "h").stable_digest()
+                != scenario.stable_digest())
+
+
+class TestRandomScenario:
+    def test_deterministic_in_the_generator(self):
+        a = random_scenario(np.random.default_rng([7, 0]), "a")
+        b = random_scenario(np.random.default_rng([7, 0]), "a")
+        assert a == b
+        c = random_scenario(np.random.default_rng([7, 1]), "a")
+        assert c != a
+
+    def test_generated_instances_are_valid_and_small(self):
+        for i in range(20):
+            s = random_scenario(np.random.default_rng([3, i]), f"g{i}")
+            assert 3 <= s.n_sensors <= 10
+            assert 1 <= s.n_depots <= 3
+            assert s.base in (2, 3)
+            # Horizon leaves room for >= 2 blocks (the bound check's gate).
+            assert s.horizon >= 2.0 * s.cycles.max()
+            s.build_network()  # must not raise
