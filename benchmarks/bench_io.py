@@ -1,9 +1,17 @@
-"""Micro-benchmarks: serialisation throughput.
+"""Micro-benchmarks: serialisation throughput and store warm restarts.
 
 Plans repeat tour sets, and the encoder deduplicates them; these benches
 verify round-trips stay cheap even for season-long plans (thousands of
-schedulings), i.e. that the dedup actually bites.
+schedulings), i.e. that the dedup actually bites. The warm-restart bench
+measures the on-disk :class:`~repro.plan.store.PlanArtifactStore`'s whole
+reason to exist — a restarted process replanning from persisted artifacts
+must beat the cold path by >= 2x — and emits its numbers to
+``BENCH_store.json``.
 """
+
+import json
+import time
+from pathlib import Path
 
 import pytest
 
@@ -11,6 +19,7 @@ from repro.core.mintotal import min_total_distance
 from repro.io.network_json import network_from_dict, network_to_dict
 from repro.io.plan_json import plan_from_dict, plan_to_dict
 from repro.network.builder import build_paper_network
+from repro.plan import PlanArtifactCache, PlanArtifactStore
 
 
 @pytest.fixture(scope="module")
@@ -47,3 +56,76 @@ def test_bench_plan_decode(benchmark, big_instance):
     loaded = benchmark(plan_from_dict, data)
     assert len(loaded) == len(plan)
     assert loaded.total_cost(net.dist) == pytest.approx(plan.total_cost(net.dist))
+
+
+# --------------------------------------------------------------------------
+# Artifact-store warm restart
+# --------------------------------------------------------------------------
+
+_STORE_JSON = Path("BENCH_store.json")
+_store_measurements: dict = {}
+
+
+@pytest.fixture(scope="module")
+def store_json():
+    """Collects the store benches' numbers; written out once at module end."""
+    yield _store_measurements
+    if _store_measurements:
+        _STORE_JSON.write_text(
+            json.dumps(_store_measurements, indent=2, sort_keys=True) + "\n")
+        print(f"\nstore measurements -> {_STORE_JSON.resolve()}")
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def test_bench_warm_restart_speedup(benchmark, store_json, tmp_path_factory):
+    """Cold plan vs replan after a simulated process restart.
+
+    Cold runs Algorithms 1–3 end to end against an empty memory cache; the
+    restarted run gets a fresh (empty) memory cache too, but a new
+    :class:`~repro.plan.store.PlanArtifactStore` handle over the directory
+    the first run persisted — so everything below the coverage sets is
+    answered from disk. Acceptance bar: >= 2x, with the warm plan
+    tour-identical to the cold one (the store is a pure accelerator).
+    """
+    net = build_paper_network(n=300, q=5, seed=13)
+    net.dist  # pre-warm the cached distance matrix
+    horizon = 300.0
+    root = tmp_path_factory.mktemp("plan-store")
+
+    def cold():
+        return min_total_distance(net, horizon, refine=True,
+                                  cache=PlanArtifactCache())
+
+    def warm():
+        return min_total_distance(net, horizon, refine=True,
+                                  cache=PlanArtifactCache(),
+                                  store=PlanArtifactStore(root))
+
+    cold()  # warm-up (allocator, numpy caches)
+    t_cold = _timed(cold)
+    cold_result = cold()
+
+    # First store-backed run populates the directory (write-through).
+    min_total_distance(net, horizon, refine=True, cache=PlanArtifactCache(),
+                       store=PlanArtifactStore(root))
+
+    t_warm = benchmark.pedantic(lambda: _timed(warm), rounds=1, iterations=1)
+    warm_result = warm()
+    assert warm_result.levels == cold_result.levels  # tour-identical
+
+    speedup = t_cold / t_warm
+    store_json["warm_restart"] = {
+        "n": net.n, "q": net.q, "horizon": horizon, "refine": True,
+        "entries": PlanArtifactStore(root).n_entries,
+        "cold_s": round(t_cold, 4), "warm_s": round(t_warm, 4),
+        "speedup": round(speedup, 2),
+    }
+    print(f"\nwarm restart: cold {t_cold * 1e3:.1f}ms, "
+          f"warm {t_warm * 1e3:.1f}ms, speedup {speedup:.2f}x")
+    assert speedup >= 2.0, (
+        f"warm-restart speedup {speedup:.2f}x is below the 2x bar")

@@ -240,7 +240,7 @@ class MinTotalDistanceVarPolicy:
             quant = result.quantization
             queue: list[ChargingScheduling] = []
 
-            patched_tours: tuple = tuple(None for _ in range(quant.block_size + 1))
+            patched_tours: tuple = ()  # patch.tours when patched; index past end = no override
             if not initial:
                 rates = self._pred.conservative_rates()
                 lifetimes = np.divide(view.energy, rates,
@@ -259,8 +259,8 @@ class MinTotalDistanceVarPolicy:
                 tj = t + j * quant.tau1
                 if tj >= self._horizon - _TOL:
                     break
-                override = patched_tours[j] if j <= quant.block_size else None
-                tours = override if override is not None else result.block[(j - 1) % quant.block_size]
+                override = patched_tours[j] if j < len(patched_tours) else None
+                tours = override if override is not None else result.levels[quant.level_of(j)]
                 queue.append(ChargingScheduling(time=tj, tours=tours))
                 j += 1
             sp.set(schedulings=len(queue))

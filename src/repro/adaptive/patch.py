@@ -129,7 +129,7 @@ def build_patch(network: SensorNetwork, quant: Quantization,
     tau1 = quant.tau1
     K = quant.K
     b = quant.base
-    n_sched = quant.block_size + 1  # schedulings 0 .. b^K
+    n_sched = quant.enumerable_block_size() + 1  # schedulings 0 .. b^K (guarded: O(b^K) tables below)
     dist = network.dist
     depots = [int(i) for i in network.depot_indices]
 

@@ -14,6 +14,13 @@ each other on one :class:`~repro.check.scenario.Scenario`:
     and against the same cache warmed, must be tour-for-tour identical —
     the cache is a pure accelerator, never a semantic switch. A warm
     re-plan must also create no new cache entries.
+``store``
+    Same contract for the on-disk tier: a plan re-built from a *fresh
+    process state* (empty memory cache, new
+    :class:`~repro.plan.store.PlanArtifactStore` handle over a populated
+    directory) must be tour-identical to the cold plan and must actually
+    hit disk; bit-flipped and truncated entries must be quarantined —
+    never served — with the re-plan still exactly matching cold.
 ``exact``
     On coverage sets small enough for :func:`~repro.rooted.exact.exact_q_rooted_tsp`,
     the pipeline's tour set must cost at least the optimum and at most
@@ -39,6 +46,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Iterable
 
 import numpy as np
@@ -56,6 +64,7 @@ from repro.io.plan_json import plan_to_dict
 from repro.obs.instrument import Instrumentation, ensure
 from repro.plan.cache import PlanArtifactCache
 from repro.plan.pipeline import distinct_coverage, plan_tours
+from repro.plan.store import PlanArtifactStore
 from repro.rooted.exact import exact_q_rooted_tsp
 from repro.rooted.qtsp import tours_total_cost
 from repro.sim.engine import SimulationResult, simulate
@@ -66,7 +75,8 @@ __all__ = ["CheckFailure", "ScenarioChecker", "ALL_CHECKS", "plans_equal"]
 
 #: Check names in execution order. ``serve`` and ``executor`` are the
 #: expensive ones — the fuzzer runs them on a cadence.
-ALL_CHECKS = ("oracle", "cache", "exact", "bound", "serve", "executor")
+ALL_CHECKS = ("oracle", "cache", "store", "exact", "bound", "serve",
+              "executor")
 
 #: Per-coverage-set sensor cap for the exact oracle: ``q^m`` assignments,
 #: kept below the library's own cap so fuzz iterations stay sub-second.
@@ -182,10 +192,12 @@ class ScenarioChecker:
 
     # --------------------------------------------------------------- helpers
     def _plan(self, scenario: Scenario,
-              cache: PlanArtifactCache | None = None) -> MinTotalDistanceResult:
+              cache: PlanArtifactCache | None = None,
+              store: PlanArtifactStore | None = None) -> MinTotalDistanceResult:
         return min_total_distance(
             scenario.build_network(), scenario.horizon,
-            refine=scenario.refine, base=scenario.base, cache=cache)
+            refine=scenario.refine, base=scenario.base, cache=cache,
+            store=store)
 
     def _simulate(self, scenario: Scenario,
                   result: MinTotalDistanceResult,
@@ -260,6 +272,67 @@ class ScenarioChecker:
                     "cache", f"warm re-plan changed the cached {kind} key set: "
                              f"added {sorted(after - before, key=repr)}, "
                              f"dropped {sorted(before - after, key=repr)}"))
+        return failures
+
+    def _check_store(self, scenario: Scenario) -> list[CheckFailure]:
+        import shutil
+        import tempfile
+
+        failures: list[CheckFailure] = []
+        cold = plan_to_dict(self._plan(scenario).plan)
+        root = tempfile.mkdtemp(prefix="repro-check-store-")
+        try:
+            first = plan_to_dict(self._plan(
+                scenario, cache=PlanArtifactCache(),
+                store=PlanArtifactStore(root)).plan)
+            if not plans_equal(cold, first):
+                failures.append(CheckFailure(
+                    "store", "plan built against an empty store differs from "
+                             "the storeless plan"))
+
+            # Simulated restart: a fresh process state is an empty memory
+            # cache plus a new store handle over the same directory.
+            warm_store = PlanArtifactStore(root)
+            warm = plan_to_dict(self._plan(
+                scenario, cache=PlanArtifactCache(), store=warm_store).plan)
+            session = warm_store.stats()["session"]
+            if not plans_equal(cold, warm):
+                failures.append(CheckFailure(
+                    "store", "disk-warm re-plan differs from the cold plan "
+                             "(the store returned a wrong artifact)"))
+            if session["hits"] == 0:
+                failures.append(CheckFailure(
+                    "store", "disk-warm re-plan never hit the store — the "
+                             "persisted artifacts are not being read back"))
+
+            # Fault injection: flip one bit in one entry and truncate
+            # another. Each corrupted entry must be quarantined — on read
+            # during the re-plan, or by verify() if never read — and the
+            # re-plan must still match the cold plan exactly.
+            objects = sorted((Path(root) / "objects").rglob("*.json"))
+            flip, cut = objects[0], objects[-1]
+            blob = bytearray(flip.read_bytes())
+            blob[len(blob) // 2] ^= 0x40
+            flip.write_bytes(bytes(blob))
+            cut.write_bytes(cut.read_bytes()[:max(1, cut.stat().st_size // 2)])
+            n_corrupted = len({flip, cut})
+
+            hurt_store = PlanArtifactStore(root)
+            hurt = plan_to_dict(self._plan(
+                scenario, cache=PlanArtifactCache(), store=hurt_store).plan)
+            if not plans_equal(cold, hurt):
+                failures.append(CheckFailure(
+                    "store", "re-plan over a corrupted store differs from "
+                             "the cold plan — a corrupt entry was served"))
+            quarantined = (hurt_store.stats()["session"]["corrupt"]
+                           + hurt_store.verify()["corrupt"])
+            if quarantined < n_corrupted:
+                failures.append(CheckFailure(
+                    "store", f"corrupted {n_corrupted} entries but only "
+                             f"{quarantined} were quarantined across re-plan "
+                             f"and verify — the integrity check is blind"))
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
         return failures
 
     def _check_exact(self, scenario: Scenario) -> list[CheckFailure]:

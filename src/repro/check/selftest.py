@@ -4,18 +4,23 @@ A verification harness that silently stops detecting is worse than none —
 green runs breed false confidence. This module keeps the harness honest by
 injecting two known mutations and requiring a failure:
 
-* **Coverage mutation** — :meth:`~repro.core.quantize.Quantization.sensors_due_at`
-  is monkeypatched to skip the highest class ``V_K``, the exact bug class
-  Algorithm 3's construction exists to prevent. Sensors in ``V_K`` are
-  then never charged, so the oracle check must flag the plan (Lemma 2
-  broken: infeasible plan and/or simulated deaths).
+* **Coverage mutation** — :meth:`~repro.core.quantize.Quantization.coverage_sets`
+  (the method the planner pipeline actually builds tours from) is
+  monkeypatched so the top coverage level silently omits class ``V_K``,
+  the exact bug class Algorithm 3's construction exists to prevent.
+  Sensors in ``V_K`` are then never charged, so the oracle check must
+  flag the plan (Lemma 2 broken: infeasible plan and/or simulated deaths).
 * **Cache poisoning** — two tour-set entries in a warmed
   :class:`~repro.plan.cache.PlanArtifactCache` are swapped under each
   other's keys. The cache differential must see the warm re-plan diverge
   from the cold plan (via the same :func:`~repro.check.differential.plans_equal`
   predicate the production check uses).
+* **Store corruption** — a bit is flipped inside a persisted
+  :class:`~repro.plan.store.PlanArtifactStore` entry. The store's
+  integrity layer must quarantine it on the next read (never serve it),
+  and the disk-warm re-plan must still equal the cold plan.
 
-Both mutations are applied under ``try/finally`` so a crashing self-test
+The mutations are applied under ``try/finally`` so a crashing self-test
 cannot leak a mutated library into the process.
 
 ``run_selftest`` returns the list of problems (empty = the harness works);
@@ -65,13 +70,20 @@ def selftest_scenario() -> Scenario:
                     horizon=9.0, refine=False, base=2)
 
 
-def _mutated_sensors_due_at(self: Quantization, j: int) -> np.ndarray:
-    """The planted bug: scheduling ``j`` silently skips class ``V_K``."""
-    ks = [k for k in range(self.K + 1)
-          if j % (self.base ** k) == 0 and k != self.K]
-    if not ks:
-        return np.empty(0, dtype=np.intp)
-    return np.nonzero(np.isin(self.k_of, ks))[0]
+_original_coverage_sets = Quantization.coverage_sets
+
+
+def _mutated_coverage_sets(self: Quantization) -> tuple[frozenset[int], ...]:
+    """The planted bug: the top coverage level silently omits class ``V_K``.
+
+    A no-op at ``K = 0`` (no higher class to skip; the fuzz shrinker does
+    produce such instances) — :func:`selftest_scenario` guarantees
+    ``K >= 1`` so the self-test always exercises the bug.
+    """
+    sets = _original_coverage_sets(self)
+    if len(sets) < 2:
+        return sets
+    return sets[:-1] + (sets[-2],)
 
 
 def _problem_if(condition: bool, message: str,
@@ -85,7 +97,7 @@ def run_selftest(obs: Instrumentation | None = None) -> list[str]:
     o = ensure(obs)
     problems: list[str] = []
     scenario = selftest_scenario()
-    base_checks = ("oracle", "cache", "exact", "bound")
+    base_checks = ("oracle", "cache", "store", "exact", "bound")
 
     with ScenarioChecker(obs=obs) as checker:
         # ---- 0. baseline: the unmutated library must pass clean
@@ -95,14 +107,13 @@ def run_selftest(obs: Instrumentation | None = None) -> list[str]:
                     f"{[str(f) for f in clean]}", problems)
 
         # ---- 1. coverage mutation must be caught by the oracle suite
-        original = Quantization.sensors_due_at
         try:
-            Quantization.sensors_due_at = _mutated_sensors_due_at
+            Quantization.coverage_sets = _mutated_coverage_sets
             caught = checker.check(scenario, checks=("oracle", "bound"))
         finally:
-            Quantization.sensors_due_at = original
+            Quantization.coverage_sets = _original_coverage_sets
         _problem_if(not caught,
-                    "planted sensors_due_at mutation (skip class V_K) was "
+                    "planted coverage_sets mutation (skip class V_K) was "
                     "NOT caught — the oracle check is blind", problems)
         if caught:
             log.info("selftest: coverage mutation caught by %s",
@@ -111,6 +122,9 @@ def run_selftest(obs: Instrumentation | None = None) -> list[str]:
 
         # ---- 2. cache poisoning must be visible to the cache differential
         problems.extend(_poisoned_cache_check(scenario))
+
+        # ---- 3. planted on-disk corruption must be quarantined, not served
+        problems.extend(_corrupted_store_check(scenario))
 
     if problems:
         o.incr("check.selftest.problems", len(problems))
@@ -150,3 +164,54 @@ def _poisoned_cache_check(scenario: Scenario) -> list[str]:
                 "artifacts"]
     log.info("selftest: cache poisoning visible to the plan differential")
     return []
+
+
+def _corrupted_store_check(scenario: Scenario) -> list[str]:
+    """Bit-flip a persisted entry; the store must quarantine, not serve it."""
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.core.mintotal import min_total_distance
+    from repro.plan.store import PlanArtifactStore
+
+    net = scenario.build_network()
+    cold = plan_to_dict(min_total_distance(
+        net, scenario.horizon, refine=scenario.refine,
+        base=scenario.base).plan)
+
+    root = tempfile.mkdtemp(prefix="repro-selftest-store-")
+    try:
+        min_total_distance(net, scenario.horizon, refine=scenario.refine,
+                           base=scenario.base, cache=PlanArtifactCache(),
+                           store=PlanArtifactStore(root))
+        entries = sorted((Path(root) / "objects").rglob("*.json"))
+        if not entries:
+            raise CheckError("selftest plan persisted no store entries; "
+                             "cannot plant on-disk corruption")
+        # Flip one bit in every persisted entry: each one read during the
+        # re-plan MUST be quarantined, and none may leak into the plan.
+        for path in entries:
+            blob = bytearray(path.read_bytes())
+            blob[len(blob) // 2] ^= 0x01
+            path.write_bytes(bytes(blob))
+
+        store = PlanArtifactStore(root)
+        warm = plan_to_dict(min_total_distance(
+            net, scenario.horizon, refine=scenario.refine, base=scenario.base,
+            cache=PlanArtifactCache(), store=store).plan)
+        problems: list[str] = []
+        if not plans_equal(cold, warm):
+            problems.append(
+                "a corrupted store entry leaked into the re-plan — the "
+                "integrity layer served bad data instead of quarantining it")
+        if store.stats()["session"]["corrupt"] == 0:
+            problems.append(
+                "every store entry was corrupted on disk yet none was "
+                "quarantined during the re-plan — the checksum check is blind")
+        if not problems:
+            log.info("selftest: on-disk corruption quarantined, re-plan "
+                     "matches cold")
+        return problems
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

@@ -14,6 +14,9 @@
     repro check fuzz --seed 4 --budget 50  # differential verification fuzzer
     repro check replay check_reproducer.json   # re-run a shrunk failure
     repro check selftest                   # assert the harness catches planted bugs
+    repro plan --cache-dir .plan-store     # persist plan artifacts across runs
+    repro cache stats --cache-dir .plan-store    # inspect the on-disk store
+    repro cache verify --cache-dir .plan-store   # integrity-scan + quarantine
 
 Also available as ``python -m repro ...``.
 """
@@ -77,6 +80,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--jobs", type=int, default=1, metavar="N",
                      help="worker processes per cell (topology jobs; results "
                           "are bit-identical to --jobs 1)")
+    run.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="persist plan artifacts to this on-disk store; "
+                          "repeat runs replan warm (results unchanged)")
     run.add_argument("--quiet", action="store_true", help="suppress progress lines")
 
     sub.add_parser("demo", help="end-to-end demo on one small topology")
@@ -107,6 +113,10 @@ def build_parser() -> argparse.ArgumentParser:
                       default="linear")
     plan.add_argument("--refine", action="store_true",
                       help="2-opt refine all tours")
+    plan.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="read/write plan artifacts through this on-disk "
+                           "store; a repeat plan over the same geometry "
+                           "replans warm (results unchanged)")
     plan.add_argument("--network-out", default="network.json", metavar="PATH")
     plan.add_argument("--plan-out", default="plan.json", metavar="PATH")
 
@@ -137,6 +147,29 @@ def build_parser() -> argparse.ArgumentParser:
                          help="default per-request deadline (0 disables)")
     serve_p.add_argument("--drain-timeout", type=float, default=10.0, metavar="SEC",
                          help="grace period for in-flight requests on SIGTERM")
+    serve_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="persist worker plan artifacts to this on-disk "
+                              "store; pools warm-start from it at boot and "
+                              "flush to it on drain")
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect and maintain an on-disk plan-artifact store")
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+
+    def _cache_sub(name: str, help_: str) -> argparse.ArgumentParser:
+        p = cache_sub.add_parser(name, help=help_)
+        p.add_argument("--cache-dir", required=True, metavar="DIR",
+                       help="store directory (as passed to plan/run/serve)")
+        return p
+
+    _cache_sub("stats", "entry counts, byte totals and session traffic")
+    _cache_sub("verify", "integrity-scan every entry; quarantine corrupt ones")
+    gc_p = _cache_sub("gc", "trim the store to size budgets, oldest-read first")
+    gc_p.add_argument("--max-entries", type=int, default=None, metavar="N",
+                      help="keep at most N entries")
+    gc_p.add_argument("--max-bytes", type=int, default=None, metavar="BYTES",
+                      help="keep at most BYTES of entry data")
+    _cache_sub("clear", "delete every entry (and quarantined file)")
 
     check_p = sub.add_parser(
         "check", help="differential verification harness (fuzz / replay / selftest)")
@@ -187,7 +220,7 @@ def _cmd_run(args: argparse.Namespace, obs: Instrumentation | None) -> int:
     progress = None if args.quiet else log.info
     t0 = time.perf_counter()
     result = spec.run(n_topologies=args.reps, full=args.full, progress=progress,
-                      obs=obs, jobs=args.jobs)
+                      obs=obs, jobs=args.jobs, cache_dir=args.cache_dir)
     elapsed = time.perf_counter() - t0
     print()
     print(figure_report(spec, result, instrumentation=obs))
@@ -263,7 +296,13 @@ def _cmd_plan(args: argparse.Namespace, obs: Instrumentation | None) -> int:
             else RandomCycleDistribution())
     net = build_paper_network(n=args.n, q=args.q, distribution=dist,
                               seed=args.seed)
-    result = min_total_distance(net, args.horizon, refine=args.refine, obs=obs)
+    store = None
+    if args.cache_dir is not None:
+        from repro.plan.store import PlanArtifactStore
+
+        store = PlanArtifactStore(args.cache_dir)
+    result = min_total_distance(net, args.horizon, refine=args.refine,
+                                store=store, obs=obs)
     report = check_feasibility(result.plan, net.cycles)
     if not report.feasible:  # cannot happen by Lemma 2; belt and braces
         log.error("%s", report.summary())
@@ -362,8 +401,35 @@ def _cmd_serve(args: argparse.Namespace, obs: Instrumentation | None) -> int:
         host=args.host, port=args.port, workers=args.workers,
         executor=args.executor, queue_limit=args.queue_limit,
         default_deadline=(args.deadline if args.deadline > 0 else None),
-        drain_timeout=args.drain_timeout)
+        drain_timeout=args.drain_timeout, cache_dir=args.cache_dir)
     return serve(config, obs=obs)
+
+
+def _cmd_cache(args: argparse.Namespace, obs: Instrumentation | None) -> int:
+    from repro.plan.store import PlanArtifactStore
+
+    store = PlanArtifactStore(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = store.stats()
+        width = max(len(k) for k in stats)
+        for key, value in stats.items():
+            print(f"{key.ljust(width)}  {value}")
+        return 0
+    if args.cache_command == "verify":
+        report = store.verify(obs=obs)
+        print(f"verify: {report['checked']} checked, {report['ok']} ok, "
+              f"{report['corrupt']} corrupt (quarantined)")
+        return 0 if report["corrupt"] == 0 else 1
+    if args.cache_command == "gc":
+        report = store.gc(max_entries=args.max_entries,
+                          max_bytes=args.max_bytes, obs=obs)
+        print(f"gc: kept {report['kept']}, removed {report['removed']}, "
+              f"purged {report['quarantine_purged']} quarantined")
+        return 0
+    # clear
+    removed = store.clear(obs=obs)
+    print(f"clear: removed {removed} entries from {args.cache_dir}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -388,6 +454,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_serve(args, obs)
         if args.command == "check":
             return _cmd_check(args, obs)
+        if args.command == "cache":
+            return _cmd_cache(args, obs)
         return 2  # unreachable: argparse enforces the choices
     except (CheckError, ConfigError) as exc:
         # Invalid flag values (--jobs 0, --workers 0, ...) are usage

@@ -27,6 +27,8 @@ monitoring period.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -36,9 +38,12 @@ from repro.errors import ScheduleError
 from repro.network.model import SensorNetwork
 from repro.obs.instrument import Instrumentation, ensure
 from repro.plan.cache import PlanArtifactCache
-from repro.plan.pipeline import build_block
+from repro.plan.pipeline import build_block, build_levels
 from repro.rooted.qtsp import tours_total_cost
 from repro.tsp.tour import Tour
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.plan.store import PlanArtifactStore
 
 __all__ = ["MinTotalDistanceResult", "min_total_distance", "build_block"]
 
@@ -54,20 +59,46 @@ class MinTotalDistanceResult:
     quantization:
         The class structure the plan is built on (exposed for analysis and
         for the adaptive heuristic, which reuses it).
-    block:
-        The ``2^K`` distinct tour sets; ``block[j - 1]`` is the tour tuple of
-        within-block scheduling ``j``. Shared by reference into ``plan``.
+    levels:
+        The ``K + 1`` distinct tour sets, indexed by coverage level:
+        within-block scheduling ``j`` uses
+        ``levels[quantization.level_of(j)]``. Shared by reference into
+        ``plan``. This stays O(K) even for astronomically wide cycle
+        spreads; :attr:`block` is the expanded per-scheduling view.
     """
 
     plan: SchedulePlan
     quantization: Quantization
-    block: tuple[tuple[Tour, ...], ...]
+    levels: tuple[tuple[Tour, ...], ...]
 
-    def block_costs(self, dist: np.ndarray) -> np.ndarray:
-        """``(2^K,)`` cost of each distinct tour set."""
+    @cached_property
+    def block(self) -> tuple[tuple[Tour, ...], ...]:
+        """The ``b^K`` tour sets of one block; ``block[j - 1]`` is the tour
+        tuple of within-block scheduling ``j`` (a view expanded from
+        :attr:`levels`, tuples shared by reference).
+
+        Raises :class:`~repro.errors.ScheduleError` when the block is too
+        large to enumerate — use :attr:`levels` with
+        :meth:`~repro.core.quantize.Quantization.level_of` instead.
+        """
+        q = self.quantization
+        n = q.enumerable_block_size()
+        return tuple(self.levels[q.level_of(j)] for j in range(1, n + 1))
+
+    def level_costs(self, dist: np.ndarray) -> np.ndarray:
+        """``(K + 1,)`` cost of each level's tour set."""
         d = np.asarray(dist)
         return np.asarray(
-            [sum(t.cost(d) for t in tours) for tours in self.block], dtype=np.float64)
+            [sum(t.cost(d) for t in tours) for tours in self.levels],
+            dtype=np.float64)
+
+    def block_costs(self, dist: np.ndarray) -> np.ndarray:
+        """``(b^K,)`` cost of each within-block scheduling's tour set
+        (expanded from :meth:`level_costs`; guarded like :attr:`block`)."""
+        q = self.quantization
+        n = q.enumerable_block_size()
+        per_level = self.level_costs(dist)
+        return per_level[[q.level_of(j) for j in range(1, n + 1)]]
 
 
 def min_total_distance(network: SensorNetwork, horizon: float,
@@ -76,6 +107,7 @@ def min_total_distance(network: SensorNetwork, horizon: float,
                        start_time: float = 0.0,
                        base: int = 2,
                        cache: PlanArtifactCache | None = None,
+                       store: "PlanArtifactStore | None" = None,
                        obs: Instrumentation | None = None) -> MinTotalDistanceResult:
     """Run Algorithm 3.
 
@@ -104,6 +136,12 @@ def min_total_distance(network: SensorNetwork, horizon: float,
         geometry (``mtd-var`` re-plans; refine-variant pairs) skip
         Algorithms 1–2 on cache hits. The result is tour-for-tour identical
         with or without a cache.
+    store:
+        Optional :class:`~repro.plan.store.PlanArtifactStore` — the on-disk
+        tier under ``cache``. Artifacts computed here are written through
+        to it and artifacts persisted by *previous processes* are read back
+        on in-memory misses, so a restarted planner replans warm. Also a
+        pure accelerator: plans are tour-identical with or without it.
     obs:
         Optional instrumentation context. Records the ``plan`` span, the
         class structure (``plan.K``, ``plan.class_size`` series), the
@@ -128,7 +166,8 @@ def min_total_distance(network: SensorNetwork, horizon: float,
     o = ensure(obs)
     with o.span("plan", n=network.n, horizon=float(horizon)) as sp:
         quant = quantize_cycles(tau, base=base)
-        block = build_block(network, quant, refine=refine, cache=cache, obs=obs)
+        levels = build_levels(network, quant, refine=refine, cache=cache,
+                              store=store, obs=obs)
 
         schedulings: list[ChargingScheduling] = []
         j = 1
@@ -136,7 +175,7 @@ def min_total_distance(network: SensorNetwork, horizon: float,
             t = start_time + j * quant.tau1
             if t >= horizon:
                 break
-            tours = block[(j - 1) % quant.block_size]
+            tours = levels[quant.level_of(j)]
             schedulings.append(ChargingScheduling(time=t, tours=tours))
             j += 1
         plan = SchedulePlan(schedulings=tuple(schedulings), horizon=horizon)
@@ -148,7 +187,7 @@ def min_total_distance(network: SensorNetwork, horizon: float,
         o.incr("plan.schedulings", len(schedulings))
         for k in range(quant.K + 1):  # class coverage of the quantisation
             o.observe("plan.class_size", int(quant.members(k).size))
-        block_costs = [tours_total_cost(network.dist, tours) for tours in block]
+        level_costs = [tours_total_cost(network.dist, tours) for tours in levels]
         for idx in range(len(schedulings)):  # per-scheduling tour-set length
-            o.observe("plan.tour_length", block_costs[idx % quant.block_size])
-    return MinTotalDistanceResult(plan=plan, quantization=quant, block=block)
+            o.observe("plan.tour_length", level_costs[quant.level_of(idx + 1)])
+    return MinTotalDistanceResult(plan=plan, quantization=quant, levels=levels)

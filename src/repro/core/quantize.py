@@ -42,6 +42,17 @@ __all__ = ["Quantization", "quantize_cycles"]
 #: interval [b^k tau_1, b^(k+1) tau_1) with exact arithmetic).
 _REL_TOL = 1e-9
 
+#: Hard guard on the class count. float64 cycle ratios top out near 2^1024,
+#: so any K beyond this is a corrupted input, not a wide-but-real spread —
+#: reject it before anything downstream trusts ``K``.
+_MAX_K = 512
+
+#: Largest block a caller may *enumerate* scheduling-by-scheduling.
+#: ``block_size = b^K`` is a perfectly good integer at any K, but
+#: materialising per-scheduling structures (the unrolled block, patch
+#: tables) is O(b^K) memory; ``enumerable_block_size`` guards those paths.
+_MAX_ENUMERABLE_BLOCK = 1 << 22
+
 
 @dataclass(frozen=True)
 class Quantization:
@@ -90,6 +101,26 @@ class Quantization:
         """``b^K`` — number of schedulings in one block."""
         return self.base ** self.K
 
+    def enumerable_block_size(self, limit: int = _MAX_ENUMERABLE_BLOCK) -> int:
+        """``block_size``, guarded for scheduling-by-scheduling enumeration.
+
+        Raises
+        ------
+        ScheduleError
+            When one block holds more than ``limit`` schedulings. Wide cycle
+            spreads (``tau_max/tau_1 = 2^40`` and beyond) are legal inputs —
+            quantisation, the distinct coverage sets and the horizon-bounded
+            plan unroll all stay O(K) or O(T/tau_1) — but any code that
+            builds a per-scheduling structure of the whole block must refuse
+            instead of attempting a ``b^K``-element allocation.
+        """
+        if self.block_size > limit:
+            raise ScheduleError(
+                f"block of {self.base}^{self.K} schedulings is too large to "
+                f"enumerate (limit {limit}); use the level-indexed API "
+                f"(coverage_sets / level_of) instead")
+        return self.block_size
+
     def members(self, k: int) -> np.ndarray:
         """Sensor ids in class ``V_k`` (possibly empty)."""
         if not (0 <= k <= self.K):
@@ -116,19 +147,58 @@ class Quantization:
         mask = np.isin(self.k_of, ks)
         return np.nonzero(mask)[0]
 
-    def coverage_sets(self) -> tuple[frozenset[int], ...]:
-        """Stage-2 artifact of the planner pipeline: the frozen coverage set
-        of every within-block scheduling.
+    def level_of(self, j: int) -> int:
+        """Coverage *level* of scheduling ``j``: the largest ``v <= K`` with
+        ``b^v | j``.
 
-        Element ``j - 1`` is scheduling ``j``'s sensor set
-        ``⋃ {V_k : j mod b^k = 0}`` as an immutable ``frozenset`` —
-        exactly the content-addressable key the plan-artifact cache uses
-        (see :mod:`repro.plan`). At most ``K + 1`` of the ``b^K`` sets are
-        distinct (one per divisor pattern of ``j``).
+        ``b^k | j`` implies ``b^m | j`` for every ``m <= k``, so the classes
+        scheduling ``j`` covers are always the prefix ``V_0 .. V_{level}`` —
+        which is why one block has at most ``K + 1`` distinct coverage sets.
+        Periodic in ``j`` with period ``b^K``, so global scheduling indices
+        can be passed directly.
         """
+        if j < 1:
+            raise ScheduleError(f"scheduling index must be >= 1, got {j}")
+        level = 0
+        while level < self.K and j % (self.base ** (level + 1)) == 0:
+            level += 1
+        return level
+
+    def coverage_sets(self) -> tuple[frozenset[int], ...]:
+        """Stage-2 artifact of the planner pipeline: the ``K + 1`` distinct
+        coverage sets, indexed by level.
+
+        Element ``v`` is the prefix union ``U_v = V_0 ∪ ... ∪ V_v`` — the
+        sensor set of every scheduling at level ``v`` (see :meth:`level_of`)
+        as an immutable ``frozenset``, exactly the content-addressable key
+        the plan-artifact cache uses (see :mod:`repro.plan`). Consecutive
+        elements may be *equal* when a class is empty; consumers that need
+        strictly distinct sets dedup (``repro.plan.pipeline.distinct_coverage``).
+
+        This used to materialise one set per scheduling — ``b^K`` of them —
+        which attempted a ``2^40``-element tuple on a wide cycle spread.
+        The per-scheduling view is ``coverage_sets()[level_of(j)]`` with
+        :meth:`coverage_multiplicities` giving each set's within-block count.
+        """
+        sets: list[frozenset[int]] = []
+        acc: set[int] = set()
+        for k in range(self.K + 1):
+            acc.update(int(s) for s in self.members(k))
+            sets.append(frozenset(acc))
+        return tuple(sets)
+
+    def coverage_multiplicities(self) -> tuple[int, ...]:
+        """Within-block multiplicity of each level's coverage set.
+
+        Element ``v`` counts the schedulings ``j in [1, b^K]`` with
+        ``level_of(j) == v``: ``b^(K-v) - b^(K-v-1)`` for ``v < K`` and
+        ``1`` for ``v = K``. The counts sum to ``block_size`` exactly
+        (plain Python ints, so arbitrarily wide spreads are fine).
+        """
+        b, K = self.base, self.K
         return tuple(
-            frozenset(int(s) for s in self.sensors_due_at(j))
-            for j in range(1, self.block_size + 1))
+            (b ** (K - v) - b ** (K - v - 1)) if v < K else 1
+            for v in range(K + 1))
 
     def validate(self) -> None:
         """Assert the two defining inequalities ``tau_i/b < tau'_i <= tau_i``
@@ -183,6 +253,11 @@ def quantize_cycles(cycles: np.ndarray, *, base: int = 2) -> Quantization:
     k[too_high] -= 1
     if np.any(k < 0):
         raise ScheduleError("quantize_cycles: internal error — negative class index")
+    if int(k.max()) > _MAX_K:
+        raise ScheduleError(
+            f"quantize_cycles: cycle spread gives K = {int(k.max())} classes "
+            f"(> {_MAX_K}); a ratio tau_max/tau_1 beyond b^{_MAX_K} is not a "
+            f"schedulable instance")
 
     q = Quantization(cycles=tau, tau1=tau1, k_of=k, K=int(k.max()), base=int(base))
     q.validate()

@@ -60,15 +60,16 @@ class FigureSpec:
     def run(self, *, n_topologies: int | None = None, full: bool = False,
             progress: ProgressFn | None = None,
             obs: Instrumentation | None = None,
-            jobs: int = 1) -> SweepResult:
+            jobs: int = 1, cache_dir: str | None = None) -> SweepResult:
         """Execute the sweep (coarse grid unless ``full``); ``jobs > 1``
-        fans each cell's topology jobs onto a process pool (same results)."""
+        fans each cell's topology jobs onto a process pool, ``cache_dir``
+        persists plan artifacts across runs (same results either way)."""
         base = self.base
         if n_topologies is not None:
             base = base.with_(n_topologies=n_topologies)
         vals = self.values_full if full else self.values
         return sweep(base, self.parameter, list(vals), progress=progress,
-                     obs=obs, jobs=jobs)
+                     obs=obs, jobs=jobs, cache_dir=cache_dir)
 
 
 def _ratio_band(num: str, den: str, lo: float, hi: float,

@@ -38,6 +38,7 @@ from repro.network.model import SensorNetwork
 from repro.obs.instrument import Instrumentation, StatsSnapshot, ensure
 from repro.obs.log import get_logger
 from repro.plan.cache import PlanArtifactCache
+from repro.plan.store import PlanArtifactStore
 from repro.sim.engine import simulate
 from repro.sim.policies import ChargingPolicy, PlannedPolicy
 from repro.sim.workload import FixedWorkload, ResampledWorkload, Workload
@@ -126,7 +127,8 @@ class CellResult:
 def make_policy(name: str, config: ExperimentConfig,
                 network: SensorNetwork,
                 obs: Instrumentation | None = None,
-                cache: PlanArtifactCache | None = None) -> ChargingPolicy:
+                cache: PlanArtifactCache | None = None,
+                store: "PlanArtifactStore | None" = None) -> ChargingPolicy:
     """Instantiate the named algorithm for one topology.
 
     Offline algorithms (``mtd``, ``periodic``) are planned against the
@@ -136,14 +138,16 @@ def make_policy(name: str, config: ExperimentConfig,
     into the planners the algorithm runs, and ``cache`` (optional
     plan-artifact cache) into every staged-pipeline planner — sharing one
     cache across the refine-variant pairs makes ``mtd+2opt`` reuse ``mtd``'s
-    base tours.
+    base tours. ``store`` (the optional on-disk tier) additionally carries
+    ``mtd``'s artifacts across *runs*: a repeat sweep over the same
+    geometry replans warm from disk.
     """
     refine = name.endswith("+2opt")
     base = name.removesuffix("+2opt")
     if base == "mtd":
         result = min_total_distance(network, config.horizon, refine=refine,
                                     base=config.quantization_base,
-                                    cache=cache, obs=obs)
+                                    cache=cache, store=store, obs=obs)
         return PlannedPolicy(result.plan)
     if base == "mtd-var":
         return MinTotalDistanceVarPolicy(
@@ -184,12 +188,16 @@ def topology_seed(config: ExperimentConfig, r: int) -> int:
 
 
 def _run_topology(config: ExperimentConfig, r: int,
-                  obs: Instrumentation | None) -> list[_Row]:
+                  obs: Instrumentation | None,
+                  cache_dir: str | None = None) -> list[_Row]:
     """One topology job: build, plan and simulate every algorithm.
 
     Returns one ``(cost, deaths, dispatches)`` row per algorithm, in config
     order. Pure in ``(config, r)`` — instrumentation never influences
     results — so the serial loop and pool workers share this code path.
+    With ``cache_dir``, offline planners additionally read/write the shared
+    on-disk artifact store there (artifacts are content-addressed, so
+    concurrent jobs and repeat runs stay bit-identical to cold ones).
     """
     o = ensure(obs)
     topo_seed = topology_seed(config, r)
@@ -198,12 +206,14 @@ def _run_topology(config: ExperimentConfig, r: int,
         seed=topo_seed, side=config.side, deployment=config.deployment)
     workload = _make_workload(config, network, topo_seed)
     plan_cache = PlanArtifactCache()  # shared by all algorithms of this topology
+    store = None if cache_dir is None else PlanArtifactStore(cache_dir)
     log.debug("cell topology %d/%d (seed %d)", r + 1,
               config.n_topologies, topo_seed)
     rows: list[_Row] = []
     for name in config.algorithms:
         with o.span(f"cell.{name}", topology=r):
-            policy = make_policy(name, config, network, obs=obs, cache=plan_cache)
+            policy = make_policy(name, config, network, obs=obs,
+                                 cache=plan_cache, store=store)
             out = simulate(network, policy, workload, config.horizon,
                            strict=config.strict, instrumentation=obs)
         rows.append((out.metrics.service_cost,
@@ -212,22 +222,22 @@ def _run_topology(config: ExperimentConfig, r: int,
     return rows
 
 
-def _topology_worker(payload: tuple[ExperimentConfig, int, bool],
+def _topology_worker(payload: tuple[ExperimentConfig, int, bool, str | None],
                      ) -> tuple[int, list[_Row], StatsSnapshot | None]:
     """Pool entry point: run one topology job in a worker process.
 
     Collects into a worker-local instrumentation context (when the parent
     is collecting) and ships it back as a picklable snapshot.
     """
-    config, r, collect = payload
+    config, r, collect, cache_dir = payload
     worker_obs = Instrumentation() if collect else None
-    rows = _run_topology(config, r, worker_obs)
+    rows = _run_topology(config, r, worker_obs, cache_dir)
     return r, rows, None if worker_obs is None else worker_obs.snapshot()
 
 
 def run_cell(config: ExperimentConfig,
              obs: Instrumentation | None = None,
-             *, jobs: int = 1) -> CellResult:
+             *, jobs: int = 1, cache_dir: str | None = None) -> CellResult:
     """Run every configured algorithm on every topology of the cell.
 
     Topology ``r`` is derived deterministically from ``(config.seed, r)``;
@@ -248,6 +258,11 @@ def run_cell(config: ExperimentConfig,
         derives its own seed and the parent assembles rows in topology
         order — and worker instrumentation is merged back (by topology
         index) into ``obs``.
+    cache_dir:
+        Optional on-disk :class:`~repro.plan.store.PlanArtifactStore`
+        directory shared by every topology job (serial or pooled — the
+        store is multi-process safe). Purely an accelerator: results stay
+        bit-identical with or without it.
     """
     if jobs < 1:
         raise ConfigError(f"run_cell: jobs must be >= 1, got {jobs}")
@@ -257,10 +272,11 @@ def run_cell(config: ExperimentConfig,
                 topologies=config.n_topologies, jobs=jobs):
         if jobs == 1 or config.n_topologies == 1:
             for r in range(config.n_topologies):
-                per_topology.append(_run_topology(config, r, obs))
+                per_topology.append(_run_topology(config, r, obs, cache_dir))
         else:
             collect = o.enabled
-            payloads = [(config, r, collect) for r in range(config.n_topologies)]
+            payloads = [(config, r, collect, cache_dir)
+                        for r in range(config.n_topologies)]
             with ProcessPoolExecutor(
                     max_workers=min(jobs, config.n_topologies)) as pool:
                 outcomes = list(pool.map(_topology_worker, payloads))

@@ -82,7 +82,7 @@ class SweepResult:
 def sweep(base: ExperimentConfig, parameter: str, values: Sequence[Any],
           *, progress: Callable[[str], None] | None = None,
           obs: Instrumentation | None = None,
-          jobs: int = 1) -> SweepResult:
+          jobs: int = 1, cache_dir: str | None = None) -> SweepResult:
     """Run ``base`` once per value of ``parameter``.
 
     Parameters
@@ -103,6 +103,10 @@ def sweep(base: ExperimentConfig, parameter: str, values: Sequence[Any],
         :func:`~repro.experiments.runner.run_cell`; sweep points still run
         in order (their topology jobs fan out), so results match the serial
         path bit for bit.
+    cache_dir:
+        Optional on-disk plan-artifact store directory, forwarded to every
+        cell; sweep points over shared geometry (and repeat runs of the
+        same sweep) then replan warm from disk. Results are unaffected.
     """
     if not values:
         raise ConfigError("sweep: empty value list")
@@ -113,5 +117,5 @@ def sweep(base: ExperimentConfig, parameter: str, values: Sequence[Any],
         cfg = base.with_(**{parameter: v})
         if progress is not None:
             progress(f"[sweep {parameter}={v}] {cfg.describe()}")
-        cells.append(run_cell(cfg, obs=obs, jobs=jobs))
+        cells.append(run_cell(cfg, obs=obs, jobs=jobs, cache_dir=cache_dir))
     return SweepResult(parameter=parameter, values=tuple(values), cells=tuple(cells))

@@ -9,16 +9,26 @@ set, refine flag)``, which pays off within a ``2^K`` block, across
 ``mtd-var`` re-plans over fixed geometry, and across algorithm variants
 that share base tours (``mtd`` vs ``mtd+2opt``).
 
+:class:`~repro.plan.store.PlanArtifactStore` adds a crash-safe on-disk
+tier under that same key scheme: the pipeline falls back to it on a
+memory miss and writes computed artifacts through it, so plans survive
+process restarts and are shared across concurrent processes (atomic
+writes, per-entry checksums, advisory locking; corrupt entries are
+quarantined, never served).
+
 ``docs/ARCHITECTURE.md`` describes the stage boundaries, the cache-key
 design and how the parallel experiment executor builds on them.
 """
 
 from repro.plan.cache import PlanArtifactCache
-from repro.plan.pipeline import build_block, distinct_coverage, plan_tours
+from repro.plan.pipeline import build_block, build_levels, distinct_coverage, plan_tours
+from repro.plan.store import PlanArtifactStore
 
 __all__ = [
     "PlanArtifactCache",
+    "PlanArtifactStore",
     "build_block",
+    "build_levels",
     "distinct_coverage",
     "plan_tours",
 ]

@@ -77,8 +77,8 @@ class PlanArtifactCache:
         self._lock = threading.Lock()
         self._forests: OrderedDict[tuple, "RootedForest"] = OrderedDict()
         self._tours: OrderedDict[tuple, tuple["Tour", ...]] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
+        self._hits = 0
+        self._misses = 0
 
     # ------------------------------------------------------------ internals
     def _get(self, store: OrderedDict, key: Hashable):
@@ -86,10 +86,10 @@ class PlanArtifactCache:
             try:
                 value = store[key]
             except KeyError:
-                self.misses += 1
+                self._misses += 1
                 return None
             store.move_to_end(key)
-            self.hits += 1
+            self._hits += 1
             return value
 
     def _put(self, store: OrderedDict, key: Hashable, value) -> None:
@@ -147,17 +147,61 @@ class PlanArtifactCache:
                 "tours": list(self._tours.keys()),
             }
 
+    def tally(self) -> tuple[int, int]:
+        """``(hits, misses)`` read atomically under the lock.
+
+        The tallies are mutated together inside :meth:`_get`; reading them
+        as two separate (even individually locked) accesses can observe a
+        torn pair under contention — e.g. a hit counted but its companion
+        total not yet visible. Every reader that needs a *consistent* pair
+        (``info``, ``repr``, the hammer tests) goes through here.
+        """
+        with self._lock:
+            return self._hits, self._misses
+
+    @property
+    def hits(self) -> int:
+        """Lifetime cache hits (locked read; see :meth:`tally`)."""
+        with self._lock:
+            return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lifetime cache misses (locked read; see :meth:`tally`)."""
+        with self._lock:
+            return self._misses
+
+    def snapshot(self) -> dict[str, dict]:
+        """Point-in-time shallow copy of both stores (key → artifact).
+
+        Taken under the lock; the artifacts themselves are immutable, so
+        the copies are safe to serialise while the cache keeps serving.
+        :meth:`repro.plan.store.PlanArtifactStore.flush` uses this to
+        persist a worker's cache on drain.
+        """
+        with self._lock:
+            return {
+                "forests": dict(self._forests),
+                "tours": dict(self._tours),
+            }
+
     def info(self) -> dict[str, int]:
-        """Size and traffic summary (used by tests and diagnostics)."""
+        """Size and traffic summary (used by tests and diagnostics).
+
+        One lock acquisition: sizes and the hit/miss pair are mutually
+        consistent (the lock is not reentrant, so this reads the private
+        tallies directly rather than going through :meth:`tally`).
+        """
         with self._lock:
             return {
                 "forests": len(self._forests),
                 "tours": len(self._tours),
-                "hits": self.hits,
-                "misses": self.misses,
+                "hits": self._hits,
+                "misses": self._misses,
             }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"PlanArtifactCache(forests={len(self._forests)}, "
-                f"tours={len(self._tours)}, hits={self.hits}, "
-                f"misses={self.misses})")
+        i = self.info()
+        return (f"PlanArtifactCache(forests={i['forests']}, "
+                f"tours={i['tours']}, hits={i['hits']}, "
+                f"misses={i['misses']})")

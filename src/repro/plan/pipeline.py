@@ -39,6 +39,8 @@ Cache instrumentation (all under the enabled context only):
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.quantize import Quantization
 from repro.network.model import SensorNetwork
 from repro.obs.instrument import Instrumentation, ensure
@@ -49,15 +51,19 @@ from repro.rooted.refine import refine_tours
 from repro.tsp.construct import tours_from_forest
 from repro.tsp.tour import Tour
 
-__all__ = ["plan_tours", "build_block", "distinct_coverage"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.plan.store import PlanArtifactStore
+
+__all__ = ["plan_tours", "build_levels", "build_block", "distinct_coverage"]
 
 
 def distinct_coverage(quant: Quantization) -> tuple[frozenset[int], ...]:
     """The block's distinct coverage sets, in first-appearance order.
 
     A ``2^K`` block contains at most ``K + 1`` distinct sets (one per
-    divisor pattern of the scheduling index); this is the work list stage 3
-    actually has to solve.
+    coverage level; see :meth:`~repro.core.quantize.Quantization.level_of`);
+    this is the work list stage 3 actually has to solve. Consecutive levels
+    whose class is empty share a set, hence the dedup.
     """
     seen: dict[frozenset[int], None] = {}
     for cov in quant.coverage_sets():
@@ -68,6 +74,7 @@ def distinct_coverage(quant: Quantization) -> tuple[frozenset[int], ...]:
 def plan_tours(network: SensorNetwork, coverage: frozenset[int],
                *, refine: bool = False,
                cache: PlanArtifactCache | None = None,
+               store: "PlanArtifactStore | None" = None,
                obs: Instrumentation | None = None) -> tuple[Tour, ...]:
     """Stages 3–5 for one coverage set, with artifact reuse.
 
@@ -80,14 +87,22 @@ def plan_tours(network: SensorNetwork, coverage: frozenset[int],
     refine:
         Apply the 2-opt post-pass (stage 5).
     cache:
-        Optional :class:`~repro.plan.cache.PlanArtifactCache`. ``None``
-        (the default) runs Algorithm 2 directly — output is tour-for-tour
-        identical either way, since the cached path is the same stage
-        composition with memoized intermediates.
+        Optional :class:`~repro.plan.cache.PlanArtifactCache` (tier 1,
+        in-memory). ``None`` (the default) runs Algorithm 2 directly —
+        output is tour-for-tour identical either way, since the cached path
+        is the same stage composition with memoized intermediates.
+    store:
+        Optional :class:`~repro.plan.store.PlanArtifactStore` (tier 2,
+        on-disk). Consulted on a tier-1 miss — disk hits are promoted into
+        ``cache`` — and written through on every compute, so artifacts
+        survive process restarts. Like the cache, a pure accelerator: plans
+        are tour-identical with or without it (the ``store`` differential
+        check in :mod:`repro.check` holds it to that).
     obs:
         Optional instrumentation; the cached path records the
         ``plan.cache.*`` hit/miss counters documented in the module
-        docstring, and forwards to the stage implementations it runs.
+        docstring (tier 2 adds ``plan.cache.disk.*``), and forwards to the
+        stage implementations it runs.
 
     Returns
     -------
@@ -95,13 +110,34 @@ def plan_tours(network: SensorNetwork, coverage: frozenset[int],
         One tour per depot, jointly covering ``coverage``.
     """
     depots = [int(i) for i in network.depot_indices]
-    if cache is None:
+    if cache is None and store is None:
         return tuple(q_rooted_tsp(network.dist, sorted(coverage), depots,
                                   refine=refine, obs=obs))
 
     o = ensure(obs)
     fp = network.geometry_fingerprint
-    tours = cache.get_tours(fp, coverage, refine)
+
+    def lookup_tours(want_refine: bool) -> tuple[Tour, ...] | None:
+        """Tier-1 then tier-2 lookup; promotes disk hits into memory."""
+        if cache is not None:
+            hit = cache.get_tours(fp, coverage, want_refine)
+            if hit is not None:
+                return hit
+        if store is not None:
+            hit = store.get_tours(fp, coverage, want_refine, obs=obs)
+            if hit is not None:
+                if cache is not None:
+                    cache.put_tours(fp, coverage, want_refine, hit)
+                return hit
+        return None
+
+    def save_tours(want_refine: bool, tours: tuple[Tour, ...]) -> None:
+        if cache is not None:
+            cache.put_tours(fp, coverage, want_refine, tours)
+        if store is not None:
+            store.put_tours(fp, coverage, want_refine, tours, obs=obs)
+
+    tours = lookup_tours(refine)
     if tours is not None:
         o.incr("plan.cache.tours.hit")
         return tours
@@ -109,48 +145,100 @@ def plan_tours(network: SensorNetwork, coverage: frozenset[int],
 
     base: tuple[Tour, ...] | None = None
     if refine:
-        base = cache.get_tours(fp, coverage, False)
+        base = lookup_tours(False)
         o.incr("plan.cache.base.hit" if base is not None else "plan.cache.base.miss")
     if base is None:
-        forest = cache.get_forest(fp, coverage)
+        forest = cache.get_forest(fp, coverage) if cache is not None else None
+        if forest is None and store is not None:
+            forest = store.get_forest(fp, coverage, obs=obs)
+            if forest is not None and cache is not None:
+                cache.put_forest(fp, coverage, forest)
         if forest is None:
             o.incr("plan.cache.forest.miss")
             forest = q_rooted_msf(network.dist, sorted(coverage), depots, obs=obs)
-            cache.put_forest(fp, coverage, forest)
+            if cache is not None:
+                cache.put_forest(fp, coverage, forest)
+            if store is not None:
+                store.put_forest(fp, coverage, forest, obs=obs)
         else:
             o.incr("plan.cache.forest.hit")
         base = tuple(tours_from_forest(forest))
-        cache.put_tours(fp, coverage, False, base)
+        save_tours(False, base)
         if not refine:
             return base
     refined = tuple(refine_tours(network.dist, base, obs=obs))
-    cache.put_tours(fp, coverage, True, refined)
+    save_tours(True, refined)
     return refined
 
 
-def build_block(network: SensorNetwork, quant: Quantization,
-                *, refine: bool = False,
-                cache: PlanArtifactCache | None = None,
-                obs: Instrumentation | None = None) -> tuple[tuple[Tour, ...], ...]:
-    """The ``2^K`` distinct tour sets of one scheduling block (stages 2–5).
+def build_levels(network: SensorNetwork, quant: Quantization,
+                 *, refine: bool = False,
+                 cache: PlanArtifactCache | None = None,
+                 store: "PlanArtifactStore | None" = None,
+                 obs: Instrumentation | None = None) -> tuple[tuple[Tour, ...], ...]:
+    """One tour set per coverage *level* (stages 2–5) — ``K + 1`` in total.
 
-    Scheduling ``j`` covers every class whose assigned cycle divides
-    ``j * tau_1``; its tours come from :func:`plan_tours` on the frozen
-    coverage set. Identical sensor sets across different ``j`` (common: any
-    ``j`` with the same divisor pattern) are resolved once and shared by
-    reference. ``obs`` counts the within-block structure
-    (``plan.block.solved`` / ``plan.block.reused``) and times the whole
+    Scheduling ``j`` covers the prefix union of classes up to
+    :meth:`~repro.core.quantize.Quantization.level_of`; element ``v`` here
+    is the tour set of every scheduling at level ``v``, so the whole block —
+    all ``b^K`` schedulings — is ``levels[quant.level_of(j)]`` without ever
+    materialising a per-scheduling structure. This is the planner's working
+    representation; :func:`build_block` is the (guarded) expanded view.
+
+    Levels whose class is empty share the previous level's coverage set and
+    therefore the same tour tuple, by reference. ``obs`` counts the solve
+    structure (``plan.block.solved`` / ``plan.block.reused``) and times the
     construction under the ``plan.block`` span; the ``plan.cache.*``
     counters (cached runs only) reveal how cheap each resolution was.
     """
     o = ensure(obs)
     resolved: dict[frozenset[int], tuple[Tour, ...]] = {}
-    block: list[tuple[Tour, ...]] = []
-    with o.span("plan.block", block_size=quant.block_size):
+    levels: list[tuple[Tour, ...]] = []
+    with o.span("plan.block", levels=quant.K + 1):
         for cov in quant.coverage_sets():
             if cov not in resolved:
                 resolved[cov] = plan_tours(network, cov, refine=refine,
-                                           cache=cache, obs=obs)
+                                           cache=cache, store=store, obs=obs)
+                o.incr("plan.block.solved")
+            else:
+                o.incr("plan.block.reused")
+            levels.append(resolved[cov])
+    return tuple(levels)
+
+
+def build_block(network: SensorNetwork, quant: Quantization,
+                *, refine: bool = False,
+                cache: PlanArtifactCache | None = None,
+                store: "PlanArtifactStore | None" = None,
+                obs: Instrumentation | None = None) -> tuple[tuple[Tour, ...], ...]:
+    """The ``b^K`` tour sets of one scheduling block (stages 2–5), expanded.
+
+    Scheduling ``j`` covers every class whose assigned cycle divides
+    ``j * tau_1``; its tours come from :func:`plan_tours` on the frozen
+    coverage set. Identical sensor sets across different ``j`` (any two
+    ``j`` at the same coverage level) are resolved once and shared by
+    reference. ``obs`` counts the within-block structure
+    (``plan.block.solved`` / ``plan.block.reused``: one solve per distinct
+    set, one reuse per repeat scheduling) and times the whole construction
+    under the ``plan.block`` span; the ``plan.cache.*`` counters (cached
+    runs only) reveal how cheap each resolution was.
+
+    Raises :class:`~repro.errors.ScheduleError` when the block is too large
+    to enumerate (see
+    :meth:`~repro.core.quantize.Quantization.enumerable_block_size`);
+    planners should prefer :func:`build_levels`, which is O(K) always.
+    """
+    o = ensure(obs)
+    n = quant.enumerable_block_size()
+    level_sets = quant.coverage_sets()
+    resolved: dict[frozenset[int], tuple[Tour, ...]] = {}
+    block: list[tuple[Tour, ...]] = []
+    with o.span("plan.block", block_size=n):
+        for j in range(1, n + 1):
+            cov = level_sets[quant.level_of(j)]
+            if cov not in resolved:
+                resolved[cov] = plan_tours(network, cov, refine=refine,
+                                           cache=cache, store=store, obs=obs)
                 o.incr("plan.block.solved")
             else:
                 o.incr("plan.block.reused")

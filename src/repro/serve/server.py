@@ -60,6 +60,7 @@ from repro.io.network_json import network_from_dict
 from repro.obs.instrument import Instrumentation
 from repro.obs.log import get_logger
 from repro.plan.cache import PlanArtifactCache
+from repro.plan.store import PlanArtifactStore
 from repro.serve.protocol import (
     BAD_REQUEST,
     DEADLINE_EXCEEDED,
@@ -73,7 +74,8 @@ from repro.serve.protocol import (
     error_response,
     ok_response,
 )
-from repro.serve.worker import execute_plan, execute_simulate, init_worker
+from repro.serve.worker import (execute_plan, execute_simulate,
+                                flush_worker_cache, init_worker)
 
 __all__ = ["ServeConfig", "PlanningServer", "ServerThread", "serve", "plan_key"]
 
@@ -119,6 +121,13 @@ class ServeConfig:
     cache_entries:
         Capacity handed to each worker's
         :class:`~repro.plan.cache.PlanArtifactCache`.
+    cache_dir:
+        Optional directory of a shared on-disk
+        :class:`~repro.plan.store.PlanArtifactStore` (tier 2). Workers
+        warm-start their in-memory caches from it at pool boot, read
+        through it on memory misses, write computed artifacts through it,
+        and flush to it on drain — so a restarted server plans warm.
+        ``None`` (default) keeps the service purely in-memory.
     plan_responses:
         Capacity of the parent-side LRU of completed ``plan`` response
         documents (exact-repeat hits without touching a worker). ``0``
@@ -137,6 +146,7 @@ class ServeConfig:
     drain_timeout: float = 10.0
     max_line_bytes: int = 8 * 1024 * 1024
     cache_entries: int | None = 4096
+    cache_dir: str | None = None
     plan_responses: int = 256
     max_trace_events: int = 10_000
 
@@ -211,6 +221,7 @@ class PlanningServer:
         self._server: asyncio.base_events.Server | None = None
         self._executor: ProcessPoolExecutor | ThreadPoolExecutor | None = None
         self._shared_cache: PlanArtifactCache | None = None
+        self._shared_store: PlanArtifactStore | None = None
         self._flights: dict[tuple, _Flight] = {}
         self._responses: OrderedDict[tuple, dict[str, Any]] = OrderedDict()
         self._jobs: set[asyncio.Task] = set()
@@ -241,9 +252,14 @@ class PlanningServer:
         if cfg.executor == "process":
             self._executor = ProcessPoolExecutor(
                 max_workers=cfg.workers, initializer=init_worker,
-                initargs=(cfg.cache_entries,))
+                initargs=(cfg.cache_entries, cfg.cache_dir))
         else:
             self._shared_cache = PlanArtifactCache(cfg.cache_entries)
+            if cfg.cache_dir is not None:
+                self._shared_store = PlanArtifactStore(cfg.cache_dir)
+                loaded = self._shared_store.warm(self._shared_cache, obs=self.obs)
+                log.info("repro serve: warm-started %d artifact(s) from %s",
+                         loaded, cfg.cache_dir)
             self._executor = ThreadPoolExecutor(
                 max_workers=cfg.workers, thread_name_prefix="repro-serve")
         self._t0 = time.monotonic()
@@ -293,9 +309,31 @@ class PlanningServer:
             task.cancel()
         if self._jobs or self._conns:
             await asyncio.gather(*self._jobs, *self._conns, return_exceptions=True)
+        self._flush_stores()
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
         self._stopped.set()
+
+    def _flush_stores(self) -> None:
+        """Best-effort persist of warm caches on drain (``cache_dir`` only).
+
+        Write-through keeps the store current during normal operation, so
+        this only saves artifacts that existed purely in memory (and is
+        skipped silently if the pool is already broken).
+        """
+        if self.config.cache_dir is None:
+            return
+        if self._shared_store is not None and self._shared_cache is not None:
+            self._shared_store.flush(self._shared_cache, obs=self.obs)
+            return
+        if isinstance(self._executor, ProcessPoolExecutor):
+            try:
+                futures = [self._executor.submit(flush_worker_cache)
+                           for _ in range(self.config.workers)]
+                for fut in futures:
+                    fut.result(timeout=self.config.drain_timeout)
+            except Exception:  # pragma: no cover - broken pool at shutdown
+                log.warning("repro serve: worker cache flush skipped (pool down)")
 
     # ------------------------------------------------------------ connections
     async def _handle_conn(self, reader: asyncio.StreamReader,
@@ -412,6 +450,8 @@ class PlanningServer:
             # process workers own their caches; only thread mode can report
             "artifact_cache": (None if self._shared_cache is None
                                else self._shared_cache.info()),
+            "artifact_store": (None if self._shared_store is None
+                               else self._shared_store.stats()),
         }
 
     # --------------------------------------------------------------- commands
@@ -481,9 +521,10 @@ class PlanningServer:
 
     def _submit(self, fn: Callable, params: dict[str, Any]) -> "asyncio.Future":
         loop = asyncio.get_running_loop()
-        if self._shared_cache is not None:  # thread mode: pass the shared cache
+        if self._shared_cache is not None:  # thread mode: pass the shared tiers
             return loop.run_in_executor(
-                self._executor, partial(fn, params, cache=self._shared_cache))
+                self._executor, partial(fn, params, cache=self._shared_cache,
+                                        store=self._shared_store))
         return loop.run_in_executor(self._executor, fn, params)
 
     async def _run_job(self, fn: Callable, params: dict[str, Any]) -> dict[str, Any]:
@@ -523,7 +564,7 @@ class PlanningServer:
         if cfg.executor == "process":
             self._executor = ProcessPoolExecutor(
                 max_workers=cfg.workers, initializer=init_worker,
-                initargs=(cfg.cache_entries,))
+                initargs=(cfg.cache_entries, cfg.cache_dir))
         else:  # pragma: no cover - thread pools break only via initializer
             self._executor = ThreadPoolExecutor(
                 max_workers=cfg.workers, thread_name_prefix="repro-serve")

@@ -37,14 +37,18 @@ from repro.io.network_json import network_from_dict
 from repro.io.plan_json import plan_from_dict, plan_to_dict
 from repro.obs.instrument import Instrumentation, StatsSnapshot
 from repro.plan.cache import PlanArtifactCache
+from repro.plan.store import PlanArtifactStore
 
-__all__ = ["init_worker", "execute_plan", "execute_simulate", "worker_cache_info"]
+__all__ = ["init_worker", "execute_plan", "execute_simulate",
+           "worker_cache_info", "flush_worker_cache"]
 
 _CACHE: PlanArtifactCache | None = None
+_STORE: PlanArtifactStore | None = None
 _CACHE_GUARD = threading.Lock()
 
 
-def init_worker(max_entries: int | None = 4096) -> None:
+def init_worker(max_entries: int | None = 4096,
+                cache_dir: str | None = None) -> None:
     """Create the worker process's resident plan-artifact cache.
 
     Passed as the :class:`~concurrent.futures.ProcessPoolExecutor`
@@ -53,16 +57,38 @@ def init_worker(max_entries: int | None = 4096) -> None:
     not use this — they pass their shared (locked) cache per call instead,
     so two servers embedded in one process never clobber each other's
     state through this module global.
+
+    With ``cache_dir`` the process also opens the shared on-disk
+    :class:`~repro.plan.store.PlanArtifactStore` there and **warm-starts**
+    the cache from it, so a freshly booted pool serves repeat geometries
+    without recomputing anything a previous run already solved; every
+    request then reads through / writes through the store.
     """
-    global _CACHE
+    global _CACHE, _STORE
     with _CACHE_GUARD:
         if _CACHE is None:
             _CACHE = PlanArtifactCache(max_entries)
+        if cache_dir is not None and _STORE is None:
+            _STORE = PlanArtifactStore(cache_dir)
+            _STORE.warm(_CACHE)
 
 
 def worker_cache_info() -> dict[str, int] | None:
     """The resident cache's :meth:`~repro.plan.cache.PlanArtifactCache.info`."""
     return None if _CACHE is None else _CACHE.info()
+
+
+def flush_worker_cache() -> int:
+    """Persist the resident cache to the resident store (drain path).
+
+    Ran in each worker at server shutdown; returns the number of entries
+    written (0 when the worker has no store, or nothing new to save —
+    write-through keeps the store current during normal operation, so this
+    is a safety net for entries warm-loaded into memory only).
+    """
+    if _CACHE is None or _STORE is None:
+        return 0
+    return _STORE.flush(_CACHE)
 
 
 def _strip_events(snap: StatsSnapshot) -> StatsSnapshot:
@@ -109,6 +135,7 @@ def _inject_fault(payload: dict[str, Any]) -> None:
 
 def execute_plan(payload: dict[str, Any],
                  cache: PlanArtifactCache | None = None,
+                 store: PlanArtifactStore | None = None,
                  ) -> tuple[dict[str, Any], StatsSnapshot]:
     """Run one ``plan`` command: network document → plan document.
 
@@ -135,7 +162,8 @@ def execute_plan(payload: dict[str, Any],
         net, horizon,
         refine=bool(payload.get("refine", False)),
         base=int(payload.get("base", 2)),
-        cache=cache if cache is not None else _CACHE, obs=obs)
+        cache=cache if cache is not None else _CACHE,
+        store=store if store is not None else _STORE, obs=obs)
     out = {
         "plan": plan_to_dict(result.plan),
         "K": int(result.quantization.K),
@@ -148,10 +176,11 @@ def execute_plan(payload: dict[str, Any],
 
 def execute_simulate(payload: dict[str, Any],
                      cache: PlanArtifactCache | None = None,
+                     store: PlanArtifactStore | None = None,
                      ) -> tuple[dict[str, Any], StatsSnapshot]:
     """Run one ``simulate`` command: (network, plan) documents → metrics.
 
-    ``cache`` is accepted for submission-path uniformity and unused —
+    ``cache``/``store`` are accepted for submission-path uniformity and unused —
     simulation has no plan artifacts to reuse. Replays the plan with the
     planned policy under the network's nominal
     fixed workload over the plan's own horizon;

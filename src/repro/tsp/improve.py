@@ -27,12 +27,17 @@ _EPS = 1e-10
 
 def two_opt(dist: np.ndarray, tour: Tour, *, max_rounds: int = 50,
             obs: Instrumentation | None = None) -> Tour:
-    """First-improvement 2-opt with vectorised candidate evaluation.
+    """Best-improvement-per-anchor 2-opt with vectorised candidate evaluation.
 
     Repeatedly replaces edge pairs ``(p[i-1], p[i])``, ``(p[j], p[j+1])`` by
     ``(p[i-1], p[j])``, ``(p[i], p[j+1])`` (reversing the segment between)
     whenever that shortens the closed tour, until a full pass finds no
-    improving move or ``max_rounds`` passes elapse.
+    improving move or ``max_rounds`` passes elapse. For each anchor ``i``
+    the vectorised scan evaluates *every* candidate ``j`` and applies the
+    single best move (``argmin`` over the whole row) — not the first
+    improving one. Ties on the minimum delta break to the **lowest** ``j``
+    (NumPy's ``argmin`` returns the first minimal index), which keeps
+    refined tours bit-reproducible across platforms and BLAS builds.
 
     Parameters
     ----------

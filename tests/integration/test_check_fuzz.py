@@ -15,7 +15,7 @@ import pytest
 from repro.check import ScenarioChecker, fuzz, replay, run_selftest
 from repro.check.fuzz import REPRODUCER_KIND
 from repro.check.scenario import Scenario
-from repro.check.selftest import _mutated_sensors_due_at, selftest_scenario
+from repro.check.selftest import _mutated_coverage_sets, selftest_scenario
 from repro.cli import main
 from repro.core.quantize import Quantization
 from repro.errors import CheckError
@@ -25,12 +25,12 @@ from repro.obs import Instrumentation
 @pytest.fixture
 def mutated_quantization():
     """Plant the selftest's coverage bug for the duration of one test."""
-    original = Quantization.sensors_due_at
-    Quantization.sensors_due_at = _mutated_sensors_due_at
+    original = Quantization.coverage_sets
+    Quantization.coverage_sets = _mutated_coverage_sets
     try:
         yield
     finally:
-        Quantization.sensors_due_at = original
+        Quantization.coverage_sets = original
 
 
 class TestFuzzCleanPath:

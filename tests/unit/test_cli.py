@@ -86,3 +86,62 @@ class TestServeParser:
     def test_rejects_unknown_executor(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--executor", "fiber"])
+
+
+class TestCacheCLI:
+    """The `repro cache` maintenance group and `--cache-dir` plumbing."""
+
+    def test_parser_defaults_and_flags(self):
+        assert build_parser().parse_args(["plan"]).cache_dir is None
+        assert build_parser().parse_args(["serve"]).cache_dir is None
+        assert build_parser().parse_args(["run", "fig1a"]).cache_dir is None
+        args = build_parser().parse_args(
+            ["cache", "gc", "--cache-dir", "d", "--max-entries", "5"])
+        assert (args.command, args.cache_command) == ("cache", "gc")
+        assert (args.cache_dir, args.max_entries, args.max_bytes) == ("d", 5, None)
+
+    def test_cache_dir_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "stats"])
+
+    def _plan(self, tmp_path, store):
+        return main(["plan", "--n", "12", "--q", "2", "--horizon", "60",
+                     "--cache-dir", str(store),
+                     "--network-out", str(tmp_path / "n.json"),
+                     "--plan-out", str(tmp_path / "p.json")])
+
+    def test_plan_populates_store_and_commands_run(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert self._plan(tmp_path, store) == 0
+        assert self._plan(tmp_path, store) == 0  # warm re-plan, same files
+
+        assert main(["cache", "stats", "--cache-dir", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and str(store) in out
+
+        assert main(["cache", "verify", "--cache-dir", str(store)]) == 0
+        assert "0 corrupt" in capsys.readouterr().out
+
+        assert main(["cache", "gc", "--cache-dir", str(store),
+                     "--max-entries", "1"]) == 0
+        assert "kept 1" in capsys.readouterr().out
+
+        assert main(["cache", "clear", "--cache-dir", str(store)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+    def test_verify_exit_one_on_corruption(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert self._plan(tmp_path, store) == 0
+        victim = sorted((store / "objects").rglob("*.json"))[0]
+        victim.write_bytes(b"garbage")
+        assert main(["cache", "verify", "--cache-dir", str(store)]) == 1
+        assert "1 corrupt" in capsys.readouterr().out
+
+    def test_foreign_directory_rejected_cleanly(self, tmp_path, capsys):
+        foreign = tmp_path / "foreign"
+        foreign.mkdir()
+        (foreign / "data.txt").write_text("precious")
+        assert main(["cache", "clear", "--cache-dir", str(foreign)]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err and "Traceback" not in err
+        assert (foreign / "data.txt").exists()

@@ -95,6 +95,69 @@ class TestSensorsDueAt:
             q.sensors_due_at(0)
 
 
+class TestCoverageLevels:
+    def test_level_of_matches_divisor_pattern(self):
+        q = quantize_cycles(np.array([1.0, 2.0, 4.0, 8.0]))
+        assert [q.level_of(j) for j in range(1, 9)] == [0, 1, 0, 2, 0, 1, 0, 3]
+        # Periodic mod b^K: global indices work directly.
+        assert q.level_of(8) == q.level_of(16) == 3
+
+    def test_level_of_rejects_j_zero(self):
+        q = quantize_cycles(np.array([1.0, 2.0]))
+        with pytest.raises(ScheduleError):
+            q.level_of(0)
+
+    def test_coverage_sets_are_prefix_unions(self):
+        q = quantize_cycles(np.array([1.0, 2.0, 4.0]))
+        sets = q.coverage_sets()
+        assert sets == (frozenset({0}), frozenset({0, 1}), frozenset({0, 1, 2}))
+
+    def test_coverage_sets_match_sensors_due_at(self):
+        tau = np.random.default_rng(4).uniform(1, 50, 40)
+        q = quantize_cycles(tau)
+        sets = q.coverage_sets()
+        for j in range(1, q.block_size + 1):
+            assert sets[q.level_of(j)] == frozenset(
+                int(s) for s in q.sensors_due_at(j))
+
+    def test_multiplicities_sum_to_block_size(self):
+        for tau in ([1.0, 2.0, 4.0, 8.0], [1.0, 50.0], [5.0]):
+            q = quantize_cycles(np.array(tau))
+            mult = q.coverage_multiplicities()
+            assert len(mult) == q.K + 1
+            assert sum(mult) == q.block_size
+            # Multiplicity of level v = #{j in [1, b^K] : level_of(j) == v}.
+            counts = [0] * (q.K + 1)
+            for j in range(1, q.block_size + 1):
+                counts[q.level_of(j)] += 1
+            assert tuple(counts) == mult
+
+    def test_huge_spread_no_materialization(self):
+        # Regression: tau_max/tau_1 = 2^40 used to attempt a 2^40-element
+        # tuple in coverage_sets() and OOM. Now O(K).
+        q = quantize_cycles(np.array([1.0, 2.0 ** 40]))
+        assert q.K == 40
+        assert q.block_size == 2 ** 40
+        sets = q.coverage_sets()
+        assert len(sets) == 41
+        assert sets[0] == frozenset({0})
+        assert sets[-1] == frozenset({0, 1})
+        assert sum(q.coverage_multiplicities()) == 2 ** 40
+        assert q.level_of(2 ** 40) == 40
+
+    def test_absurd_spread_rejected(self):
+        # A ratio beyond b^512 cannot come from a real instance.
+        with pytest.raises(ScheduleError, match="not a schedulable instance"):
+            quantize_cycles(np.array([1.0, 1e300]))
+
+    def test_enumerable_block_size_guard(self):
+        q = quantize_cycles(np.array([1.0, 2.0 ** 40]))
+        with pytest.raises(ScheduleError, match="too large to enumerate"):
+            q.enumerable_block_size()
+        small = quantize_cycles(np.array([1.0, 8.0]))
+        assert small.enumerable_block_size() == 8
+
+
 class TestValidation:
     @pytest.mark.parametrize("bad", [
         np.array([]), np.array([[1.0]]), np.array([0.0]), np.array([-1.0]),

@@ -269,6 +269,44 @@ class TestCacheThreadSafety:
         assert info["tours"] <= 32
         assert info["hits"] + info["misses"] > 0
 
+    def test_tallies_exact_under_contention(self):
+        """Regression: ``hits``/``misses`` were plain attributes read
+        unlocked by ``__repr__``/``info()`` and external callers. With the
+        locked :meth:`tally` accessor, a deterministic workload (every get
+        on a pre-populated key hits, every get on an absent key misses, no
+        writes in flight) must account for every single operation."""
+        import threading
+
+        cache = PlanArtifactCache()
+        present, absent = frozenset({1, 2}), frozenset({9})
+        cache.put_tours("fp", present, False, ())
+        n_threads, n_ops = 8, 2000
+        start = threading.Barrier(n_threads)
+        failures: list[BaseException] = []
+
+        def hammer() -> None:
+            try:
+                start.wait(timeout=10)
+                for _ in range(n_ops):
+                    assert cache.get_tours("fp", present, False) == ()
+                    assert cache.get_tours("fp", absent, False) is None
+                    h, m = cache.tally()  # consistent pair mid-contention
+                    assert 0 <= h <= n_threads * n_ops
+                    assert 0 <= m <= n_threads * n_ops
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                failures.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not failures, f"tally raced: {failures[:3]}"
+        assert cache.tally() == (n_threads * n_ops, n_threads * n_ops)
+        info = cache.info()
+        assert (info["hits"], info["misses"]) == cache.tally()
+        assert (cache.hits, cache.misses) == cache.tally()
+
     def test_shared_across_planning_threads(self, net):
         """The service's real pattern: many threads planning against ONE
         cache must be crash-free and still produce identical tours."""

@@ -44,6 +44,36 @@ class TestTwoOpt:
         again = two_opt(cloud, t)
         assert again.cost(cloud) == pytest.approx(t.cost(cloud))
 
+    def test_deterministic_tie_break_lowest_j(self):
+        """Per anchor, the scan is best-improvement via ``argmin``; exactly
+        tied improving moves must resolve to the LOWEST candidate ``j``
+        (argmin's first minimal index), keeping refined tours reproducible.
+
+        Hand-built integer matrix: for anchor i=1 of tour (0,1,2,3,4) the
+        candidate moves j=2 and j=3 both have delta = -2 (exact in integer
+        arithmetic) and j=4 is non-improving; after the j=2 reversal no
+        further improving move exists anywhere.
+        """
+        from repro.obs import Instrumentation
+
+        d = np.array([
+            [0, 10, 5, 5, 5],
+            [10, 0, 6, 7, 7],
+            [5, 6, 0, 4, 6],
+            [5, 7, 4, 0, 4],
+            [5, 7, 6, 4, 0],
+        ], dtype=float)
+        # Pre-condition of the scenario: the two candidate deltas are tied.
+        delta_j2 = (d[0, 2] + d[1, 3]) - (d[0, 1] + d[2, 3])
+        delta_j3 = (d[0, 3] + d[1, 4]) - (d[0, 1] + d[3, 4])
+        assert delta_j2 == delta_j3 == -2.0
+
+        obs = Instrumentation()
+        out = two_opt(d, Tour(depot=0, order=(0, 1, 2, 3, 4)), obs=obs)
+        # Lowest j wins: segment p[1:3] reversed, not p[1:4].
+        assert out.order == (0, 2, 1, 3, 4)
+        assert obs.counters["two_opt.moves"] == 1
+
 
 class TestOrOpt:
     def test_never_worsens(self, cloud):
