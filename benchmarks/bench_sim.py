@@ -1,0 +1,159 @@
+"""Micro-benchmarks: the discrete-event simulation core.
+
+Three claims the engine rewrite makes, each measured and emitted to
+``BENCH_sim.json``:
+
+* a dynamic failure-storm scenario pushes events through the heap at a
+  healthy rate (events/sec — the engine's raw throughput);
+* on the static slotted scenarios the old loop handled, a 100x-longer
+  horizon costs the new engine no more than a small constant factor over
+  the frozen legacy loop (``repro.check.legacy_engine``), while producing
+  bit-identical results;
+* ``max_log_events`` really bounds memory: the 100x-horizon run's event
+  logs stay at the ring-buffer ceiling however many events fired.
+"""
+
+import json
+import math
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.check.legacy_engine import simulate_legacy
+from repro.core.mintotal import min_total_distance
+from repro.network.builder import build_paper_network
+from repro.obs import Instrumentation
+from repro.sim.engine import simulate
+from repro.sim.policies import PlannedPolicy
+from repro.sim.sources import ScenarioDynamics
+from repro.sim.workload import FixedWorkload
+
+_SIM_JSON = Path("BENCH_sim.json")
+_measurements: dict = {}
+
+
+@pytest.fixture(scope="module")
+def sim_json():
+    """Collects the sim benches' numbers; written out once at module end."""
+    yield _measurements
+    if _measurements:
+        _SIM_JSON.write_text(
+            json.dumps(_measurements, indent=2, sort_keys=True) + "\n")
+        print(f"\nsim measurements -> {_SIM_JSON.resolve()}")
+
+
+@pytest.fixture(scope="module")
+def instance():
+    net = build_paper_network(n=100, q=5, seed=13)
+    net.dist  # pre-warm the cached distance matrix
+    horizon = 200.0
+    plan = min_total_distance(net, horizon).plan
+    return net, plan, horizon
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def test_bench_event_throughput(benchmark, sim_json, instance):
+    """Events/sec through the heap on a dense dynamic scenario.
+
+    Failures, churn and Poisson requests all active, so the queue carries
+    every event class at once — the configuration the legacy loop could
+    not express at all.
+    """
+    net, plan, horizon = instance
+    dynamics = ScenarioDynamics(failure_rate=0.05, failure_mttr=5.0,
+                                churn_rate=2.0, churn_downtime=5.0,
+                                request_rate=10.0, seed=7)
+    workload = FixedWorkload(rates=net.rates, slot_duration=5.0)
+
+    def run():
+        obs = Instrumentation()
+        simulate(net, PlannedPolicy(plan), workload, horizon,
+                 sources=dynamics.build_sources(), instrumentation=obs)
+        return obs
+
+    run()  # warm-up (allocator, numpy caches)
+    elapsed, obs = benchmark.pedantic(lambda: _timed(run), rounds=1, iterations=1)
+    events = obs.counters["sim.events"]
+    assert events > 1_000  # the storm actually generated a storm
+    eps = events / elapsed
+    sim_json["throughput"] = {
+        "n": net.n, "q": net.q, "horizon": horizon,
+        "events": int(events), "wall_s": round(elapsed, 4),
+        "events_per_sec": round(eps, 1),
+    }
+    print(f"\nthroughput: {int(events)} events in {elapsed * 1e3:.1f}ms "
+          f"({eps:,.0f} events/s)")
+
+
+def test_bench_100x_horizon_vs_legacy(benchmark, sim_json, instance):
+    """100x-horizon wall time, new engine vs the frozen slotted baseline.
+
+    Same network, same plan, slotted workload — exactly what the legacy
+    loop was built for, stretched two orders of magnitude. The event
+    queue's overhead (heap ops, coincidence batching) must stay within a
+    small constant factor, and the results must stay bit-identical.
+    """
+    net, _, base_horizon = instance
+    horizon = 100.0 * base_horizon
+    plan = min_total_distance(net, horizon).plan
+    policy_old, policy_new = PlannedPolicy(plan), PlannedPolicy(plan)
+    workload = FixedWorkload(rates=net.rates, slot_duration=50.0)
+
+    simulate(net, PlannedPolicy(plan), workload, horizon)  # warm-up
+    t_old, old = _timed(lambda: simulate_legacy(net, policy_old, workload, horizon))
+    t_new, new = benchmark.pedantic(
+        lambda: _timed(lambda: simulate(net, policy_new, workload, horizon)),
+        rounds=1, iterations=1)
+
+    np.testing.assert_array_equal(old.final_energy, new.final_energy)
+    assert old.metrics.service_cost == new.metrics.service_cost
+
+    overhead = t_new / t_old
+    sim_json["horizon_100x"] = {
+        "n": net.n, "q": net.q, "horizon": horizon,
+        "dispatches": new.metrics.n_dispatches,
+        "legacy_s": round(t_old, 4), "engine_s": round(t_new, 4),
+        "overhead": round(overhead, 2),
+    }
+    print(f"\n100x horizon: legacy {t_old * 1e3:.1f}ms, "
+          f"engine {t_new * 1e3:.1f}ms, overhead {overhead:.2f}x")
+    # Generous bar: the queue may cost real constant factors, but a
+    # blow-up past 4x would mean the engine scales worse than the loop.
+    assert overhead <= 4.0, (
+        f"event engine is {overhead:.2f}x the legacy loop at 100x horizon")
+
+
+def test_bench_bounded_log_ceiling(benchmark, sim_json, instance):
+    """A long dynamic run with ``max_log_events`` keeps every in-memory
+    log at the ring ceiling while the exact totals keep counting."""
+    net, plan, horizon = instance
+    dynamics = ScenarioDynamics(failure_rate=0.05, failure_mttr=5.0,
+                                churn_rate=2.0, churn_downtime=5.0,
+                                request_rate=10.0, seed=7)
+    ceiling = 256
+    out = benchmark.pedantic(
+        lambda: simulate(net, PlannedPolicy(plan),
+                         FixedWorkload(rates=net.rates, slot_duration=math.inf),
+                         10.0 * horizon, sources=dynamics.build_sources(),
+                         max_log_events=ceiling),
+        rounds=1, iterations=1)
+    m = out.metrics
+    logs = [m.dispatches, m.charges, m.deaths, m.fleet, m.churn, m.requests]
+    total = sum(log.total for log in logs)
+    kept = sum(len(log) for log in logs)
+    assert all(len(log) <= ceiling for log in logs)
+    assert total > kept  # the ceiling actually bit
+    sim_json["bounded_log"] = {
+        "horizon": 10.0 * horizon, "ceiling": ceiling,
+        "events_total": total, "events_kept": kept,
+        "events_dropped": sum(log.dropped for log in logs),
+    }
+    print(f"\nbounded log: {total} events, {kept} kept "
+          f"(ceiling {ceiling}/log)")

@@ -44,11 +44,23 @@ class VariationMonitor:
             raise ConfigError("monitor queried before any update")
         return self._reported.copy()
 
-    def update(self, estimated_cycles: np.ndarray) -> np.ndarray:
+    def update(self, estimated_cycles: np.ndarray,
+               alive: np.ndarray | None = None) -> np.ndarray:
         """Filter a fresh estimate vector; returns the (possibly unchanged)
         reported view and a side effect of updating it where the dead-band
-        was exceeded."""
+        was exceeded.
+
+        ``alive`` is an optional ``(n,)`` membership mask (churn
+        scenarios): offline sensors report nothing, so their entries stay
+        frozen at the last accepted value regardless of the estimate — the
+        base station only ever hears from live sensors.
+        """
         est = np.asarray(estimated_cycles, dtype=np.float64)
+        if alive is not None:
+            alive = np.asarray(alive, dtype=bool)
+            if alive.shape != est.shape:
+                raise ConfigError(
+                    f"alive mask shape {alive.shape} != estimate {est.shape}")
         if self._reported is None:
             self._reported = est.copy()
             return self.reported
@@ -56,9 +68,14 @@ class VariationMonitor:
             raise ConfigError(
                 f"estimate shape {est.shape} != state {self._reported.shape}")
         if self.threshold == 0.0:
-            self._reported = est.copy()
+            if alive is None:
+                self._reported = est.copy()
+            else:
+                self._reported[alive] = est[alive]
             return self.reported
         moved = np.abs(est - self._reported) > self.threshold * self._reported
+        if alive is not None:
+            moved &= alive
         self._reported[moved] = est[moved]
         return self.reported
 

@@ -19,6 +19,10 @@ equivalence, plus the paper's own invariants, on randomized instances:
 * :mod:`repro.check.selftest` — plants known mutations and asserts the
   harness catches them (so the checker itself cannot silently rot).
 * :mod:`repro.check.faults` — fault injection for the serve stack.
+* :mod:`repro.check.legacy_engine` / :mod:`repro.check.simcheck` — the
+  frozen pre-event-queue simulation loop and the differential that proves
+  the event engine replays it bit for bit (``repro check sim``), plus the
+  failure-storm determinism check.
 
 Everything reports through ``check.*`` counters on an optional
 :class:`~repro.obs.Instrumentation` context.
@@ -29,6 +33,11 @@ from repro.check.fuzz import FuzzReport, fuzz, replay, shrink
 from repro.check.invariants import InvariantChecker, InvariantViolation
 from repro.check.scenario import Scenario, random_scenario
 from repro.check.selftest import run_selftest
+from repro.check.simcheck import (
+    check_determinism,
+    check_engine_equivalence,
+    run_sim_check,
+)
 
 __all__ = [
     "Scenario",
@@ -43,4 +52,7 @@ __all__ = [
     "replay",
     "shrink",
     "run_selftest",
+    "run_sim_check",
+    "check_engine_equivalence",
+    "check_determinism",
 ]

@@ -30,6 +30,12 @@ each other on one :class:`~repro.check.scenario.Scenario`:
     the paper's base-2 quantisation with at least one full window per
     level, stay within the ``4(K+1)`` factor the Theorem-2 argument
     certifies against that bound.
+``engine``
+    The event-queue simulation core must replay the scenario's plan (and
+    an online greedy run) with metrics and event logs *exactly* equal to
+    the preserved legacy slotted loop
+    (:mod:`repro.check.legacy_engine`) — the refactor's bit-compatibility
+    proof, also run standalone by ``repro check sim``.
 ``serve``
     A plan/simulate answered over the :mod:`repro.serve` wire must match
     the in-process computation byte-for-byte (plan document) and
@@ -75,8 +81,8 @@ __all__ = ["CheckFailure", "ScenarioChecker", "ALL_CHECKS", "plans_equal"]
 
 #: Check names in execution order. ``serve`` and ``executor`` are the
 #: expensive ones — the fuzzer runs them on a cadence.
-ALL_CHECKS = ("oracle", "cache", "store", "exact", "bound", "serve",
-              "executor")
+ALL_CHECKS = ("oracle", "engine", "cache", "store", "exact", "bound",
+              "serve", "executor")
 
 #: Per-coverage-set sensor cap for the exact oracle: ``q^m`` assignments,
 #: kept below the library's own cap so fuzz iterations stay sub-second.
@@ -243,6 +249,24 @@ class ScenarioChecker:
                           f"{run.metrics.service_cost!r} differs from the "
                           f"plan's own total "
                           f"{result.plan.total_cost(net.dist)!r}"))
+        return failures
+
+    def _check_engine(self, scenario: Scenario) -> list[CheckFailure]:
+        from repro.baselines.greedy import GreedyOnDemandPolicy
+        from repro.check.legacy_engine import simulate_legacy
+        from repro.check.simcheck import result_diffs
+
+        net = scenario.build_network()
+        workload = FixedWorkload.from_network(net)
+        result = self._plan(scenario)
+        failures: list[CheckFailure] = []
+        for label, policy in (("planned", PlannedPolicy(result.plan)),
+                              ("greedy", GreedyOnDemandPolicy())):
+            reference = simulate_legacy(net, policy, workload, scenario.horizon)
+            candidate = simulate(net, policy, workload, scenario.horizon)
+            failures.extend(
+                CheckFailure("engine", msg)
+                for msg in result_diffs(reference, candidate, label=label))
         return failures
 
     def _check_cache(self, scenario: Scenario) -> list[CheckFailure]:

@@ -16,10 +16,17 @@ Checked invariants:
 * **death completeness** — a sensor whose shadow energy crosses below the
   death tolerance has a recorded death event, and no death is recorded
   for a sensor that did not cross.
-* **full-charge semantics** — after a dispatch, every charged sensor sits
-  exactly at battery capacity; non-charged sensors are untouched.
+* **full-charge semantics** — after a dispatch, every charged *online*
+  sensor sits exactly at battery capacity; non-charged sensors are
+  untouched.
 * **tour structure** — each scheduling carries one tour per charger,
   anchored at that charger's depot, charging only real sensors.
+* **fleet availability** — a charger reported broken down must run only
+  stay-at-home tours until its repair event (the engine hands hooks the
+  *effective* scheduling, so a non-empty tour on a downed charger is an
+  engine bug).
+* **membership** — offline (churned-out) sensors must not drain (their
+  effective rate is zero) and must not be charged.
 * **service cost** — the metrics' accumulated cost equals the sum of tour
   costs this checker measured, and matches
   :func:`repro.core.cost.service_cost` over the observed plan.
@@ -53,7 +60,9 @@ _ENERGY_REL_TOL = 1e-9
 #: (the knife-edge "charged exactly at zero" stays alive).
 _DEATH_REL_TOL = 1e-6
 
-#: Slack for time comparisons — mirrors ``repro.sim.engine._TIME_TOL``.
+#: Slack for time comparisons — mirrors the relative-or-absolute
+#: :func:`repro.sim.queue.time_tolerance` (scaled by ``max(1, |t|)`` at
+#: every use site).
 _TIME_TOL = 1e-9
 
 #: Relative slack for cost totals (sums of many tour lengths).
@@ -118,6 +127,9 @@ class InvariantChecker(SimulationHooks):
         self._reported_deaths: list[tuple[int, float]] = []
         self._schedulings: list[ChargingScheduling] = []
         self._expected_cost = 0.0
+        # Dynamic-scenario mirrors, driven by on_fleet / on_churn.
+        self._online = network.membership_mask()
+        self._available = np.ones(network.q, dtype=bool)
 
     # -------------------------------------------------------------- plumbing
     def _fail(self, invariant: str, time: float, message: str) -> None:
@@ -143,6 +155,8 @@ class InvariantChecker(SimulationHooks):
                  energy: np.ndarray) -> None:
         self._shadow = self.network.batteries.astype(np.float64).copy()
         self._dead = np.zeros(self.network.n, dtype=bool)
+        self._online = self.network.membership_mask()
+        self._available = np.ones(self.network.q, dtype=bool)
         self._t = 0.0
         self._horizon = float(horizon)
         if not np.array_equal(energy, self._shadow):
@@ -164,6 +178,11 @@ class InvariantChecker(SimulationHooks):
 
         duration = t_to - t_from
         r = np.asarray(rates, dtype=np.float64)
+        if not np.all(self._online) and np.any(r[~self._online] != 0.0):
+            bad = int(np.nonzero(~self._online & (r != 0.0))[0][0])
+            self._fail("membership", t_from,
+                       f"offline sensor {bad} drains at rate {float(r[bad])!r} "
+                       f"(effective rates must zero churned-out sensors)")
         before = self._shadow.copy()
         # Mirror EnergyState.drain exactly: subtract, detect crossings of
         # not-currently-dead sensors past the death tolerance, clamp.
@@ -230,9 +249,16 @@ class InvariantChecker(SimulationHooks):
             if bad:
                 self._fail("tours", time,
                            f"tour {l} visits non-sensor node(s) {bad}")
+            if l < len(self._available) and not self._available[l] \
+                    and not tour.is_empty:
+                self._fail("fleet", time,
+                           f"charger {l} is broken down but runs a "
+                           f"{tour.n_stops}-stop tour (must stay at home "
+                           f"until repaired)")
 
-        # ---- full-charge semantics
-        charged = sorted(scheduling.charged_sensors)
+        # ---- full-charge semantics (offline sensors are never charged)
+        charged = sorted(s for s in scheduling.charged_sensors
+                         if self._online[s])
         batteries = net.batteries
         e = np.asarray(energy, dtype=np.float64)
         for s in charged:
@@ -253,6 +279,31 @@ class InvariantChecker(SimulationHooks):
 
         self._expected_cost += sum(t.cost(net.dist) for t in tours)
         self._schedulings.append(scheduling)
+
+    def on_fleet(self, charger: int, time: float, available: bool) -> None:
+        l = int(charger)
+        if not 0 <= l < len(self._available):
+            self._fail("fleet", time,
+                       f"fleet event for charger {l}, fleet size is "
+                       f"{len(self._available)}")
+            return
+        if bool(self._available[l]) == bool(available):
+            self._fail("fleet", time,
+                       f"charger {l} reported {'repaired' if available else 'down'} "
+                       f"but it already was (duplicate fleet event)")
+        self._available[l] = bool(available)
+
+    def on_churn(self, sensor: int, time: float, online: bool) -> None:
+        s = int(sensor)
+        if not 0 <= s < self.network.n:
+            self._fail("membership", time,
+                       f"churn event for non-sensor {s} (n={self.network.n})")
+            return
+        if bool(self._online[s]) == bool(online):
+            self._fail("membership", time,
+                       f"sensor {s} reported {'rejoined' if online else 'left'} "
+                       f"but it already had (duplicate churn event)")
+        self._online[s] = bool(online)
 
     def on_finish(self, result: SimulationResult) -> None:
         self._flush_expected_deaths(self._horizon)

@@ -14,6 +14,10 @@
     repro check fuzz --seed 4 --budget 50  # differential verification fuzzer
     repro check replay check_reproducer.json   # re-run a shrunk failure
     repro check selftest                   # assert the harness catches planted bugs
+    repro check sim                        # event engine == legacy loop, bit for bit
+    repro run fig1a --failures 0.01:5      # any panel under charger breakdowns
+    repro simulate --network n.json --plan p.json --churn 0.05:12 \
+          --event-spill events.jsonl       # dynamic replay, full event history
     repro plan --cache-dir .plan-store     # persist plan artifacts across runs
     repro cache stats --cache-dir .plan-store    # inspect the on-disk store
     repro cache verify --cache-dir .plan-store   # integrity-scan + quarantine
@@ -50,6 +54,50 @@ def _require_positive(value: int, flag: str) -> int:
     return value
 
 
+def _parse_rate_pair(raw: str, flag: str) -> tuple[float, float]:
+    """Parse a ``RATE:DURATION`` flag value (e.g. ``--failures 0.01:5``)."""
+    rate_s, sep, dur_s = raw.partition(":")
+    try:
+        if not sep:
+            raise ValueError("missing ':'")
+        rate, duration = float(rate_s), float(dur_s)
+    except ValueError:
+        raise ConfigError(
+            f"{flag} expects RATE:DURATION (e.g. 0.01:5), got {raw!r}") from None
+    return rate, duration
+
+
+def _add_dynamics_flags(p: "argparse.ArgumentParser") -> None:
+    """The dynamic-scenario knobs shared by ``run`` and ``simulate``."""
+    p.add_argument("--failures", default=None, metavar="RATE:MTTR",
+                   help="charger breakdowns: exponential failure rate per "
+                        "charger and mean time to repair (e.g. 0.01:5)")
+    p.add_argument("--churn", default=None, metavar="RATE:DOWNTIME",
+                   help="sensor membership churn: leave rate across the "
+                        "network and per-absence downtime (e.g. 0.05:12)")
+    p.add_argument("--requests", type=float, default=None, metavar="RATE",
+                   help="Poisson on-demand charging-request arrival rate")
+    p.add_argument("--dynamics-seed", type=int, default=0, metavar="SEED",
+                   help="seed for the failure/churn/request event streams "
+                        "(default 0)")
+
+
+def _dynamics_overrides(args: argparse.Namespace) -> dict:
+    """Map the parsed dynamics flags to ExperimentConfig overrides."""
+    overrides: dict = {}
+    if args.failures is not None:
+        rate, mttr = _parse_rate_pair(args.failures, "--failures")
+        overrides.update(failure_rate=rate, failure_mttr=mttr)
+    if args.churn is not None:
+        rate, down = _parse_rate_pair(args.churn, "--churn")
+        overrides.update(churn_rate=rate, churn_downtime=down)
+    if args.requests is not None:
+        overrides.update(request_rate=args.requests)
+    if overrides:
+        overrides.update(dynamics_seed=args.dynamics_seed)
+    return overrides
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -84,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="persist plan artifacts to this on-disk store; "
                           "repeat runs replan warm (results unchanged)")
     run.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    _add_dynamics_flags(run)
 
     sub.add_parser("demo", help="end-to-end demo on one small topology")
 
@@ -127,6 +176,15 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_p.add_argument("--speed", type=float, default=None,
                             help="vehicle speed for the timescale check "
                                  "(distance units per time unit)")
+    _add_dynamics_flags(simulate_p)
+    simulate_p.add_argument("--event-spill", default=None, metavar="PATH",
+                            help="stream the full per-event log to this JSONL "
+                                 "file (readable with repro.obs.trace)")
+    simulate_p.add_argument("--event-log-limit", type=int, default=None,
+                            metavar="N",
+                            help="keep only the last N events of each kind in "
+                                 "memory (counts stay exact; combine with "
+                                 "--event-spill for the full history)")
 
     serve_p = sub.add_parser(
         "serve", help="long-lived planning service (newline-delimited JSON over TCP)")
@@ -202,6 +260,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     check_sub.add_parser(
         "selftest", help="plant known bugs and assert the harness catches them")
+
+    sim_p = check_sub.add_parser(
+        "sim", help="prove the event engine equivalent to the legacy slotted "
+                    "loop and the failure-storm scenario deterministic")
+    sim_p.add_argument("--seed", type=int, default=0,
+                       help="scenario seed (default 0)")
     return parser
 
 
@@ -220,7 +284,8 @@ def _cmd_run(args: argparse.Namespace, obs: Instrumentation | None) -> int:
     progress = None if args.quiet else log.info
     t0 = time.perf_counter()
     result = spec.run(n_topologies=args.reps, full=args.full, progress=progress,
-                      obs=obs, jobs=args.jobs, cache_dir=args.cache_dir)
+                      obs=obs, jobs=args.jobs, cache_dir=args.cache_dir,
+                      overrides=_dynamics_overrides(args))
     elapsed = time.perf_counter() - t0
     print()
     print(figure_report(spec, result, instrumentation=obs))
@@ -329,8 +394,23 @@ def _cmd_simulate(args: argparse.Namespace, obs: Instrumentation | None) -> int:
     net = load_network(args.network)
     plan = load_plan(args.plan)
     plan.validate_for(net)  # catch mismatched files before simulating
+    dyn = _dynamics_overrides(args)
+    sources = ()
+    if dyn:
+        from repro.sim.sources import ScenarioDynamics
+
+        dynamics = ScenarioDynamics(
+            failure_rate=dyn.get("failure_rate", 0.0),
+            failure_mttr=dyn.get("failure_mttr", 0.0),
+            churn_rate=dyn.get("churn_rate", 0.0),
+            churn_downtime=dyn.get("churn_downtime", 0.0),
+            request_rate=dyn.get("request_rate", 0.0),
+            seed=args.dynamics_seed)
+        sources = dynamics.build_sources()
     out = run_sim(net, PlannedPolicy(plan), FixedWorkload.from_network(net),
-                  plan.horizon, instrumentation=obs)
+                  plan.horizon, instrumentation=obs, sources=sources,
+                  max_log_events=args.event_log_limit,
+                  event_spill=args.event_spill)
     print(run_digest(out.metrics, plan.horizon))
     if args.speed is not None:
         from repro.analysis.timescale import validate_timescales
@@ -380,6 +460,18 @@ def _cmd_check(args: argparse.Namespace, obs: Instrumentation | None) -> int:
                 print(f"  - {f}")
             return 1
         print(f"replay: {args.reproducer} no longer fails")
+        return 0
+    if args.check_command == "sim":
+        from repro.check.simcheck import run_sim_check
+
+        problems = run_sim_check(seed=args.seed, obs=obs)
+        if problems:
+            print(f"sim check (seed {args.seed}): FAILED:")
+            for p in problems:
+                print(f"  - {p}")
+            return 1
+        print(f"sim check (seed {args.seed}): engine equivalence and "
+              f"failure-storm determinism hold")
         return 0
     # selftest
     problems = run_selftest(obs=obs)

@@ -11,9 +11,12 @@ lower so benches finish in minutes — the CLI exposes the full setting.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim imports nothing
+    from repro.sim.sources import ScenarioDynamics  # from experiments, but keep lazy)
 from repro.network.cycles import (
     CycleDistribution,
     LinearCycleDistribution,
@@ -71,6 +74,21 @@ class ExperimentConfig:
     deployment:
         Sensor layout: ``"uniform"`` (paper), ``"clustered"`` or ``"grid"``
         (the ``abl-deployment`` ablation).
+    failure_rate, failure_mttr:
+        Charger breakdown dynamics (events per unit time per charger, and
+        mean time to repair). ``failure_rate = 0`` (the default) keeps the
+        paper's assumption of perfectly reliable chargers.
+    churn_rate, churn_downtime:
+        Sensor membership churn: leave events per unit time across the
+        network, and how long each absent sensor stays offline.
+    request_rate:
+        Poisson on-demand charging-request arrivals per unit time
+        (``0`` = none).
+    dynamics_seed:
+        Seed for the dynamic event streams. The effective per-topology
+        stream is derived from ``(dynamics_seed, topology)`` so repetitions
+        see independent failure histories while the whole grid stays a
+        pure function of its config.
     """
 
     n: int = 200
@@ -89,6 +107,12 @@ class ExperimentConfig:
     strict: bool = False
     quantization_base: int = 2
     deployment: str = "uniform"
+    failure_rate: float = 0.0
+    failure_mttr: float = 0.0
+    churn_rate: float = 0.0
+    churn_downtime: float = 0.0
+    request_rate: float = 0.0
+    dynamics_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.n <= 0 or self.q <= 0:
@@ -118,6 +142,19 @@ class ExperimentConfig:
             raise ConfigError(
                 f"quantization_base must be an integer >= 2, "
                 f"got {self.quantization_base!r}")
+        for name in ("failure_rate", "failure_mttr", "churn_rate",
+                     "churn_downtime", "request_rate"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigError(f"{name} must be non-negative, got {value}")
+        if self.failure_rate > 0 and self.failure_mttr <= 0:
+            raise ConfigError(
+                f"failure_rate > 0 needs a positive failure_mttr, "
+                f"got {self.failure_mttr}")
+        if self.churn_rate > 0 and self.churn_downtime <= 0:
+            raise ConfigError(
+                f"churn_rate > 0 needs a positive churn_downtime, "
+                f"got {self.churn_downtime}")
         unknown = set(self.algorithms) - set(KNOWN_ALGORITHMS)
         if unknown:
             raise ConfigError(
@@ -131,6 +168,29 @@ class ExperimentConfig:
         """Functional update (``dataclasses.replace`` with validation)."""
         return replace(self, **overrides)
 
+    def dynamics(self, topology: int = 0) -> "ScenarioDynamics | None":
+        """The topology's :class:`~repro.sim.sources.ScenarioDynamics`.
+
+        Returns ``None`` when every dynamic rate is zero (static run — the
+        simulator then skips the event sources entirely). The seed mixes
+        ``dynamics_seed`` with the topology index through a
+        :class:`~numpy.random.SeedSequence` so repetitions draw
+        independent event histories.
+        """
+        from repro.sim.sources import ScenarioDynamics
+
+        dyn = ScenarioDynamics(
+            failure_rate=self.failure_rate, failure_mttr=self.failure_mttr,
+            churn_rate=self.churn_rate, churn_downtime=self.churn_downtime,
+            request_rate=self.request_rate, seed=self.dynamics_seed)
+        if not dyn.active:
+            return None
+        import numpy as np
+
+        mixed = int(np.random.SeedSequence(
+            entropy=[self.dynamics_seed, int(topology)]).generate_state(1)[0])
+        return dyn.with_seed(mixed)
+
     def make_distribution(self) -> CycleDistribution:
         """Instantiate the configured cycle distribution."""
         if self.distribution == "linear":
@@ -141,6 +201,13 @@ class ExperimentConfig:
     def describe(self) -> str:
         """Short label used in tables and logs."""
         mode = f"var(ΔT={self.slot_duration:g})" if self.variable else "fixed"
-        return (f"n={self.n} q={self.q} {self.distribution} "
-                f"tau=[{self.tau_min:g},{self.tau_max:g}] sigma={self.sigma:g} "
-                f"{mode} T={self.horizon:g} reps={self.n_topologies}")
+        parts = [f"n={self.n} q={self.q} {self.distribution} "
+                 f"tau=[{self.tau_min:g},{self.tau_max:g}] sigma={self.sigma:g} "
+                 f"{mode} T={self.horizon:g} reps={self.n_topologies}"]
+        if self.failure_rate > 0:
+            parts.append(f"fail={self.failure_rate:g}/mttr={self.failure_mttr:g}")
+        if self.churn_rate > 0:
+            parts.append(f"churn={self.churn_rate:g}/down={self.churn_downtime:g}")
+        if self.request_rate > 0:
+            parts.append(f"req={self.request_rate:g}")
+        return " ".join(parts)

@@ -205,6 +205,7 @@ def _run_topology(config: ExperimentConfig, r: int,
         n=config.n, q=config.q, distribution=config.make_distribution(),
         seed=topo_seed, side=config.side, deployment=config.deployment)
     workload = _make_workload(config, network, topo_seed)
+    dynamics = config.dynamics(r)
     plan_cache = PlanArtifactCache()  # shared by all algorithms of this topology
     store = None if cache_dir is None else PlanArtifactStore(cache_dir)
     log.debug("cell topology %d/%d (seed %d)", r + 1,
@@ -214,8 +215,13 @@ def _run_topology(config: ExperimentConfig, r: int,
         with o.span(f"cell.{name}", topology=r):
             policy = make_policy(name, config, network, obs=obs,
                                  cache=plan_cache, store=store)
+            # Fresh source objects per algorithm, same dynamics seed:
+            # every algorithm faces the identical failure/churn/request
+            # history (common random numbers), like the shared workload.
+            sources = () if dynamics is None else dynamics.build_sources()
             out = simulate(network, policy, workload, config.horizon,
-                           strict=config.strict, instrumentation=obs)
+                           strict=config.strict, instrumentation=obs,
+                           sources=sources)
         rows.append((out.metrics.service_cost,
                      out.metrics.n_deaths,
                      out.metrics.n_dispatches))

@@ -103,6 +103,25 @@ class SensorNetwork:
         """Whether graph index ``node`` refers to a depot."""
         return self.n <= node < self.n_nodes
 
+    def membership_mask(self, offline: Iterable[int] = ()) -> np.ndarray:
+        """``(n,)`` boolean alive/offline mask over the sensors.
+
+        The network itself is immutable — the static-vs-dynamic contract
+        is that membership is an *overlay*: geometry, distances and
+        batteries never change mid-run, while the simulator
+        (:class:`~repro.sim.state.EnergyState`) flips this mask as churn
+        events fire. This helper materialises the overlay's initial value:
+        all sensors online except the given ``offline`` ids.
+        """
+        mask = np.ones(self.n, dtype=bool)
+        for s in offline:
+            i = int(s)
+            if not 0 <= i < self.n:
+                raise NetworkModelError(
+                    f"membership_mask: sensor {i} out of range 0..{self.n - 1}")
+            mask[i] = False
+        return mask
+
     # ------------------------------------------------------------- geometry
     @cached_property
     def coordinates(self) -> np.ndarray:

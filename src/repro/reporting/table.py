@@ -13,7 +13,12 @@ __all__ = ["format_table", "render_sweep", "render_timings"]
 
 def _fmt(value: Any, precision: int) -> str:
     if isinstance(value, float):
-        return f"{value:.{precision}f}"
+        text = f"{value:.{precision}f}"
+        # Don't round a nonzero value into a "0.0" cell (e.g. a
+        # failure-rate sweep over 0.005, 0.01, ...): fall back to %g.
+        if value != 0.0 and float(text) == 0.0:
+            return f"{value:g}"
+        return text
     return str(value)
 
 

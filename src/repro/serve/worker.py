@@ -186,9 +186,18 @@ def execute_simulate(payload: dict[str, Any],
     fixed workload over the plan's own horizon;
     :meth:`~repro.core.schedule.SchedulePlan.validate_for` rejects a
     plan/network mismatch before any simulation work happens.
+
+    An optional ``dynamics`` object (the
+    :meth:`~repro.sim.sources.ScenarioDynamics.to_dict` encoding) turns on
+    charger breakdowns, sensor churn and Poisson charging requests for the
+    replay; the response then additionally reports ``n_failures``,
+    ``n_churn_events`` and ``n_requests``. Because ``dynamics`` travels
+    inside the command payload, the wire protocol itself is unchanged —
+    old clients and servers interoperate, they just simulate statically.
     """
     from repro.sim.engine import simulate
     from repro.sim.policies import PlannedPolicy
+    from repro.sim.sources import ScenarioDynamics
     from repro.sim.workload import FixedWorkload
 
     obs = Instrumentation()
@@ -197,8 +206,12 @@ def execute_simulate(payload: dict[str, Any],
     net = network_from_dict(unwrap_envelope(payload["network"], "sensor-network"))
     plan = plan_from_dict(unwrap_envelope(payload["plan"], "schedule-plan"))
     plan.validate_for(net)
+    dynamics = None
+    if payload.get("dynamics") is not None:
+        dynamics = ScenarioDynamics.from_dict(payload["dynamics"])
     run = simulate(net, PlannedPolicy(plan), FixedWorkload.from_network(net),
-                   plan.horizon, instrumentation=obs)
+                   plan.horizon, instrumentation=obs,
+                   sources=dynamics.build_sources() if dynamics else ())
     m = run.metrics
     out = {
         "service_cost": float(m.service_cost),
@@ -209,4 +222,8 @@ def execute_simulate(payload: dict[str, Any],
         "perpetual": bool(m.perpetual),
         "summary": m.summary(),
     }
+    if dynamics is not None:
+        out["n_failures"] = int(m.n_failures)
+        out["n_churn_events"] = int(m.n_churn_events)
+        out["n_requests"] = int(m.n_requests)
     return out, _strip_events(obs.snapshot())

@@ -1,26 +1,39 @@
-"""The event-driven simulation loop.
+"""The discrete-event simulation loop.
 
-The engine advances time between *events*, draining energy exactly
-(piecewise-constant rates integrate in closed form — no per-tick error).
-Events, processed in this order when coincident:
+The engine owns three things: the clock, the exact energy integral
+(piecewise-constant rates integrate in closed form — no per-tick error) and
+one :class:`~repro.sim.queue.EventQueue`. Everything that *happens* —
+slot boundaries, policy dispatches, charger breakdowns, sensor churn,
+charging requests — is scheduled by an :class:`~repro.sim.sources.EventSource`;
+the loop pops the next coincident batch, drains energy up to its instant,
+and fires the batch in priority order:
 
-1. **Slot boundary** — the workload's true rates change; the policy's
+1. **Horizon end** — the run is over; coincident events never fire.
+2. **Slot boundary** — the workload's true rates change; the policy's
    ``observe`` hook fires with fresh monitored data.
-2. **Policy dispatch** — if the policy asked for control now, it may return
-   a charging scheduling, which is executed instantaneously: every visited
-   sensor is restored to full, the tour lengths are added to the service
+3. **Charger failure/repair** — fleet availability flips.
+4. **Sensor churn** — membership flips (offline sensors neither drain,
+   die, nor accept charge).
+5. **Charging request** — request bookkeeping, policy notification.
+6. **Policy dispatch** — if the policy (re-)confirms it wants control now,
+   it may return a charging scheduling, which is executed instantaneously:
+   tours of unavailable chargers degrade to stay-at-home, every *online*
+   visited sensor is restored to full, tour lengths accrue to the service
    cost, and events are logged.
 
-The ordering matters: a policy reacting to a rate change at time ``t`` must
-see the new rates before deciding whether to dispatch at ``t`` (this is how
-the paper's greedy baseline avoids mid-slot deaths when slot boundaries
-align with its decision epochs).
+The ordering matters: a policy reacting to any change at time ``t`` must
+see that change applied before deciding whether to dispatch at ``t`` (this
+is how the paper's greedy baseline avoids mid-slot deaths when slot
+boundaries align with its decision epochs). Static runs — no extra sources,
+everyone online — reproduce the legacy slotted loop bit-for-bit;
+``repro check sim`` proves it differentially.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -29,16 +42,23 @@ from repro.errors import SensorDeathError, SimulationError
 from repro.network.model import SensorNetwork
 from repro.obs.instrument import Instrumentation, ensure
 from repro.obs.log import get_logger
-from repro.sim.events import ChargeEvent, DeathEvent, DispatchEvent
-from repro.sim.metrics import Metrics
+from repro.sim.events import (
+    ChargeEvent,
+    ChurnEvent,
+    DeathEvent,
+    DispatchEvent,
+    FleetEvent,
+    RequestEvent,
+)
+from repro.sim.metrics import EventSpill, Metrics
 from repro.sim.policies import ChargingPolicy, SimulationView
-from repro.sim.state import EnergyState
+from repro.sim.queue import PRIORITY_HORIZON, EventQueue
+from repro.sim.sources import EventSource, PolicyDispatchSource, SlotBoundarySource
+from repro.sim.state import ChargerFleet, EnergyState
 from repro.sim.workload import Workload
+from repro.tsp.tour import Tour
 
-__all__ = ["Simulator", "SimulationResult", "SimulationHooks", "simulate"]
-
-#: Two event times closer than this are treated as coincident.
-_TIME_TOL = 1e-9
+__all__ = ["Simulator", "SimulationResult", "SimulationHooks", "SimRuntime", "simulate"]
 
 log = get_logger(__name__)
 
@@ -66,8 +86,9 @@ class SimulationHooks:
                    energy: np.ndarray) -> None:
         """Called after each exact drain over ``[t_from, t_to)``.
 
-        ``energy`` is the engine's post-drain state (clamped at zero for
-        any sensor that died in the interval).
+        ``rates`` are the *effective* rates of the interval (offline
+        sensors zeroed); ``energy`` is the engine's post-drain state
+        (clamped at zero for any sensor that died in the interval).
         """
 
     def on_death(self, sensor: int, time: float) -> None:
@@ -75,7 +96,20 @@ class SimulationHooks:
 
     def on_dispatch(self, time: float, scheduling: ChargingScheduling,
                     energy: np.ndarray) -> None:
-        """Called after a scheduling executed (post-charge energies)."""
+        """Called after a scheduling executed (post-charge energies).
+
+        ``scheduling`` is the *effective* one — tours of unavailable
+        chargers already degraded to stay-at-home.
+        """
+
+    def on_fleet(self, charger: int, time: float, available: bool) -> None:
+        """Called after a charger's availability flipped."""
+
+    def on_churn(self, sensor: int, time: float, online: bool) -> None:
+        """Called after a sensor's membership flipped."""
+
+    def on_request(self, sensor: int, time: float) -> None:
+        """Called after a charging-request arrival was recorded."""
 
     def on_finish(self, result: SimulationResult) -> None:
         """Called once with the final result before :meth:`Simulator.run` returns."""
@@ -100,6 +134,98 @@ class SimulationResult:
     horizon: float
 
 
+class SimRuntime:
+    """Mutable per-run context handed to event sources.
+
+    Sources use it to schedule events, flip fleet/membership state, read
+    policy views and execute schedulings; the engine uses it to drive the
+    loop. One instance lives for exactly one :meth:`Simulator.run`.
+    """
+
+    __slots__ = ("network", "state", "fleet", "metrics", "queue", "policy",
+                 "workload", "horizon", "now", "rates", "strict", "_obs",
+                 "_hooks", "_sim")
+
+    def __init__(self, sim: "Simulator", policy: ChargingPolicy,
+                 workload: Workload, horizon: float, metrics: Metrics) -> None:
+        self._sim = sim
+        self.network = sim.network
+        self.state = EnergyState(sim.network.batteries)
+        self.fleet = ChargerFleet(sim.network.q)
+        self.metrics = metrics
+        self.queue = EventQueue()
+        self.policy = policy
+        self.workload = workload
+        self.horizon = float(horizon)
+        self.now = 0.0
+        self.rates = np.zeros(sim.network.n, dtype=np.float64)
+        self.strict = sim.strict
+        self._obs = sim._obs
+        self._hooks = sim._hooks
+
+    # ------------------------------------------------------------ scheduling
+    def schedule(self, time: float, priority: int, kind: str, *,
+                 data: object = None, source: EventSource | None = None):
+        """Schedule an event; sources' one-stop entry point."""
+        return self.queue.push(time, priority, kind, data=data, source=source)
+
+    # ----------------------------------------------------------- observation
+    def view(self) -> SimulationView:
+        """Fresh policy-facing snapshot at the current instant."""
+        state = self.state
+        rates = state.effective_rates(self.rates)
+        alive = state.online.copy() if state.any_offline else None
+        return SimulationView(time=self.now, energy=state.energy.copy(),
+                              batteries=self.network.batteries,
+                              observed_rates=rates.copy(), alive=alive)
+
+    def observe_policy(self) -> None:
+        self.policy.observe(self.view())
+
+    def set_rates(self, rates: np.ndarray) -> None:
+        """Install the new true rates (slot boundary)."""
+        r = np.asarray(rates, dtype=np.float64)
+        if r.shape != (self.network.n,):
+            raise SimulationError(
+                f"workload produced rates of shape {r.shape}, expected ({self.network.n},)")
+        self.rates = r
+
+    # -------------------------------------------------------- state mutation
+    def set_charger_available(self, charger: int, available: bool) -> None:
+        """Flip one charger's availability and log the fleet event."""
+        self.fleet.set_available(charger, available)
+        self.metrics.fleet.append(FleetEvent(time=self.now, charger=int(charger),
+                                             available=bool(available)))
+        if not available:
+            self.metrics.breakdowns += 1
+        log.debug("charger %d %s at t=%.6g", charger,
+                  "repaired" if available else "down", self.now)
+        if self._hooks is not None:
+            self._hooks.on_fleet(int(charger), self.now, bool(available))
+
+    def set_sensor_online(self, sensor: int, online: bool) -> None:
+        """Flip one sensor's membership and log the churn event."""
+        self.state.set_online(sensor, online)
+        self.metrics.churn.append(ChurnEvent(time=self.now, sensor=int(sensor),
+                                             online=bool(online)))
+        log.debug("sensor %d %s at t=%.6g", sensor,
+                  "rejoined" if online else "left", self.now)
+        if self._hooks is not None:
+            self._hooks.on_churn(int(sensor), self.now, bool(online))
+
+    def record_request(self, sensor: int) -> None:
+        """Log a charging-request arrival for ``sensor``."""
+        self.metrics.requests.append(RequestEvent(
+            time=self.now, sensor=int(sensor),
+            energy=float(self.state.energy[sensor])))
+        if self._hooks is not None:
+            self._hooks.on_request(int(sensor), self.now)
+
+    def execute(self, sched: ChargingScheduling) -> None:
+        """Execute a charging scheduling now (fleet-aware)."""
+        self._sim._execute(sched, self)
+
+
 class Simulator:
     """Reusable engine binding a network to the event loop.
 
@@ -114,23 +240,43 @@ class Simulator:
         when charged — experiments report the death count).
     instrumentation:
         Optional :class:`~repro.obs.instrument.Instrumentation` context.
-        Each :meth:`run` executes under a ``simulate`` span, every loop
-        iteration counts toward ``sim.events``, and each executed
-        scheduling records a ``dispatch`` span (with cost / sensor /
-        charger attributes). ``None`` (the default) is a strict no-op.
+        Each :meth:`run` executes under a ``simulate`` span; every event
+        batch counts toward ``sim.events``, each fired event toward
+        ``sim.event.<kind>``, the live queue size feeds the
+        ``sim.queue.depth`` series, and each executed scheduling records a
+        ``dispatch`` span. ``None`` (the default) is a strict no-op.
     hooks:
         Optional :class:`SimulationHooks` observer receiving a callback at
-        every state transition (start, drain, death, dispatch, finish).
-        ``None`` (the default) adds zero overhead to the loop.
+        every state transition. ``None`` (the default) adds zero overhead.
+    sources:
+        Extra :class:`~repro.sim.sources.EventSource` instances (failures,
+        churn, requests, ...). Slot boundaries and policy dispatches are
+        always installed. Sources are re-primed per run, so reuse replays
+        identical randomness.
+    max_log_events:
+        Bound each metrics event log to a ring of this many most-recent
+        events (``None`` = keep everything). Counts stay exact either way.
+    event_spill:
+        Stream every event to this JSONL path (or an open
+        :class:`~repro.sim.metrics.EventSpill`) as it is logged — the
+        flat-memory companion to ``max_log_events``. A path is (re)opened
+        per run and closed afterwards; an ``EventSpill`` object is left
+        open for the caller.
     """
 
     def __init__(self, network: SensorNetwork, *, strict: bool = False,
                  instrumentation: Instrumentation | None = None,
-                 hooks: SimulationHooks | None = None) -> None:
+                 hooks: SimulationHooks | None = None,
+                 sources: tuple[EventSource, ...] = (),
+                 max_log_events: int | None = None,
+                 event_spill: EventSpill | str | Path | None = None) -> None:
         self.network = network
         self.strict = strict
         self._obs = ensure(instrumentation)
         self._hooks = hooks
+        self._sources = tuple(sources)
+        self._max_log_events = max_log_events
+        self._event_spill = event_spill
 
     def run(self, policy: ChargingPolicy, workload: Workload,
             horizon: float) -> SimulationResult:
@@ -149,47 +295,64 @@ class Simulator:
         """
         if horizon <= 0 or not math.isfinite(horizon):
             raise SimulationError(f"horizon must be positive and finite, got {horizon}")
+        spill, own_spill = self._open_spill()
+        try:
+            return self._run(policy, workload, float(horizon), spill)
+        finally:
+            if own_spill and spill is not None:
+                spill.close()
+
+    # ------------------------------------------------------------------ internals
+    def _open_spill(self) -> tuple[EventSpill | None, bool]:
+        if isinstance(self._event_spill, (str, Path)):
+            return EventSpill(self._event_spill), True
+        return self._event_spill, False
+
+    def _run(self, policy: ChargingPolicy, workload: Workload, horizon: float,
+             spill: EventSpill | None) -> SimulationResult:
         net = self.network
-        state = EnergyState(net.batteries)
-        metrics = Metrics(q=net.q)
+        metrics = Metrics.create(net.q, max_log_events=self._max_log_events,
+                                 spill=spill)
+        rt = SimRuntime(self, policy, workload, horizon, metrics)
         o = self._obs
         hooks = self._hooks
-        with o.span("simulate", n=net.n, horizon=float(horizon)) as sp:
+        with o.span("simulate", n=net.n, horizon=horizon) as sp:
             if hooks is not None:
-                hooks.on_start(net, float(horizon), state.energy)
+                hooks.on_start(net, horizon, rt.state.energy)
             policy.reset(net, horizon)
-
-            slot_len = workload.slot_duration
-            slot = 0
-            rates = np.asarray(workload.rates_at(0), dtype=np.float64)
-            if rates.shape != (net.n,):
-                raise SimulationError(
-                    f"workload produced rates of shape {rates.shape}, expected ({net.n},)")
+            rt.set_rates(workload.rates_at(0))
 
             # Initial observation so online policies can plan from t=0 state.
-            policy.observe(self._view(0.0, state, rates))
+            rt.observe_policy()
 
-            t = 0.0
+            rt.schedule(horizon, PRIORITY_HORIZON, "horizon")
+            sources: tuple[EventSource, ...] = (
+                SlotBoundarySource(workload), *self._sources,
+                PolicyDispatchSource(policy))
+            for src in sources:
+                src.prime(rt)
+
             guard = 0
             max_iterations = 10_000_000
-            while t < horizon - _TIME_TOL:
+            while True:
                 guard += 1
                 o.incr("sim.events")
                 if guard > max_iterations:
                     raise SimulationError("simulation exceeded iteration guard "
                                           "(policy likely returning non-advancing times)")
-                t_boundary = (slot + 1) * slot_len if math.isfinite(slot_len) else math.inf
-                t_policy_raw = policy.next_dispatch_time(t)
-                t_policy = math.inf if t_policy_raw is None else float(t_policy_raw)
-                if t_policy < t - _TIME_TOL:
-                    raise SimulationError(
-                        f"policy requested dispatch at {t_policy} < current time {t}")
-                t_next = min(horizon, t_boundary, max(t_policy, t))
+                for src in sources:
+                    src.refresh(rt)
+                o.observe("sim.queue.depth", float(len(rt.queue)))
+                batch = rt.queue.pop_coincident()
+                if not batch:
+                    break  # unreachable while the horizon event is queued
+                t_next = min(ev.time for ev in batch)
 
-                # ---- drain exactly over [t, t_next)
-                deaths = state.drain(rates, t_next - t, t)
+                # ---- drain exactly over [now, t_next)
+                eff_rates = rt.state.effective_rates(rt.rates)
+                deaths = rt.state.drain(eff_rates, t_next - rt.now, rt.now)
                 if hooks is not None:
-                    hooks.on_advance(t, t_next, rates, state.energy)
+                    hooks.on_advance(rt.now, t_next, eff_rates, rt.state.energy)
                 for sensor, when in deaths:
                     metrics.deaths.append(DeathEvent(time=when, sensor=sensor))
                     log.debug("sensor %d died at t=%.6g", sensor, when)
@@ -199,44 +362,43 @@ class Simulator:
                         raise SensorDeathError(
                             f"sensor {sensor} died at t={when:.6g}", sensor_id=sensor,
                             time=when)
-                t = t_next
-                if t >= horizon - _TIME_TOL:
+                rt.now = t_next
+
+                # ---- fire the batch in (priority, seq) order; the horizon
+                # event outranks everything, so coincident events never fire.
+                if batch[0].priority == PRIORITY_HORIZON:
                     break
-
-                # ---- slot boundary first: rates change, policy observes
-                if abs(t - t_boundary) <= _TIME_TOL:
-                    slot += 1
-                    rates = np.asarray(workload.rates_at(slot), dtype=np.float64)
-                    policy.observe(self._view(t, state, rates))
-                    # The observation may have changed the next dispatch time;
-                    # loop around rather than acting on a stale t_policy.
-                    if not (abs(t - t_policy) <= _TIME_TOL):
-                        continue
-                    t_policy = policy.next_dispatch_time(t) or math.inf
-
-                # ---- policy dispatch
-                if abs(t - t_policy) <= _TIME_TOL:
-                    sched = policy.dispatch(self._view(t, state, rates))
-                    if sched is not None:
-                        self._execute(sched, t, state, metrics)
-            sp.set(events=guard, dispatches=len(metrics.dispatches),
-                   deaths=len(metrics.deaths))
+                for ev in batch:
+                    o.incr(f"sim.event.{ev.kind}")
+                    if ev.source is not None:
+                        ev.source.fire(rt, ev)
+            sp.set(events=guard, dispatches=metrics.n_dispatches,
+                   deaths=metrics.n_deaths)
         result = SimulationResult(metrics=metrics,
-                                  final_energy=state.energy.copy(), horizon=horizon)
+                                  final_energy=rt.state.energy.copy(),
+                                  horizon=horizon)
         if hooks is not None:
             hooks.on_finish(result)
         return result
 
-    # ------------------------------------------------------------------ internals
-    def _view(self, t: float, state: EnergyState, rates: np.ndarray) -> SimulationView:
-        return SimulationView(time=t, energy=state.energy.copy(),
-                              batteries=self.network.batteries,
-                              observed_rates=rates.copy())
+    def _effective_scheduling(self, sched: ChargingScheduling,
+                              rt: SimRuntime) -> ChargingScheduling:
+        """Degrade tours of unavailable chargers to stay-at-home."""
+        if rt.fleet.all_available:
+            return sched
+        available = rt.fleet.available
+        tours = tuple(
+            tour if l >= rt.fleet.q or available[l] else Tour.empty(tour.depot)
+            for l, tour in enumerate(sched.tours))
+        return ChargingScheduling(time=sched.time, tours=tours)
 
-    def _execute(self, sched: ChargingScheduling, t: float,
-                 state: EnergyState, metrics: Metrics) -> None:
+    def _execute(self, sched: ChargingScheduling, rt: SimRuntime) -> None:
         net = self.network
         d = net.dist
+        t = rt.now
+        state = rt.state
+        metrics = rt.metrics
+        sched = self._effective_scheduling(sched, rt)
         with self._obs.span("dispatch", time=float(t)) as sp:
             total = 0.0
             active = 0
@@ -248,6 +410,8 @@ class Simulator:
                 if l < metrics.per_charger.shape[0]:
                     metrics.per_charger[l] += c
             sensors = sorted(sched.charged_sensors)
+            if state.any_offline:
+                sensors = [s for s in sensors if s < net.n and state.is_online(s)]
             for s in sensors:
                 if s >= net.n:
                     raise SimulationError(f"scheduling charges non-sensor node {s}")
@@ -267,7 +431,11 @@ class Simulator:
 def simulate(network: SensorNetwork, policy: ChargingPolicy, workload: Workload,
              horizon: float, *, strict: bool = False,
              instrumentation: Instrumentation | None = None,
-             hooks: SimulationHooks | None = None) -> SimulationResult:
+             hooks: SimulationHooks | None = None,
+             sources: tuple[EventSource, ...] = (),
+             max_log_events: int | None = None,
+             event_spill: EventSpill | str | Path | None = None) -> SimulationResult:
     """One-call wrapper: ``Simulator(network, ...).run(...)``."""
     return Simulator(network, strict=strict, instrumentation=instrumentation,
-                     hooks=hooks).run(policy, workload, horizon)
+                     hooks=hooks, sources=sources, max_log_events=max_log_events,
+                     event_spill=event_spill).run(policy, workload, horizon)

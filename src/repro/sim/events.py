@@ -2,15 +2,19 @@
 
 The engine appends one :class:`DispatchEvent` per executed charging
 scheduling (with per-charger breakdown), one :class:`ChargeEvent` per sensor
-charge, and one :class:`DeathEvent` per energy expiration. Metrics are
-aggregations over this log; tests assert against it directly.
+charge, and one :class:`DeathEvent` per energy expiration. Dynamic-scenario
+sources add :class:`FleetEvent` (charger breakdown/repair),
+:class:`ChurnEvent` (sensor leave/rejoin) and :class:`RequestEvent`
+(charging-request arrival). Metrics are aggregations over this log; tests
+assert against it directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["DispatchEvent", "ChargeEvent", "DeathEvent"]
+__all__ = ["DispatchEvent", "ChargeEvent", "DeathEvent", "FleetEvent",
+           "ChurnEvent", "RequestEvent"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -69,3 +73,62 @@ class DeathEvent:
 
     time: float
     sensor: int
+
+
+@dataclass(frozen=True, slots=True)
+class FleetEvent:
+    """A mobile charger broke down or came back from repair.
+
+    Parameters
+    ----------
+    time:
+        When the availability flipped.
+    charger:
+        Charger index ``0..q-1``.
+    available:
+        New availability: ``False`` = breakdown, ``True`` = repaired.
+    """
+
+    time: float
+    charger: int
+    available: bool
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnEvent:
+    """A sensor left the network or rejoined it.
+
+    Parameters
+    ----------
+    time:
+        When the membership flipped.
+    sensor:
+        Sensor id.
+    online:
+        New membership: ``False`` = left (stops draining, is neither
+        charged nor counted), ``True`` = rejoined.
+    """
+
+    time: float
+    sensor: int
+    online: bool
+
+
+@dataclass(frozen=True, slots=True)
+class RequestEvent:
+    """A sensor issued an explicit charging request.
+
+    Parameters
+    ----------
+    time:
+        Arrival time (Poisson process under
+        :class:`~repro.sim.sources.PoissonRequestSource`).
+    sensor:
+        The requesting sensor.
+    energy:
+        Residual energy at request time.
+    """
+
+    time: float
+    sensor: int
+    energy: float

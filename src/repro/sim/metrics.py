@@ -1,14 +1,141 @@
-"""Aggregate simulation metrics."""
+"""Aggregate simulation metrics and the bounded event log.
+
+Metrics hold one :class:`EventLog` per event kind. A log behaves like the
+plain list it used to be (append / len / index / iterate), but can be
+bounded to a ring of the most recent events and/or spilled to JSONL via the
+:mod:`repro.obs.trace` encoding, so 100x-horizon runs keep flat memory
+while counts (``n_dispatches`` etc.) stay exact via ``EventLog.total``.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import IO, Any, Iterator
 
 import numpy as np
 
-from repro.sim.events import ChargeEvent, DeathEvent, DispatchEvent
+from repro.obs.trace import TraceEvent
+from repro.sim.events import ChargeEvent
 
-__all__ = ["Metrics"]
+__all__ = ["Metrics", "EventLog", "EventSpill"]
+
+#: Log names in merge order for coincident timestamps — mirrors the event
+#: priority classes (fleet/churn/requests are state changes, dispatches and
+#: their charges follow, deaths interleave by time like everything else).
+_LOG_ORDER = ("fleet", "churn", "requests", "deaths", "dispatches", "charges")
+
+
+class EventSpill:
+    """Append-only JSONL sink for simulation events.
+
+    Each record is a :class:`~repro.obs.trace.TraceEvent` dict with name
+    ``sim.<log>``, ``kind="event"``, ``t`` = simulation time and the event's
+    remaining fields as attrs, so existing trace tooling
+    (:func:`repro.obs.trace.read_jsonl`) reads spilled logs directly.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: IO[str] | None = self._path.open("w", encoding="utf-8")
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def write(self, log_name: str, event: Any) -> None:
+        if self._fh is None:
+            return
+        attrs = asdict(event)
+        t = attrs.pop("time", 0.0)
+        rec = TraceEvent(name=f"sim.{log_name}", kind="event", t=float(t), attrs=attrs)
+        self._fh.write(json.dumps(rec.to_dict(), separators=(",", ":")))
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "EventSpill":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class EventLog:
+    """List-like event container, optionally bounded and/or spilled.
+
+    Parameters
+    ----------
+    maxlen:
+        Keep only the most recent ``maxlen`` events in memory (``None`` =
+        unbounded, the default — exactly the old plain-list behaviour).
+    spill:
+        Optional :class:`EventSpill`; every appended event is also written
+        there, bounded or not.
+    name:
+        Log name used in spill records and serialization.
+
+    ``total`` counts every append ever; ``len`` is what is still held.
+    """
+
+    __slots__ = ("_items", "_total", "_spill", "name", "maxlen")
+
+    def __init__(self, maxlen: int | None = None,
+                 spill: EventSpill | None = None, name: str = "") -> None:
+        self.maxlen = maxlen
+        self.name = name
+        self._items: Any = [] if maxlen is None else deque(maxlen=maxlen)
+        self._total = 0
+        self._spill = spill
+
+    # --------------------------------------------------------- list protocol
+    def append(self, event: Any) -> None:
+        self._total += 1
+        self._items.append(event)
+        if self._spill is not None:
+            self._spill.write(self.name, event)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return len(self._items) > 0
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items)
+
+    def __getitem__(self, index: int) -> Any:
+        if isinstance(index, slice):
+            return list(self._items)[index]
+        return self._items[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EventLog):
+            return list(self._items) == list(other._items)
+        if isinstance(other, (list, tuple)):
+            return list(self._items) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        bound = "" if self.maxlen is None else f", maxlen={self.maxlen}"
+        return f"EventLog({list(self._items)!r}{bound})"
+
+    # ------------------------------------------------------------- accounting
+    @property
+    def total(self) -> int:
+        """Number of events ever appended (>= ``len`` when bounded)."""
+        return self._total
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the in-memory window."""
+        return self._total - len(self._items)
 
 
 @dataclass
@@ -22,47 +149,89 @@ class Metrics:
     per_charger:
         ``(q,)`` distance per charger.
     dispatches, charges, deaths:
-        The full event log, in time order.
+        The slotted-model event log, in time order.
+    fleet, churn, requests:
+        Dynamic-scenario logs: charger breakdown/repair, sensor
+        leave/rejoin, charging-request arrivals (empty in static runs).
     """
 
     q: int
     service_cost: float = 0.0
     energy_delivered: float = 0.0
     per_charger: np.ndarray = field(default_factory=lambda: np.zeros(0))
-    dispatches: list[DispatchEvent] = field(default_factory=list)
-    charges: list[ChargeEvent] = field(default_factory=list)
-    deaths: list[DeathEvent] = field(default_factory=list)
+    dispatches: EventLog = field(default_factory=EventLog)
+    charges: EventLog = field(default_factory=EventLog)
+    deaths: EventLog = field(default_factory=EventLog)
+    fleet: EventLog = field(default_factory=EventLog)
+    churn: EventLog = field(default_factory=EventLog)
+    requests: EventLog = field(default_factory=EventLog)
+    #: Exact breakdown tally kept by the engine at append time, so
+    #: :attr:`n_failures` survives ring-buffer truncation of ``fleet``.
+    breakdowns: int = 0
 
     def __post_init__(self) -> None:
         if self.per_charger.size == 0:
             self.per_charger = np.zeros(self.q, dtype=np.float64)
+        for name in _LOG_ORDER:
+            log = getattr(self, name)
+            if isinstance(log, EventLog) and not log.name:
+                log.name = name
+
+    @classmethod
+    def create(cls, q: int, *, max_log_events: int | None = None,
+               spill: EventSpill | None = None) -> "Metrics":
+        """Build with every log bounded to ``max_log_events`` and/or wired
+        to a JSONL ``spill`` (the engine's factory)."""
+        logs = {name: EventLog(maxlen=max_log_events, spill=spill, name=name)
+                for name in _LOG_ORDER}
+        return cls(q=q, **logs)
 
     # ----------------------------------------------------------- aggregates
     @property
     def n_dispatches(self) -> int:
         """Number of charging schedulings executed."""
-        return len(self.dispatches)
+        return _count(self.dispatches)
 
     @property
     def n_charges(self) -> int:
         """Total sensor-charges performed."""
-        return len(self.charges)
+        return _count(self.charges)
 
     @property
     def n_deaths(self) -> int:
         """Number of death events (0 means the run was perpetual)."""
-        return len(self.deaths)
+        return _count(self.deaths)
+
+    @property
+    def n_failures(self) -> int:
+        """Charger breakdown events (availability going down)."""
+        if self.breakdowns:
+            return self.breakdowns
+        # Metrics built outside the engine (hand-assembled logs): count the
+        # kept window, estimating the evicted half if the ring truncated.
+        return sum(1 for ev in self.fleet if not ev.available) + _breakdown_dropped(self.fleet)
+
+    @property
+    def n_churn_events(self) -> int:
+        """Total membership flips (leaves + rejoins)."""
+        return _count(self.churn)
+
+    @property
+    def n_requests(self) -> int:
+        """Charging-request arrivals."""
+        return _count(self.requests)
 
     @property
     def perpetual(self) -> bool:
         """True iff no sensor ever ran out of energy."""
-        return not self.deaths
+        return self.n_deaths == 0
 
     def mean_dispatch_cost(self) -> float:
         """Average tour-set length per dispatch (0 if none)."""
-        if not self.dispatches:
+        n = self.n_dispatches
+        if n == 0:
             return 0.0
-        return self.service_cost / len(self.dispatches)
+        return self.service_cost / n
 
     def cost_per_energy(self) -> float:
         """Metres driven per unit of energy delivered — the fleet's
@@ -85,9 +254,50 @@ class Metrics:
             out[c.sensor] += 1
         return out
 
+    def event_log_jsonl(self) -> str:
+        """Canonical one-event-per-line serialization of the merged log.
+
+        Events from all logs are merged by ``(time, log rank, position)``
+        — a total, deterministic order — and encoded like the spill format.
+        Two runs are replay-identical iff these strings are byte-equal; the
+        CI determinism smoke and ``repro check sim`` compare exactly this.
+        """
+        rows: list[tuple[float, int, int, str]] = []
+        for rank, name in enumerate(_LOG_ORDER):
+            for pos, ev in enumerate(getattr(self, name)):
+                attrs = asdict(ev)
+                t = attrs.pop("time", 0.0)
+                rec = TraceEvent(name=f"sim.{name}", kind="event", t=float(t),
+                                 attrs=attrs)
+                rows.append((float(t), rank, pos,
+                             json.dumps(rec.to_dict(), separators=(",", ":"))))
+        rows.sort(key=lambda r: (r[0], r[1], r[2]))
+        return "\n".join(r[3] for r in rows) + ("\n" if rows else "")
+
     def summary(self) -> str:
         """Human-readable digest."""
         status = "perpetual" if self.perpetual else f"{self.n_deaths} DEATHS"
+        extra = ""
+        if self.fleet or self.churn or self.requests:
+            extra = (f" failures={self.n_failures} churn={self.n_churn_events}"
+                     f" requests={self.n_requests}")
         return (f"service_cost={self.service_cost:.1f} "
                 f"dispatches={self.n_dispatches} charges={self.n_charges} "
-                f"[{status}]")
+                f"[{status}]{extra}")
+
+
+def _count(log: Any) -> int:
+    """True event count: ``total`` for bounded logs, ``len`` for lists."""
+    return log.total if isinstance(log, EventLog) else len(log)
+
+
+def _breakdown_dropped(log: Any) -> int:
+    """Evicted fleet events counted as breakdowns (every second one is)."""
+    if not isinstance(log, EventLog) or log.dropped == 0:
+        return 0
+    # Breakdown/repair strictly alternate per charger, so evicted events
+    # split evenly (±q); engine-built Metrics carry the exact tally in
+    # :attr:`Metrics.breakdowns` and never reach this estimate.
+    return log.dropped // 2
+
+

@@ -47,13 +47,25 @@ class SimulationView:
     observed_rates:
         ``(n,)`` the rates sensors currently measure — the true rates of the
         *current* slot (monitoring is accurate within a slot; prediction
-        across slots is the policy's problem).
+        across slots is the policy's problem). Offline sensors read 0.
+    alive:
+        ``(n,)`` boolean membership mask for churn scenarios, or ``None``
+        (the static default) meaning everyone is online. Use
+        :attr:`alive_mask` for a mask that is always materialised.
     """
 
     time: float
     energy: np.ndarray
     batteries: np.ndarray
     observed_rates: np.ndarray
+    alive: np.ndarray | None = None
+
+    @property
+    def alive_mask(self) -> np.ndarray:
+        """The membership mask, materialised (all-True when static)."""
+        if self.alive is None:
+            return np.ones(self.batteries.shape[0], dtype=bool)
+        return self.alive
 
     @property
     def observed_cycles(self) -> np.ndarray:

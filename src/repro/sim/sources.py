@@ -1,0 +1,403 @@
+"""Pluggable event sources: everything that schedules simulation events.
+
+The engine itself owns nothing but the queue, the clock and the energy
+integral. Every occurrence is scheduled by an :class:`EventSource`:
+
+* :class:`SlotBoundarySource` — the workload's rate changes (built in);
+* :class:`PolicyDispatchSource` — the policy's requested control instants
+  (built in);
+* :class:`ChargerFailureSource` — charger breakdown/repair with an
+  exponential time-to-failure and a fixed mean-time-to-repair, after the
+  digital-twin station pattern (``failure_rate`` + ``mttr``);
+* :class:`ChurnSource` — sensors leaving the network and rejoining after a
+  fixed downtime;
+* :class:`PoissonRequestSource` — Poisson-arriving per-sensor charging
+  requests (the hook for deadline-driven policies).
+
+Sources interact with the run through the engine's
+:class:`~repro.sim.engine.SimRuntime` — schedule events, flip fleet or
+membership state, read views. ``prime`` must fully re-initialise the
+source (including its RNG streams), so one source instance reused across
+runs replays identically: common random numbers across algorithms come for
+free. Randomness is seeded per-source from ``numpy`` spawn keys, so adding
+or removing one source never perturbs another's stream.
+
+:class:`ScenarioDynamics` bundles the knobs (rates, MTTR, downtime, seed)
+as one serialisable record shared by the CLI, the serve protocol and the
+experiment grid.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.queue import (
+    PRIORITY_CHURN,
+    PRIORITY_DISPATCH,
+    PRIORITY_FAILURE,
+    PRIORITY_REQUEST,
+    PRIORITY_SLOT,
+    Event,
+    time_tolerance,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.sim.engine import SimRuntime
+
+__all__ = [
+    "EventSource",
+    "SlotBoundarySource",
+    "PolicyDispatchSource",
+    "ChargerFailureSource",
+    "ChurnSource",
+    "PoissonRequestSource",
+    "ScenarioDynamics",
+]
+
+
+class EventSource:
+    """Base class for event sources; all callbacks default to no-ops.
+
+    Lifecycle per run: ``prime`` once at ``t = 0`` (schedule initial
+    events, reset all internal state), ``refresh`` at the top of every
+    engine iteration (reconcile with mutable collaborators — only the
+    dispatch source needs this), ``fire`` for each of this source's events
+    when its instant is reached.
+    """
+
+    #: Label stamped on scheduled events (observability counters).
+    kind = "event"
+
+    def prime(self, rt: "SimRuntime") -> None:
+        """Reset internal state and schedule initial events."""
+
+    def refresh(self, rt: "SimRuntime") -> None:
+        """Reconcile scheduled events with external state (pre-iteration)."""
+
+    def fire(self, rt: "SimRuntime", event: Event) -> None:
+        """Handle one of this source's events at ``rt.now``."""
+
+
+class SlotBoundarySource(EventSource):
+    """Fires at every workload slot boundary ``k · ΔT``.
+
+    Boundary ``k`` updates the true rates to slot ``k``'s and lets the
+    policy observe — exactly the slotted model's semantics. Times are
+    computed as ``(slot + 1) * slot_duration`` (one multiply, not an
+    accumulated sum) to match the legacy loop bit-for-bit.
+    """
+
+    kind = "slot"
+
+    def __init__(self, workload: Any) -> None:
+        self.workload = workload
+        self._slot = 0
+
+    @property
+    def slot(self) -> int:
+        """Current slot index."""
+        return self._slot
+
+    def prime(self, rt: "SimRuntime") -> None:
+        self._slot = 0
+        slot_len = self.workload.slot_duration
+        if math.isfinite(slot_len):
+            rt.schedule(slot_len, PRIORITY_SLOT, self.kind, source=self)
+
+    def fire(self, rt: "SimRuntime", event: Event) -> None:
+        self._slot += 1
+        rt.set_rates(self.workload.rates_at(self._slot))
+        rt.observe_policy()
+        next_t = (self._slot + 1) * self.workload.slot_duration
+        if next_t < rt.horizon + time_tolerance(rt.horizon):
+            rt.schedule(next_t, PRIORITY_SLOT, self.kind, source=self)
+
+
+class PolicyDispatchSource(EventSource):
+    """Keeps exactly one pending event at the policy's requested instant.
+
+    ``refresh`` re-queries :meth:`ChargingPolicy.next_dispatch_time` every
+    engine iteration and reschedules the single pending event when the
+    answer moved (policies may legally change their mind after every
+    observation). ``fire`` re-verifies the request before dispatching:
+    if the policy no longer wants control *now* — e.g. a coincident slot
+    boundary was processed first and the observation pushed the epoch out —
+    the event lapses and the new instant is scheduled instead. All
+    shipped policies' ``next_dispatch_time`` are idempotent queries, which
+    this design requires.
+    """
+
+    kind = "dispatch"
+
+    def __init__(self, policy: Any) -> None:
+        self.policy = policy
+        self._pending: Event | None = None
+
+    def prime(self, rt: "SimRuntime") -> None:
+        self._pending = None
+        self.refresh(rt)
+
+    def refresh(self, rt: "SimRuntime") -> None:
+        t_req = self._requested(rt)
+        if t_req is None:
+            if self._pending is not None:
+                rt.queue.cancel(self._pending)
+                self._pending = None
+            return
+        t_sched = max(t_req, rt.now)
+        if self._pending is not None:
+            if self._pending.time == t_sched:
+                return
+            rt.queue.cancel(self._pending)
+        self._pending = rt.schedule(t_sched, PRIORITY_DISPATCH, self.kind, source=self)
+
+    def fire(self, rt: "SimRuntime", event: Event) -> None:
+        self._pending = None
+        t_req = self._requested(rt)
+        if t_req is None:
+            return
+        if abs(t_req - rt.now) <= time_tolerance(rt.now):
+            sched = self.policy.dispatch(rt.view())
+            if sched is not None:
+                rt.execute(sched)
+        else:
+            self._pending = rt.schedule(max(t_req, rt.now), PRIORITY_DISPATCH,
+                                        self.kind, source=self)
+
+    def _requested(self, rt: "SimRuntime") -> float | None:
+        t_req = self.policy.next_dispatch_time(rt.now)
+        if t_req is None:
+            return None
+        t_req = float(t_req)
+        if t_req < rt.now - time_tolerance(rt.now):
+            raise SimulationError(
+                f"policy requested dispatch at {t_req} < current time {rt.now}")
+        return t_req
+
+
+class ChargerFailureSource(EventSource):
+    """Charger breakdown/repair: exponential time-to-failure + fixed MTTR.
+
+    Parameters
+    ----------
+    rate:
+        Breakdowns per unit time per charger while it is up (``lambda`` of
+        the exponential time-to-failure).
+    mttr:
+        Repair duration; the charger is unavailable for exactly this long.
+    seed:
+        Base seed; charger ``l`` draws from the spawn-key ``(1, l)`` child
+        stream so fleets of different sizes share prefixes.
+    """
+
+    kind = "failure"
+
+    def __init__(self, rate: float, mttr: float, seed: int = 0) -> None:
+        if rate <= 0 or not math.isfinite(rate):
+            raise SimulationError(f"failure rate must be positive and finite, got {rate}")
+        if mttr <= 0 or not math.isfinite(mttr):
+            raise SimulationError(f"MTTR must be positive and finite, got {mttr}")
+        self.rate = float(rate)
+        self.mttr = float(mttr)
+        self.seed = int(seed)
+        self._rngs: list[np.random.Generator] = []
+
+    def prime(self, rt: "SimRuntime") -> None:
+        q = rt.fleet.q
+        self._rngs = [
+            np.random.default_rng(np.random.SeedSequence(entropy=self.seed,
+                                                         spawn_key=(1, l)))
+            for l in range(q)
+        ]
+        for l in range(q):
+            self._schedule_failure(rt, l, 0.0)
+
+    def fire(self, rt: "SimRuntime", event: Event) -> None:
+        charger, up = event.data
+        if up:
+            rt.set_charger_available(charger, True)
+            self._schedule_failure(rt, charger, rt.now)
+        else:
+            rt.set_charger_available(charger, False)
+            rt.schedule(rt.now + self.mttr, PRIORITY_FAILURE, self.kind,
+                        data=(charger, True), source=self)
+
+    def _schedule_failure(self, rt: "SimRuntime", charger: int, now: float) -> None:
+        gap = self._rngs[charger].exponential(1.0 / self.rate)
+        t = now + gap
+        if t < rt.horizon:
+            rt.schedule(t, PRIORITY_FAILURE, self.kind,
+                        data=(charger, False), source=self)
+
+
+class ChurnSource(EventSource):
+    """Sensor membership churn: leave events with a fixed rejoin downtime.
+
+    Parameters
+    ----------
+    rate:
+        Network-wide leave events per unit time (exponential gaps).
+    downtime:
+        How long a departed sensor stays offline before rejoining.
+    seed:
+        Spawn-key ``(2,)`` child stream.
+
+    A leave picks uniformly among currently-online sensors (skipped when
+    none are); the victim's energy freezes while offline and resumes
+    draining on rejoin.
+    """
+
+    kind = "churn"
+
+    def __init__(self, rate: float, downtime: float, seed: int = 0) -> None:
+        if rate <= 0 or not math.isfinite(rate):
+            raise SimulationError(f"churn rate must be positive and finite, got {rate}")
+        if downtime <= 0 or not math.isfinite(downtime):
+            raise SimulationError(f"churn downtime must be positive and finite, got {downtime}")
+        self.rate = float(rate)
+        self.downtime = float(downtime)
+        self.seed = int(seed)
+        self._rng: np.random.Generator | None = None
+
+    def prime(self, rt: "SimRuntime") -> None:
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=self.seed, spawn_key=(2,)))
+        self._schedule_leave(rt, 0.0)
+
+    def fire(self, rt: "SimRuntime", event: Event) -> None:
+        action, sensor = event.data
+        if action == "rejoin":
+            rt.set_sensor_online(sensor, True)
+            return
+        online = rt.state.online_sensors()
+        if online.size:
+            victim = int(online[self._rng.integers(online.size)])
+            rt.set_sensor_online(victim, False)
+            rt.schedule(rt.now + self.downtime, PRIORITY_CHURN, self.kind,
+                        data=("rejoin", victim), source=self)
+        self._schedule_leave(rt, rt.now)
+
+    def _schedule_leave(self, rt: "SimRuntime", now: float) -> None:
+        t = now + self._rng.exponential(1.0 / self.rate)
+        if t < rt.horizon:
+            rt.schedule(t, PRIORITY_CHURN, self.kind,
+                        data=("leave", None), source=self)
+
+
+class PoissonRequestSource(EventSource):
+    """Poisson-arriving per-sensor charging requests.
+
+    Parameters
+    ----------
+    rate:
+        Request arrivals per unit time, network-wide.
+    seed:
+        Spawn-key ``(3,)`` child stream.
+
+    Each arrival picks a uniformly-random online sensor, records a
+    :class:`~repro.sim.events.RequestEvent`, and — if the policy exposes an
+    ``on_request(view, sensor)`` method — notifies it before any coincident
+    dispatch fires (requests rank ahead of dispatches in the priority
+    order). Plan-following policies simply ignore requests.
+    """
+
+    kind = "request"
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        if rate <= 0 or not math.isfinite(rate):
+            raise SimulationError(f"request rate must be positive and finite, got {rate}")
+        self.rate = float(rate)
+        self.seed = int(seed)
+        self._rng: np.random.Generator | None = None
+
+    def prime(self, rt: "SimRuntime") -> None:
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=self.seed, spawn_key=(3,)))
+        self._schedule_arrival(rt, 0.0)
+
+    def fire(self, rt: "SimRuntime", event: Event) -> None:
+        online = rt.state.online_sensors()
+        if online.size:
+            sensor = int(online[self._rng.integers(online.size)])
+            rt.record_request(sensor)
+            on_request = getattr(rt.policy, "on_request", None)
+            if on_request is not None:
+                on_request(rt.view(), sensor)
+        self._schedule_arrival(rt, rt.now)
+
+    def _schedule_arrival(self, rt: "SimRuntime", now: float) -> None:
+        t = now + self._rng.exponential(1.0 / self.rate)
+        if t < rt.horizon:
+            rt.schedule(t, PRIORITY_REQUEST, self.kind, source=self)
+
+
+@dataclass(frozen=True)
+class ScenarioDynamics:
+    """Serialisable bundle of dynamic-scenario knobs.
+
+    All rates default to 0 (= source disabled); :meth:`build_sources`
+    returns only the enabled sources. One record is shared verbatim by the
+    CLI flags, the serve protocol's ``simulate`` request and
+    :class:`~repro.experiments.config.ExperimentConfig`.
+    """
+
+    failure_rate: float = 0.0
+    failure_mttr: float = 0.0
+    churn_rate: float = 0.0
+    churn_downtime: float = 0.0
+    request_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("failure_rate", "failure_mttr", "churn_rate",
+                     "churn_downtime", "request_rate"):
+            v = getattr(self, name)
+            if v < 0 or not math.isfinite(v):
+                raise SimulationError(f"{name} must be finite and >= 0, got {v}")
+        if self.failure_rate > 0 and self.failure_mttr <= 0:
+            raise SimulationError("failure_rate > 0 requires failure_mttr > 0")
+        if self.churn_rate > 0 and self.churn_downtime <= 0:
+            raise SimulationError("churn_rate > 0 requires churn_downtime > 0")
+
+    @property
+    def active(self) -> bool:
+        """True when at least one source is enabled."""
+        return self.failure_rate > 0 or self.churn_rate > 0 or self.request_rate > 0
+
+    def with_seed(self, seed: int) -> "ScenarioDynamics":
+        return dataclasses.replace(self, seed=int(seed))
+
+    def build_sources(self) -> tuple[EventSource, ...]:
+        """Instantiate the enabled sources (fresh, unprimed)."""
+        sources: list[EventSource] = []
+        if self.failure_rate > 0:
+            sources.append(ChargerFailureSource(self.failure_rate, self.failure_mttr,
+                                                seed=self.seed))
+        if self.churn_rate > 0:
+            sources.append(ChurnSource(self.churn_rate, self.churn_downtime,
+                                       seed=self.seed))
+        if self.request_rate > 0:
+            sources.append(PoissonRequestSource(self.request_rate, seed=self.seed))
+        return tuple(sources)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "failure_rate": self.failure_rate, "failure_mttr": self.failure_mttr,
+            "churn_rate": self.churn_rate, "churn_downtime": self.churn_downtime,
+            "request_rate": self.request_rate, "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioDynamics":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise SimulationError(f"unknown dynamics keys: {sorted(unknown)}")
+        return cls(**{k: (int(v) if k == "seed" else float(v))
+                      for k, v in data.items()})

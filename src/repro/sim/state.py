@@ -1,4 +1,4 @@
-"""Ground-truth per-sensor energy state."""
+"""Ground-truth per-sensor energy state and charger-fleet availability."""
 
 from __future__ import annotations
 
@@ -8,7 +8,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 
-__all__ = ["EnergyState"]
+__all__ = ["EnergyState", "ChargerFleet"]
 
 #: Sensors whose energy reaches at least ``-_ABS_TOL * battery`` are treated
 #: as alive: "the battery hits zero exactly as the charger arrives" is a
@@ -33,7 +33,7 @@ class EnergyState:
     """
 
     __slots__ = ("_batteries", "_energy", "_ever_died", "_currently_dead",
-                 "_death_times")
+                 "_death_times", "_online", "_n_offline")
 
     def __init__(self, batteries: np.ndarray) -> None:
         b = np.asarray(batteries, dtype=np.float64)
@@ -48,6 +48,11 @@ class EnergyState:
         # ever_died so a revived sensor's second death is reported again.
         self._currently_dead = np.zeros(b.shape[0], dtype=bool)
         self._death_times: list[tuple[int, float]] = []
+        # Membership overlay for churn scenarios: offline sensors neither
+        # drain nor die nor accept charge. All-online is the static case and
+        # must add zero work to it, hence the cached counter.
+        self._online = np.ones(b.shape[0], dtype=bool)
+        self._n_offline = 0
 
     # -------------------------------------------------------------- accessors
     @property
@@ -86,6 +91,45 @@ class EnergyState:
     def ever_died(self) -> np.ndarray:
         """Boolean mask of sensors that died at least once."""
         return self._ever_died.copy()
+
+    # ------------------------------------------------------------- membership
+    @property
+    def online(self) -> np.ndarray:
+        """Read-only membership mask (``True`` = online)."""
+        v = self._online.view()
+        v.setflags(write=False)
+        return v
+
+    @property
+    def any_offline(self) -> bool:
+        """True when at least one sensor is currently offline."""
+        return self._n_offline > 0
+
+    def is_online(self, sensor: int) -> bool:
+        return bool(self._online[sensor])
+
+    def online_sensors(self) -> np.ndarray:
+        """Indices of currently-online sensors, ascending."""
+        return np.nonzero(self._online)[0]
+
+    def set_online(self, sensor: int, online: bool) -> None:
+        """Flip one sensor's membership. A sensor going offline keeps its
+        current energy frozen; a rejoining sensor resumes from that level."""
+        s = int(sensor)
+        if not 0 <= s < self.n:
+            raise SimulationError(f"set_online: sensor {s} out of range 0..{self.n - 1}")
+        if bool(self._online[s]) == bool(online):
+            return
+        self._online[s] = bool(online)
+        self._n_offline += -1 if online else 1
+
+    def effective_rates(self, rates: np.ndarray) -> np.ndarray:
+        """Drain rates with offline sensors zeroed. Returns ``rates``
+        *unchanged* (same object, no copy) when everyone is online, so the
+        static path stays bit-identical and allocation-free."""
+        if self._n_offline == 0:
+            return rates
+        return np.where(self._online, rates, 0.0)
 
     # ------------------------------------------------------------- transitions
     def drain(self, rates: np.ndarray, duration: float, t_start: float) -> list[tuple[int, float]]:
@@ -134,3 +178,59 @@ class EnergyState:
             raise SimulationError(f"charge_full: sensor ids out of range 0..{self.n - 1}")
         self._energy[idx] = self._batteries[idx]
         self._currently_dead[idx] = False
+
+
+class ChargerFleet:
+    """Per-charger availability for breakdown/repair scenarios.
+
+    Parameters
+    ----------
+    q:
+        Number of mobile chargers; all start available.
+
+    The engine consults the fleet at every dispatch: a scheduling's tour for
+    an unavailable charger is replaced by the stay-at-home tour (the plan is
+    degraded, not rejected — the paper's cost model already prices empty
+    tours at zero). All-available is the static case and costs one counter
+    check per dispatch.
+    """
+
+    __slots__ = ("_available", "_n_down")
+
+    def __init__(self, q: int) -> None:
+        if q <= 0:
+            raise SimulationError(f"ChargerFleet: need q >= 1 chargers, got {q}")
+        self._available = np.ones(int(q), dtype=bool)
+        self._n_down = 0
+
+    @property
+    def q(self) -> int:
+        return self._available.shape[0]
+
+    @property
+    def available(self) -> np.ndarray:
+        """Read-only availability mask (``True`` = operational)."""
+        v = self._available.view()
+        v.setflags(write=False)
+        return v
+
+    @property
+    def all_available(self) -> bool:
+        return self._n_down == 0
+
+    @property
+    def n_available(self) -> int:
+        return self.q - self._n_down
+
+    def is_available(self, charger: int) -> bool:
+        return bool(self._available[charger])
+
+    def set_available(self, charger: int, available: bool) -> None:
+        """Flip one charger's availability (breakdown or repair)."""
+        l = int(charger)
+        if not 0 <= l < self.q:
+            raise SimulationError(f"set_available: charger {l} out of range 0..{self.q - 1}")
+        if bool(self._available[l]) == bool(available):
+            return
+        self._available[l] = bool(available)
+        self._n_down += -1 if available else 1

@@ -21,6 +21,7 @@ _SMALL_VALUES = {
     "q": [2],
     "quantization_base": [3],
     "deployment": ["clustered"],
+    "failure_rate": [0.005],
 }
 
 
@@ -31,10 +32,14 @@ def test_figure_machinery_smoke(figure_id):
     values = _SMALL_VALUES[spec.parameter]
     result = sweep(base, spec.parameter, values)
 
-    # Every configured algorithm produced a positive cost and no deaths.
+    # Every configured algorithm produced a positive cost and — unless the
+    # sweep injects charger failures, where deaths are the measured
+    # outcome — kept every sensor alive.
+    dynamic = result.cells[0].config.failure_rate > 0
     for alg in base.algorithms:
         assert result.cells[0].by_name(alg).mean_cost > 0
-        assert result.cells[0].by_name(alg).total_deaths == 0
+        if not dynamic:
+            assert result.cells[0].by_name(alg).total_deaths == 0
 
     # The reporting layer renders without error (checks are NOT asserted at
     # this scale — shapes are a property of paper-scale instances).

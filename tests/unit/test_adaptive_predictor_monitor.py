@@ -101,3 +101,29 @@ class TestVariationMonitor:
     def test_rejects_negative_threshold(self):
         with pytest.raises(ConfigError):
             VariationMonitor(-0.1)
+
+
+class TestVariationMonitorAliveMask:
+    def test_offline_sensors_stay_frozen(self):
+        m = VariationMonitor(0.0)
+        m.update(np.array([10.0, 20.0]))
+        m.update(np.array([99.0, 25.0]), alive=np.array([False, True]))
+        np.testing.assert_allclose(m.reported, [10.0, 25.0])
+
+    def test_alive_composes_with_dead_band(self):
+        m = VariationMonitor(0.1)
+        m.update(np.array([10.0, 10.0]))
+        # Both moves exceed the band, but sensor 0 is offline.
+        m.update(np.array([20.0, 20.0]), alive=np.array([False, True]))
+        np.testing.assert_allclose(m.reported, [10.0, 20.0])
+
+    def test_first_update_seeds_even_with_mask(self):
+        m = VariationMonitor(0.0)
+        m.update(np.array([1.0, 2.0]), alive=np.array([True, False]))
+        np.testing.assert_allclose(m.reported, [1.0, 2.0])
+
+    def test_mask_shape_mismatch_raises(self):
+        m = VariationMonitor(0.0)
+        m.update(np.ones(2))
+        with pytest.raises(ConfigError):
+            m.update(np.ones(2), alive=np.ones(3, dtype=bool))

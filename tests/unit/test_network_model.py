@@ -115,3 +115,20 @@ class TestValidation:
         with pytest.raises(NetworkModelError):
             SensorNetwork(sensors=(), depots=(Depot(id=0, position=Point(0, 0)),),
                           base_station=BaseStation(Point(0, 0)))
+
+
+class TestMembershipMask:
+    def test_all_online_by_default(self):
+        mask = _net().membership_mask()
+        assert mask.shape == (4,) and mask.dtype == bool and mask.all()
+
+    def test_offline_ids_cleared(self):
+        mask = _net().membership_mask(offline=[1, 3])
+        np.testing.assert_array_equal(mask, [True, False, True, False])
+
+    def test_out_of_range_rejected(self):
+        net = _net()
+        with pytest.raises(NetworkModelError):
+            net.membership_mask(offline=[4])
+        with pytest.raises(NetworkModelError):
+            net.membership_mask(offline=[-1])

@@ -1,0 +1,313 @@
+"""Unit tests for dynamic scenarios: charger failures, sensor churn,
+charging requests, bounded event logs, spill files and the large-horizon
+event-ordering regression."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import ChargingScheduling
+from repro.errors import SimulationError
+from repro.network.builder import build_paper_network
+from repro.obs.trace import read_jsonl
+from repro.sim.engine import simulate
+from repro.sim.events import FleetEvent
+from repro.sim.metrics import EventLog, EventSpill
+from repro.sim.queue import PRIORITY_CHURN, PRIORITY_FAILURE
+from repro.sim.sources import EventSource, PoissonRequestSource, ScenarioDynamics
+from repro.sim.workload import FixedWorkload
+from repro.tsp.tour import Tour
+
+
+def _network(n=8, q=2, cycle=40.0):
+    """Small topology with uniform slow cycles (no deaths over T ~ 10)."""
+    net = build_paper_network(n=n, q=q, seed=7, side=100.0)
+    return net.with_cycles(np.full(n, cycle))
+
+
+class _NullPolicy:
+    """Never dispatches."""
+
+    def reset(self, network, horizon):
+        return None
+
+    def next_dispatch_time(self, now):
+        return None
+
+    def observe(self, view):
+        return None
+
+    def dispatch(self, view):
+        return None
+
+
+class _OneShotAllPolicy(_NullPolicy):
+    """Dispatch once at ``time``: charger 0 tours every sensor."""
+
+    def __init__(self, time):
+        self.time = float(time)
+        self._done = False
+        self._net = None
+
+    def reset(self, network, horizon):
+        self._done = False
+        self._net = network
+
+    def next_dispatch_time(self, now):
+        return None if self._done else self.time
+
+    def dispatch(self, view):
+        self._done = True
+        net = self._net
+        d0 = net.depot_index(0)
+        tours = [Tour.from_sequence(d0, [d0, *range(net.n)])]
+        tours += [Tour.empty(net.depot_index(l)) for l in range(1, net.q)]
+        return ChargingScheduling(time=view.time, tours=tuple(tours))
+
+
+class _ForcedFleetSource(EventSource):
+    """Deterministically takes one charger down and back up."""
+
+    kind = "failure"
+
+    def __init__(self, charger, down_at, up_at):
+        self.charger, self.down_at, self.up_at = charger, down_at, up_at
+
+    def prime(self, rt):
+        rt.schedule(self.down_at, PRIORITY_FAILURE, self.kind,
+                    data=False, source=self)
+        rt.schedule(self.up_at, PRIORITY_FAILURE, self.kind,
+                    data=True, source=self)
+
+    def fire(self, rt, event):
+        rt.set_charger_available(self.charger, event.data)
+
+
+class _ForcedChurnSource(EventSource):
+    """Deterministically takes one sensor offline and back online."""
+
+    kind = "churn"
+
+    def __init__(self, sensor, leave_at, rejoin_at):
+        self.sensor, self.leave_at, self.rejoin_at = sensor, leave_at, rejoin_at
+
+    def prime(self, rt):
+        rt.schedule(self.leave_at, PRIORITY_CHURN, self.kind,
+                    data=False, source=self)
+        rt.schedule(self.rejoin_at, PRIORITY_CHURN, self.kind,
+                    data=True, source=self)
+
+    def fire(self, rt, event):
+        rt.set_sensor_online(self.sensor, event.data)
+
+
+class TestChargerFailures:
+    def test_downed_charger_tour_degrades_to_stay_at_home(self):
+        net = _network()
+        out = simulate(net, _OneShotAllPolicy(5.0),
+                       FixedWorkload.from_network(net), 10.0,
+                       sources=(_ForcedFleetSource(0, 1.0, 9.0),))
+        m = out.metrics
+        # Charger 0 was down at dispatch time: nobody gets charged, the
+        # dispatch costs nothing.
+        assert m.n_charges == 0
+        assert m.service_cost == 0.0
+        assert m.n_dispatches == 1
+        assert [(e.charger, e.available) for e in m.fleet] == [(0, False), (0, True)]
+        assert m.n_failures == 1
+
+    def test_available_charger_still_tours(self):
+        net = _network()
+        out = simulate(net, _OneShotAllPolicy(5.0),
+                       FixedWorkload.from_network(net), 10.0,
+                       sources=(_ForcedFleetSource(1, 1.0, 9.0),))
+        # Charger 1 down, but the touring charger is 0: unaffected.
+        assert out.metrics.n_charges == net.n
+        assert out.metrics.service_cost > 0.0
+
+
+class TestSensorChurn:
+    def test_offline_sensor_freezes_energy(self):
+        net = _network()
+        rates = net.rates
+        out = simulate(net, _NullPolicy(), FixedWorkload.from_network(net),
+                       10.0, sources=(_ForcedChurnSource(0, 2.0, 6.0),))
+        expected = net.batteries - rates * 10.0
+        expected[0] = net.batteries[0] - rates[0] * (10.0 - 4.0)  # frozen 4 units
+        np.testing.assert_allclose(out.final_energy, expected, rtol=1e-12)
+        assert out.metrics.n_churn_events == 2
+        assert [(e.sensor, e.online) for e in out.metrics.churn] == [
+            (0, False), (0, True)]
+
+    def test_offline_sensor_not_charged(self):
+        net = _network()
+        out = simulate(net, _OneShotAllPolicy(4.0),
+                       FixedWorkload.from_network(net), 10.0,
+                       sources=(_ForcedChurnSource(0, 2.0, 6.0),))
+        charged = {e.sensor for e in out.metrics.charges}
+        assert 0 not in charged
+        assert charged == set(range(1, net.n))
+
+    def test_view_exposes_alive_mask(self):
+        net = _network()
+        seen = {}
+
+        class Probe(_OneShotAllPolicy):
+            def dispatch(self, view):
+                seen["alive"] = view.alive_mask.copy()
+                return super().dispatch(view)
+
+        simulate(net, Probe(4.0), FixedWorkload.from_network(net), 10.0,
+                 sources=(_ForcedChurnSource(0, 2.0, 6.0),))
+        assert not seen["alive"][0]
+        assert seen["alive"][1:].all()
+
+
+class TestChargingRequests:
+    def test_requests_recorded_and_policy_notified(self):
+        net = _network()
+        notified = []
+
+        class Listener(_NullPolicy):
+            def on_request(self, view, sensor):
+                notified.append((view.time, sensor))
+
+        out = simulate(net, Listener(), FixedWorkload.from_network(net), 10.0,
+                       sources=(PoissonRequestSource(rate=1.0, seed=3),))
+        m = out.metrics
+        assert m.n_requests == len(list(m.requests)) == len(notified)
+        assert m.n_requests > 0
+        assert [(e.time, e.sensor) for e in m.requests] == notified
+
+    def test_policies_without_on_request_are_fine(self):
+        net = _network()
+        out = simulate(net, _NullPolicy(), FixedWorkload.from_network(net),
+                       10.0, sources=(PoissonRequestSource(rate=1.0, seed=3),))
+        assert out.metrics.n_requests > 0
+
+
+class TestScenarioDynamics:
+    def test_round_trip(self):
+        dyn = ScenarioDynamics(failure_rate=0.1, failure_mttr=2.0,
+                               churn_rate=0.2, churn_downtime=3.0,
+                               request_rate=0.5, seed=11)
+        assert ScenarioDynamics.from_dict(dyn.to_dict()) == dyn
+        assert dyn.active
+        assert dyn.with_seed(4).seed == 4
+
+    def test_inactive_builds_no_sources(self):
+        assert not ScenarioDynamics().active
+        assert ScenarioDynamics().build_sources() == ()
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ScenarioDynamics(failure_rate=-1.0)
+        with pytest.raises(SimulationError):
+            ScenarioDynamics(failure_rate=0.1)  # no mttr
+        with pytest.raises(SimulationError):
+            ScenarioDynamics.from_dict({"bogus": 1.0})
+
+    def test_full_dynamics_run_is_deterministic(self):
+        net = _network(n=10, cycle=20.0)
+        dyn = ScenarioDynamics(failure_rate=0.2, failure_mttr=2.0,
+                               churn_rate=0.3, churn_downtime=3.0,
+                               request_rate=0.5, seed=5)
+        runs = []
+        for _ in range(2):
+            out = simulate(net, _OneShotAllPolicy(5.0),
+                           FixedWorkload.from_network(net), 30.0,
+                           sources=dyn.build_sources())
+            runs.append(out)
+        a, b = runs
+        assert a.metrics.event_log_jsonl() == b.metrics.event_log_jsonl()
+        np.testing.assert_array_equal(a.final_energy, b.final_energy)
+        # Non-vacuous: every dynamic stream produced events.
+        assert a.metrics.n_failures > 0
+        assert a.metrics.n_churn_events > 0
+        assert a.metrics.n_requests > 0
+
+
+class TestEventLogBounds:
+    def test_ring_keeps_tail_and_exact_counts(self):
+        log = EventLog(maxlen=2, name="fleet")
+        events = [FleetEvent(time=float(t), charger=0, available=False)
+                  for t in range(5)]
+        for e in events:
+            log.append(e)
+        assert len(log) == 2
+        assert log.total == 5
+        assert log.dropped == 3
+        assert list(log) == events[-2:]
+
+    def test_unbounded_by_default(self):
+        log = EventLog()
+        for t in range(100):
+            log.append(FleetEvent(time=float(t), charger=0, available=True))
+        assert len(log) == log.total == 100
+        assert log.dropped == 0
+
+    def test_spill_file_holds_full_history(self, tmp_path):
+        net = _network()
+        path = tmp_path / "events.jsonl"
+        out = simulate(net, _OneShotAllPolicy(5.0),
+                       FixedWorkload.from_network(net), 10.0,
+                       sources=(PoissonRequestSource(rate=2.0, seed=1),),
+                       max_log_events=1, event_spill=path)
+        m = out.metrics
+        assert len(list(m.requests)) <= 1      # ring truncated in memory ...
+        assert m.n_requests > 1                # ... counts stay exact
+        spilled = list(read_jsonl(path))
+        totals = (m.dispatches.total + m.charges.total + m.deaths.total
+                  + m.fleet.total + m.churn.total + m.requests.total)
+        assert len(spilled) == totals          # ... and the file has everything
+        names = {e.name for e in spilled}
+        assert "sim.requests" in names and "sim.charges" in names
+
+    def test_spill_context_manager_writes_readable_events(self, tmp_path):
+        path = tmp_path / "one.jsonl"
+        with EventSpill(path) as spill:
+            spill.write("fleet", FleetEvent(time=1.5, charger=2, available=False))
+        (event,) = list(read_jsonl(path))
+        assert event.name == "sim.fleet"
+        assert event.t == 1.5
+        assert event.attrs["charger"] == 2
+
+
+class TestLargeHorizonOrdering:
+    """Regression: with the old absolute 1e-9 tolerance, a dispatch one ulp
+    before a slot boundary at t = 2**27 fired in its own earlier batch —
+    before the policy observed the slot's new rates."""
+
+    def test_observe_fires_before_coincident_dispatch(self):
+        net = _network(n=4, cycle=2.0**30)
+        big = 2.0**27
+        calls = []
+
+        class Probe(_NullPolicy):
+            def __init__(self):
+                self._done = False
+
+            def reset(self, network, horizon):
+                self._done = False
+
+            def next_dispatch_time(self, now):
+                return None if self._done else float(np.nextafter(big, 0.0))
+
+            def observe(self, view):
+                calls.append(("observe", view.time))
+
+            def dispatch(self, view):
+                self._done = True
+                calls.append(("dispatch", view.time))
+                return None
+
+        workload = FixedWorkload(rates=net.rates, slot_duration=big)
+        simulate(net, Probe(), workload, 1.5 * big)
+        kinds = [kind for kind, _ in calls]
+        assert "dispatch" in kinds
+        boundary_observe = kinds.index("observe", 1)  # initial observe is t=0
+        assert boundary_observe < kinds.index("dispatch")
+        # Both fire at the batch's anchor instant, coincident with the
+        # boundary (the anchor is the earliest member, one ulp below).
+        from repro.sim.queue import coincident
+
+        assert coincident(calls[boundary_observe][1], big)

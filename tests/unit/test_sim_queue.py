@@ -1,0 +1,148 @@
+"""Unit tests for :mod:`repro.sim.queue` — event ordering, cancellation,
+coincident batching and the relative-or-absolute time tolerance."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.queue import (
+    PRIORITY_DISPATCH,
+    PRIORITY_FAILURE,
+    PRIORITY_HORIZON,
+    PRIORITY_SLOT,
+    EventQueue,
+    coincident,
+    time_tolerance,
+)
+
+
+class TestOrdering:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(3.0, PRIORITY_SLOT, "c")
+        q.push(1.0, PRIORITY_SLOT, "a")
+        q.push(2.0, PRIORITY_SLOT, "b")
+        assert [q.pop().kind for _ in range(3)] == ["a", "b", "c"]
+        assert q.pop() is None
+
+    def test_priority_breaks_time_ties(self):
+        q = EventQueue()
+        q.push(1.0, PRIORITY_DISPATCH, "dispatch")
+        q.push(1.0, PRIORITY_SLOT, "slot")
+        q.push(1.0, PRIORITY_HORIZON, "horizon")
+        q.push(1.0, PRIORITY_FAILURE, "failure")
+        kinds = [q.pop().kind for _ in range(4)]
+        assert kinds == ["horizon", "slot", "failure", "dispatch"]
+
+    def test_seq_breaks_full_ties_by_insertion(self):
+        q = EventQueue()
+        first = q.push(1.0, PRIORITY_SLOT, "slot", data="first")
+        second = q.push(1.0, PRIORITY_SLOT, "slot", data="second")
+        assert first.seq < second.seq
+        assert q.pop().data == "first"
+        assert q.pop().data == "second"
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.push(1.0, PRIORITY_SLOT, "a")
+        assert q.peek().kind == "a"
+        assert len(q) == 1
+        assert q.pop().kind == "a"
+
+    def test_rejects_non_finite_time(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError, match="finite"):
+            q.push(float("nan"), PRIORITY_SLOT, "bad")
+        with pytest.raises(SimulationError, match="finite"):
+            q.push(float("inf"), PRIORITY_SLOT, "bad")
+
+
+class TestCancel:
+    def test_cancelled_events_are_skipped(self):
+        q = EventQueue()
+        keep = q.push(2.0, PRIORITY_SLOT, "keep")
+        drop = q.push(1.0, PRIORITY_SLOT, "drop")
+        q.cancel(drop)
+        assert len(q) == 1
+        assert q.pop() is keep
+        assert q.pop() is None
+
+    def test_cancel_is_idempotent(self):
+        q = EventQueue()
+        ev = q.push(1.0, PRIORITY_SLOT, "x")
+        q.cancel(ev)
+        q.cancel(ev)
+        assert len(q) == 0
+        assert not q
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        drop = q.push(1.0, PRIORITY_SLOT, "drop")
+        q.push(2.0, PRIORITY_SLOT, "keep")
+        q.cancel(drop)
+        assert q.peek().kind == "keep"
+
+
+class TestPopCoincident:
+    def test_batches_same_instant_sorted_by_priority(self):
+        q = EventQueue()
+        q.push(1.0, PRIORITY_DISPATCH, "dispatch")
+        q.push(1.0, PRIORITY_SLOT, "slot")
+        q.push(5.0, PRIORITY_SLOT, "later")
+        batch = q.pop_coincident()
+        assert [e.kind for e in batch] == ["slot", "dispatch"]
+        assert [e.kind for e in q.pop_coincident()] == ["later"]
+        assert q.pop_coincident() == []
+
+    def test_batch_anchored_at_earliest_member(self):
+        # Events within tolerance of the earliest pop together even when
+        # their raw timestamps differ by a few ulp.
+        q = EventQueue()
+        t = 10.0
+        q.push(t, PRIORITY_DISPATCH, "dispatch")
+        q.push(t + 0.5 * time_tolerance(t), PRIORITY_SLOT, "slot")
+        batch = q.pop_coincident()
+        assert [e.kind for e in batch] == ["slot", "dispatch"]
+
+    def test_does_not_batch_beyond_tolerance(self):
+        q = EventQueue()
+        q.push(1.0, PRIORITY_SLOT, "a")
+        q.push(1.0 + 10 * time_tolerance(1.0), PRIORITY_SLOT, "b")
+        assert [e.kind for e in q.pop_coincident()] == ["a"]
+        assert [e.kind for e in q.pop_coincident()] == ["b"]
+
+
+class TestTimeTolerance:
+    """Regression for the absolute-1e-9 bug: below one float64 ulp at
+    t >= 1e7, so adjacent representable times looked distinct."""
+
+    def test_absolute_below_one(self):
+        assert time_tolerance(0.0) == 1e-9
+        assert time_tolerance(0.5) == 1e-9
+
+    def test_relative_above_one(self):
+        assert time_tolerance(2.0) == 2e-9
+        assert time_tolerance(1e8) == 0.1
+
+    def test_wider_than_ulp_at_large_t(self):
+        for t in (1.0, 1e3, 1e7, 2.0**27, 1e12, 1e15):
+            assert time_tolerance(t) > np.spacing(t)
+
+    def test_adjacent_floats_coincident_at_large_t(self):
+        t = 2.0**27  # ulp ~ 2e-8 > 1e-9: the old absolute tolerance failed
+        below = float(np.nextafter(t, 0.0))
+        assert below != t
+        assert coincident(t, below)
+
+    def test_large_t_events_batch_together(self):
+        t = 2.0**27
+        q = EventQueue()
+        q.push(float(np.nextafter(t, 0.0)), PRIORITY_DISPATCH, "dispatch")
+        q.push(t, PRIORITY_SLOT, "slot")
+        batch = q.pop_coincident()
+        # One instant: the slot boundary must process before the dispatch.
+        assert [e.kind for e in batch] == ["slot", "dispatch"]
+
+    def test_distinct_instants_stay_distinct(self):
+        assert not coincident(1.0, 1.1)
+        assert not coincident(1e8, 1e8 + 1.0)
