@@ -20,7 +20,11 @@ than their first scheduled charge would die in the gap. The paper's repair:
   the paper's iterative construction ``V(C^(k+1)_j)`` does.
 
 Finally, every scheduling whose node set grew gets fresh tours from
-Algorithm 2.
+Algorithm 2 — by default via the *incremental* forest extension
+(:mod:`repro.rooted.incremental`), which patches the cached base forest by
+edge swaps over the incremental-MST candidate set instead of re-running
+the dense contraction, and provably yields the identical tours (falling
+back to the from-scratch pipeline whenever exactness cannot be certified).
 """
 
 from __future__ import annotations
@@ -31,11 +35,15 @@ import numpy as np
 
 from repro.core.quantize import Quantization
 from repro.errors import ScheduleError
+from repro.kernels import KernelBackend, resolve
 from repro.network.model import SensorNetwork
 from repro.obs.instrument import Instrumentation, ensure
 from repro.plan.cache import PlanArtifactCache
-from repro.plan.pipeline import plan_tours
+from repro.plan.pipeline import cache_fingerprint, plan_tours
+from repro.rooted.incremental import extend_q_rooted_msf
 from repro.rooted.msf import rooted_msf
+from repro.rooted.refine import refine_tours
+from repro.tsp.construct import tours_from_forest
 from repro.tsp.tour import Tour
 
 __all__ = ["PatchResult", "build_patch"]
@@ -77,6 +85,8 @@ def build_patch(network: SensorNetwork, quant: Quantization,
                 lifetimes: np.ndarray, *, refine: bool = False,
                 tie_break: str = "immediate",
                 cache: PlanArtifactCache | None = None,
+                incremental: bool = True,
+                kernel_backend: "str | KernelBackend | None" = None,
                 obs: Instrumentation | None = None) -> PatchResult:
     """Run the repair step against a freshly computed plan.
 
@@ -106,10 +116,25 @@ def build_patch(network: SensorNetwork, quant: Quantization,
         staged pipeline as base schedulings, so a set that recurs across
         re-plans (or coincides with a base coverage set) reuses its forest
         and tours instead of re-solving Algorithms 1–2.
+    incremental:
+        Re-tour grown schedulings by *extending* their cached base forest
+        (:func:`repro.rooted.incremental.extend_q_rooted_msf`) instead of
+        rebuilding it from scratch. A pure accelerator: the extension is
+        used only when it is certifiably identical to the from-scratch
+        forest (distinct candidate weights) and silently falls back to the
+        full pipeline otherwise, so tours are identical either way (the
+        ``patch`` differential in :mod:`repro.check` holds it to that).
+        Only applies when a ``cache`` holding the base forests is present.
+    kernel_backend:
+        Kernel backend (:mod:`repro.kernels`) for the MSF / refinement hot
+        paths; ``None`` resolves via the process default /
+        ``REPRO_KERNEL_BACKEND``.
     obs:
         Optional instrumentation context: ``patch`` span plus the
         ``patch.calls`` / ``patch.urgent`` / ``patch.immediate`` /
-        ``patch.retoured`` counters (injections into the base plan).
+        ``patch.retoured`` counters (injections into the base plan) and
+        the ``patch.msf.incremental`` / ``patch.msf.full`` split of how
+        re-toured forests were obtained.
 
     Returns
     -------
@@ -118,6 +143,7 @@ def build_patch(network: SensorNetwork, quant: Quantization,
     if tie_break not in ("defer", "immediate"):
         raise ScheduleError(f"build_patch: unknown tie_break {tie_break!r}")
     o = ensure(obs)
+    kb = resolve(kernel_backend)
     o.incr("patch.calls")
     l_hat = np.asarray(lifetimes, dtype=np.float64)
     if l_hat.shape != (network.n,):
@@ -185,11 +211,16 @@ def build_patch(network: SensorNetwork, quant: Quantization,
                 root_costs[:, col] = dist[np.ix_(
                     s_idx, np.asarray(anchor, dtype=np.intp))].min(axis=1)
             assignment = rooted_msf(dist[np.ix_(s_idx, s_idx)], root_costs,
-                                    obs=obs)
+                                    backend=kb, obs=obs)
             for local, owner in enumerate(assignment.owner):
                 sets[col_to_sched[int(owner)]].add(int(s_idx[local]))
 
         # Re-tour every scheduling whose set changed (and the immediate one).
+        # Grown schedulings (j > 0) whose base forest is cached are patched
+        # incrementally: extend the forest by edge swaps on the candidate
+        # set instead of re-running the dense Algorithm 1; fall back to the
+        # full pipeline whenever exactness cannot be certified.
+        fp = cache_fingerprint(network, kb) if cache is not None else ""
         tours: list[tuple[Tour, ...] | None] = []
         for j in range(n_sched):
             if j == 0 and not sets[0]:
@@ -198,8 +229,24 @@ def build_patch(network: SensorNetwork, quant: Quantization,
             if j > 0 and sets[j] == base_sets[j]:
                 tours.append(None)
                 continue
-            tours.append(plan_tours(network, frozenset(sets[j]), refine=refine,
-                                    cache=cache, obs=obs))
+            built: tuple[Tour, ...] | None = None
+            if incremental and j > 0 and cache is not None:
+                base_forest = cache.get_forest(fp, frozenset(base_sets[j]))
+                if base_forest is not None:
+                    extended = extend_q_rooted_msf(
+                        dist, sorted(base_sets[j]), base_forest,
+                        sorted(sets[j] - base_sets[j]), depots, obs=obs)
+                    if extended is not None:
+                        o.incr("patch.msf.incremental")
+                        built = tuple(tours_from_forest(extended))
+                        if refine:
+                            built = tuple(refine_tours(dist, built,
+                                                       backend=kb, obs=obs))
+            if built is None:
+                o.incr("patch.msf.full")
+                built = plan_tours(network, frozenset(sets[j]), refine=refine,
+                                   cache=cache, kernel_backend=kb, obs=obs)
+            tours.append(built)
         retoured = sum(1 for t in tours if t is not None)
         o.incr("patch.retoured", retoured)
         sp.set(retoured=retoured)

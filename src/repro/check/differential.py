@@ -36,6 +36,17 @@ each other on one :class:`~repro.check.scenario.Scenario`:
     the preserved legacy slotted loop
     (:mod:`repro.check.legacy_engine`) — the refactor's bit-compatibility
     proof, also run standalone by ``repro check sim``.
+``kernels``
+    The ``fast`` kernel backend (:mod:`repro.kernels`) must be
+    move-for-move identical to ``reference``: whole plans built through
+    either backend (with and without refinement) must be tour-for-tour
+    equal, and the raw kernels (Prim, 2-opt, Or-opt) must agree edge-for-
+    edge / tour-for-tour on the scenario's own metric.
+``patch``
+    :func:`~repro.adaptive.patch.build_patch` with the incremental forest
+    extension (``incremental=True`` over a warm cache) must produce
+    *exactly* the sets and tours of the from-scratch repair — the
+    incremental path is a pure accelerator, never a semantic switch.
 ``serve``
     A plan/simulate answered over the :mod:`repro.serve` wire must match
     the in-process computation byte-for-byte (plan document) and
@@ -57,6 +68,7 @@ from typing import Any, Iterable
 
 import numpy as np
 
+from repro.adaptive.patch import build_patch
 from repro.check.invariants import InvariantChecker
 from repro.check.scenario import Scenario
 from repro.core.bounds import lemma3_lower_bound
@@ -67,6 +79,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_cell
 from repro.io.network_json import network_to_dict
 from repro.io.plan_json import plan_to_dict
+from repro.kernels import get_backend
 from repro.obs.instrument import Instrumentation, ensure
 from repro.plan.cache import PlanArtifactCache
 from repro.plan.pipeline import distinct_coverage, plan_tours
@@ -76,13 +89,14 @@ from repro.rooted.qtsp import tours_total_cost
 from repro.sim.engine import SimulationResult, simulate
 from repro.sim.policies import PlannedPolicy
 from repro.sim.workload import FixedWorkload
+from repro.tsp.tour import Tour
 
 __all__ = ["CheckFailure", "ScenarioChecker", "ALL_CHECKS", "plans_equal"]
 
 #: Check names in execution order. ``serve`` and ``executor`` are the
 #: expensive ones — the fuzzer runs them on a cadence.
 ALL_CHECKS = ("oracle", "engine", "cache", "store", "exact", "bound",
-              "serve", "executor")
+              "kernels", "patch", "serve", "executor")
 
 #: Per-coverage-set sensor cap for the exact oracle: ``q^m`` assignments,
 #: kept below the library's own cap so fuzz iterations stay sub-second.
@@ -415,6 +429,84 @@ class ScenarioChecker:
                              f"{factor:g}x the Lemma-3 bound {lb.bound!r} "
                              f"(K={quant.K}) — the approximation argument "
                              f"no longer holds"))
+        return failures
+
+    def _check_kernels(self, scenario: Scenario) -> list[CheckFailure]:
+        failures: list[CheckFailure] = []
+        net = scenario.build_network()
+        ref = get_backend("reference")
+        fast = get_backend("fast")
+
+        # Whole-pipeline differential: plans built through either backend
+        # must be tour-for-tour identical, both on the bare Algorithm 1+2
+        # path and with the 2-opt/Or-opt refinement pass engaged.
+        for refine in (False, True):
+            docs = {}
+            for kb in (ref, fast):
+                docs[kb.name] = plan_to_dict(min_total_distance(
+                    net, scenario.horizon, refine=refine,
+                    base=scenario.base, kernel_backend=kb).plan)
+            if not plans_equal(docs["reference"], docs["fast"]):
+                failures.append(CheckFailure(
+                    "kernels", f"plan built with the fast backend differs "
+                               f"from the reference plan (refine={refine}) — "
+                               f"the fast kernels are not move-for-move "
+                               f"exact"))
+
+        # Raw-kernel differential on the scenario's own metric: the MST of
+        # the full graph and the improvers over one tour through everything.
+        dist = net.dist
+        depot = int(net.depot_indices[0])
+        if ref.prim_mst(dist, root=depot) != fast.prim_mst(dist, root=depot):
+            failures.append(CheckFailure(
+                "kernels", "fast prim_mst edge list differs from reference "
+                           "on the scenario's full distance matrix"))
+        tour = Tour(depot=depot, order=(depot, *range(net.n)))
+        if ref.two_opt(dist, tour) != fast.two_opt(dist, tour):
+            failures.append(CheckFailure(
+                "kernels", "fast two_opt tour differs from reference on the "
+                           "scenario's all-sensor tour"))
+        if ref.or_opt(dist, tour) != fast.or_opt(dist, tour):
+            failures.append(CheckFailure(
+                "kernels", "fast or_opt tour differs from reference on the "
+                           "scenario's all-sensor tour"))
+        return failures
+
+    def _check_patch(self, scenario: Scenario) -> list[CheckFailure]:
+        failures: list[CheckFailure] = []
+        net = scenario.build_network()
+        quant = self._plan(scenario).quantization
+
+        # Residual lifetimes engineered to exercise every repair path:
+        # scaling tau'_i by U(0.1, 2.5) makes some sensors urgent (< tau'),
+        # some immediate (< tau_1), and leaves some safe — deterministically
+        # per scenario, so shrinking reproduces.
+        rng = np.random.default_rng(scenario.stable_digest())
+        lifetimes = quant.assigned * rng.uniform(0.1, 2.5, size=net.n)
+
+        for tie_break in ("immediate", "defer"):
+            results = {}
+            for incremental in (True, False):
+                # Each side gets its own identically warmed cache: the
+                # incremental path extends the base forests this plan put
+                # there, the from-scratch side must not see the other
+                # side's insertions.
+                cache = PlanArtifactCache()
+                min_total_distance(net, scenario.horizon,
+                                   refine=scenario.refine,
+                                   base=scenario.base, cache=cache)
+                results[incremental] = build_patch(
+                    net, quant, lifetimes, refine=scenario.refine,
+                    tie_break=tie_break, cache=cache,
+                    incremental=incremental)
+            inc, full = results[True], results[False]
+            for attr in ("sets", "tours", "urgent"):
+                if getattr(inc, attr) != getattr(full, attr):
+                    failures.append(CheckFailure(
+                        "patch", f"incremental patch {attr} differ from the "
+                                 f"from-scratch repair "
+                                 f"(tie_break={tie_break!r}) — the forest "
+                                 f"extension changed the answer"))
         return failures
 
     def _check_serve(self, scenario: Scenario) -> list[CheckFailure]:

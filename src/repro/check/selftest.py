@@ -97,7 +97,8 @@ def run_selftest(obs: Instrumentation | None = None) -> list[str]:
     o = ensure(obs)
     problems: list[str] = []
     scenario = selftest_scenario()
-    base_checks = ("oracle", "engine", "cache", "store", "exact", "bound")
+    base_checks = ("oracle", "engine", "cache", "store", "exact", "bound",
+                   "kernels", "patch")
 
     with ScenarioChecker(obs=obs) as checker:
         # ---- 0. baseline: the unmutated library must pass clean

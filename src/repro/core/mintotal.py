@@ -35,6 +35,7 @@ import numpy as np
 from repro.core.quantize import Quantization, quantize_cycles
 from repro.core.schedule import ChargingScheduling, SchedulePlan
 from repro.errors import ScheduleError
+from repro.kernels import KernelBackend
 from repro.network.model import SensorNetwork
 from repro.obs.instrument import Instrumentation, ensure
 from repro.plan.cache import PlanArtifactCache
@@ -108,6 +109,7 @@ def min_total_distance(network: SensorNetwork, horizon: float,
                        base: int = 2,
                        cache: PlanArtifactCache | None = None,
                        store: "PlanArtifactStore | None" = None,
+                       kernel_backend: "str | KernelBackend | None" = None,
                        obs: Instrumentation | None = None) -> MinTotalDistanceResult:
     """Run Algorithm 3.
 
@@ -142,6 +144,9 @@ def min_total_distance(network: SensorNetwork, horizon: float,
         to it and artifacts persisted by *previous processes* are read back
         on in-memory misses, so a restarted planner replans warm. Also a
         pure accelerator: plans are tour-identical with or without it.
+    kernel_backend:
+        Kernel backend (:mod:`repro.kernels`) for the numeric hot paths;
+        ``None`` resolves via the process default / ``REPRO_KERNEL_BACKEND``.
     obs:
         Optional instrumentation context. Records the ``plan`` span, the
         class structure (``plan.K``, ``plan.class_size`` series), the
@@ -167,7 +172,8 @@ def min_total_distance(network: SensorNetwork, horizon: float,
     with o.span("plan", n=network.n, horizon=float(horizon)) as sp:
         quant = quantize_cycles(tau, base=base)
         levels = build_levels(network, quant, refine=refine, cache=cache,
-                              store=store, obs=obs)
+                              store=store, kernel_backend=kernel_backend,
+                              obs=obs)
 
         schedulings: list[ChargingScheduling] = []
         j = 1

@@ -1,0 +1,90 @@
+"""Pluggable numeric kernels for the planner's hot paths.
+
+Public surface of the kernel layer: the registry
+(:func:`get_backend` / :func:`resolve` / :func:`available_backends` /
+:func:`set_default_backend` / :func:`register_backend`) plus instrumented
+dispatch wrappers (:func:`prim_mst`, :func:`two_opt`, :func:`or_opt`)
+that call-sites use instead of importing an implementation directly.
+
+Each dispatch wrapper resolves its ``backend`` argument through the
+selection precedence (explicit > process default > ``REPRO_KERNEL_BACKEND``
+> ``reference``), bumps a ``kernel.<name>.calls`` counter and wraps the
+call in a ``kernel.<name>`` span tagged with the backend name, so
+per-kernel wall time and call volume show up in ``repro.obs`` stats
+regardless of which backend served them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.registry import (
+    DEFAULT_BACKEND,
+    ENV_VAR,
+    KernelBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    resolve,
+    set_default_backend,
+)
+from repro.obs.instrument import Instrumentation, ensure
+from repro.tsp.tour import Tour
+
+__all__ = [
+    "KernelBackend", "register_backend", "get_backend", "resolve",
+    "available_backends", "set_default_backend", "default_backend_name",
+    "DEFAULT_BACKEND", "ENV_VAR",
+    "prim_mst", "two_opt", "or_opt",
+]
+
+
+def prim_mst(dist: np.ndarray, *, root: int = 0,
+             backend: str | KernelBackend | None = None,
+             obs: Instrumentation | None = None) -> list[tuple[int, int]]:
+    """Dense-matrix MST through the selected backend.
+
+    Semantics of :func:`repro.graphs.mst.prim_mst` (edges oriented away
+    from ``root`` in discovery order, lowest-index tie-break); exact
+    backends are guaranteed to return the identical edge list.
+    """
+    kb = resolve(backend)
+    o = ensure(obs)
+    o.incr("kernel.prim.calls")
+    with o.span("kernel.prim", backend=kb.name, n=int(np.asarray(dist).shape[0])):
+        return kb.prim_mst(dist, root=root)
+
+
+def two_opt(dist: np.ndarray, tour: Tour, *, max_rounds: int = 50,
+            backend: str | KernelBackend | None = None,
+            obs: Instrumentation | None = None) -> Tour:
+    """2-opt tour improvement through the selected backend.
+
+    Semantics of :func:`repro.tsp.improve.two_opt` (best move per anchor,
+    lowest-``j`` tie-break, strict improvement); exact backends return
+    the identical tour and counter values.
+    """
+    kb = resolve(backend)
+    o = ensure(obs)
+    o.incr("kernel.two_opt.calls")
+    with o.span("kernel.two_opt", backend=kb.name, k=len(tour.order)):
+        return kb.two_opt(dist, tour, max_rounds=max_rounds, obs=obs)
+
+
+def or_opt(dist: np.ndarray, tour: Tour, *,
+           segment_lengths: tuple[int, ...] = (1, 2, 3), max_rounds: int = 20,
+           backend: str | KernelBackend | None = None,
+           obs: Instrumentation | None = None) -> Tour:
+    """Or-opt segment relocation through the selected backend.
+
+    Semantics of :func:`repro.tsp.improve.or_opt` (first-best strict
+    improvement, lowest ``j`` then un-flipped first on ties); exact
+    backends return the identical tour and counter values.
+    """
+    kb = resolve(backend)
+    o = ensure(obs)
+    o.incr("kernel.or_opt.calls")
+    with o.span("kernel.or_opt", backend=kb.name, k=len(tour.order)):
+        return kb.or_opt(dist, tour, segment_lengths=segment_lengths,
+                         max_rounds=max_rounds, obs=obs)

@@ -1,0 +1,30 @@
+"""The ``reference`` kernel backend — the historical implementations.
+
+This backend is a thin registration shim: the actual code stays where it
+always lived (:mod:`repro.graphs.mst`, :mod:`repro.tsp.improve`) and is
+wrapped unchanged, so the reference backend is byte-for-byte the
+planner's pre-registry behaviour. It is the ground truth every other
+backend is differentially checked against (``repro check`` ``kernels``).
+"""
+
+from __future__ import annotations
+
+from repro.graphs.mst import prim_mst
+from repro.kernels.registry import KernelBackend, register_backend
+from repro.tsp.improve import or_opt, two_opt
+
+__all__ = ["BACKEND", "register"]
+
+BACKEND = KernelBackend(
+    name="reference",
+    prim_mst=prim_mst,
+    two_opt=two_opt,
+    or_opt=or_opt,
+    exact=True,
+    meta={"description": "historical implementations (ground truth)"},
+)
+
+
+def register() -> None:
+    """Idempotently register the reference backend."""
+    register_backend(BACKEND, replace=True)

@@ -11,6 +11,10 @@
   DFS preorder walk.
 * :func:`~repro.rooted.refine.refine_tours` — optional 2-opt/Or-opt
   post-pass (never worsens a tour, so the 2x guarantee is preserved).
+* :func:`~repro.rooted.incremental.extend_q_rooted_msf` — exact incremental
+  extension of a forest after sensors are added (the adaptive patch phase's
+  fast re-plan path; falls back to from-scratch when it cannot certify
+  identity).
 
 Extensions beyond the paper (motivated by its cited companion works):
 
@@ -26,6 +30,7 @@ from repro.rooted.capacity import (
     split_tours_by_budget,
 )
 from repro.rooted.exact import exact_q_rooted_tsp
+from repro.rooted.incremental import extend_q_rooted_msf
 from repro.rooted.minmax import MinMaxResult, makespan, minmax_q_rooted_tours
 from repro.rooted.msf import MsfAssignment, q_rooted_msf, rooted_msf
 from repro.rooted.qtsp import q_rooted_tsp, tours_total_cost
@@ -36,6 +41,7 @@ __all__ = [
     "MsfAssignment",
     "SplitResult",
     "exact_q_rooted_tsp",
+    "extend_q_rooted_msf",
     "makespan",
     "minmax_q_rooted_tours",
     "q_rooted_msf",

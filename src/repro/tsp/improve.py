@@ -95,6 +95,13 @@ def or_opt(dist: np.ndarray, tour: Tour, *, segment_lengths: tuple[int, ...] = (
     orientations), accepting strict improvements. Complements 2-opt, which
     cannot express single-node relocations cheaply.
 
+    Tie-breaking is deterministic by construction: the best-move scan uses
+    strict ``>`` acceptance while iterating insertion points ``j`` in
+    ascending order with the un-flipped orientation first, so equal-gain
+    candidates resolve to the **lowest** ``j``, un-flipped — refined tours
+    are bit-reproducible across platforms, and exact kernel backends
+    (:mod:`repro.kernels`) must reproduce this choice move for move.
+
     ``obs`` accumulates the ``or_opt.passes`` / ``or_opt.moves`` counters.
     """
     k = len(tour.order)

@@ -1,0 +1,112 @@
+"""Property-based tests for the kernel layer (hypothesis).
+
+Two families:
+
+* **Cross-algorithm**: Prim (dense matrix) and Kruskal (sparse edge list)
+  are independent MST algorithms; on the same metric their trees must
+  weigh exactly the same (the tree itself may differ under ties, the
+  weight cannot).
+* **Cross-backend**: the ``fast`` kernel backend must be *move-for-move*
+  identical to ``reference`` — same MST edge lists in the same order,
+  same refined tours — and the incremental forest extension must either
+  reproduce the from-scratch forest exactly or refuse (return ``None``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.distance import distance_matrix
+from repro.graphs.mst import kruskal_mst, mst_weight, prim_mst
+from repro.kernels import get_backend
+from repro.rooted.incremental import extend_q_rooted_msf
+from repro.rooted.msf import q_rooted_msf
+from repro.tsp.tour import Tour
+
+
+@st.composite
+def point_metrics(draw, min_n=2, max_n=20):
+    """A Euclidean distance matrix over random points in the plane."""
+    n = draw(st.integers(min_n, max_n))
+    pts = draw(st.lists(
+        st.tuples(st.floats(0, 500, allow_nan=False, width=32),
+                  st.floats(0, 500, allow_nan=False, width=32)),
+        min_size=n, max_size=n))
+    return distance_matrix(np.asarray(pts, dtype=np.float64))
+
+
+@st.composite
+def tour_instances(draw, min_stops=0, max_stops=12):
+    n_stops = draw(st.integers(min_stops, max_stops))
+    dist = draw(point_metrics(min_n=n_stops + 1, max_n=n_stops + 1))
+    stops = draw(st.permutations(list(range(1, n_stops + 1))))
+    return dist, Tour(depot=0, order=(0, *stops))
+
+
+@st.composite
+def incremental_instances(draw):
+    """A metric plus a (base, added, depots) split of its nodes."""
+    n = draw(st.integers(3, 14))
+    q = draw(st.integers(1, 3))
+    dist = draw(point_metrics(min_n=n + q, max_n=n + q))
+    n_added = draw(st.integers(1, n - 1))
+    added = sorted(draw(st.permutations(list(range(n))))[:n_added])
+    base = sorted(set(range(n)) - set(added))
+    depots = list(range(n, n + q))
+    return dist, base, added, depots
+
+
+class TestPrimVsKruskal:
+    @given(point_metrics())
+    @settings(max_examples=80, deadline=None)
+    def test_equal_weight_spanning_trees(self, dist):
+        """Satellite oracle: two independent MST algorithms, one weight."""
+        n = dist.shape[0]
+        prim_edges = prim_mst(dist)
+        sparse = [(i, j, float(dist[i, j]))
+                  for i in range(n) for j in range(i + 1, n)]
+        kruskal_edges = kruskal_mst(n, sparse)
+        assert len(prim_edges) == len(kruskal_edges) == n - 1
+        assert np.isclose(mst_weight(dist, prim_edges),
+                          mst_weight(dist, kruskal_edges),
+                          rtol=1e-12, atol=1e-9)
+
+
+class TestFastBackendExact:
+    @given(point_metrics(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_prim_identical(self, dist, data):
+        root = data.draw(st.integers(0, dist.shape[0] - 1))
+        ref = get_backend("reference").prim_mst(dist, root=root)
+        fast = get_backend("fast").prim_mst(dist, root=root)
+        assert ref == fast
+
+    @given(tour_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_two_opt_identical(self, instance):
+        dist, tour = instance
+        assert (get_backend("reference").two_opt(dist, tour)
+                == get_backend("fast").two_opt(dist, tour))
+
+    @given(tour_instances(max_stops=10))
+    @settings(max_examples=60, deadline=None)
+    def test_or_opt_identical(self, instance):
+        dist, tour = instance
+        assert (get_backend("reference").or_opt(dist, tour)
+                == get_backend("fast").or_opt(dist, tour))
+
+
+class TestIncrementalMsfExact:
+    @given(incremental_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_extension_exact_or_refuses(self, instance):
+        dist, base, added, depots = instance
+        if not base:
+            return
+        base_forest = q_rooted_msf(dist, base, depots)
+        extended = extend_q_rooted_msf(dist, base, base_forest, added, depots)
+        if extended is not None:
+            scratch = q_rooted_msf(dist, sorted(base + added), depots)
+            assert extended == scratch

@@ -131,3 +131,61 @@ class TestValidation:
         bad[0] = -0.5
         with pytest.raises(ScheduleError):
             build_patch(tiny_network, quant, bad)
+
+
+class TestIncrementalRetouring:
+    def _warm_cache(self, tiny_network):
+        from repro.core.mintotal import min_total_distance
+        from repro.plan.cache import PlanArtifactCache
+
+        cache = PlanArtifactCache()
+        min_total_distance(tiny_network, 64.0, cache=cache)
+        return cache
+
+    def test_incremental_matches_full_rebuild(self, tiny_network, quant):
+        # Urgent-but-not-immediate sensors force grown schedulings, the
+        # exact situation the incremental forest extension accelerates.
+        lifetimes = quant.assigned.copy()
+        lifetimes[2] *= 0.6
+        lifetimes[3] *= 0.6
+        for refine in (False, True):
+            for tie_break in ("immediate", "defer"):
+                inc = build_patch(tiny_network, quant, lifetimes,
+                                  refine=refine, tie_break=tie_break,
+                                  cache=self._warm_cache(tiny_network),
+                                  incremental=True)
+                full = build_patch(tiny_network, quant, lifetimes,
+                                   refine=refine, tie_break=tie_break,
+                                   cache=self._warm_cache(tiny_network),
+                                   incremental=False)
+                assert inc.sets == full.sets
+                assert inc.tours == full.tours
+                assert inc.urgent == full.urgent
+
+    def test_incremental_path_actually_used(self, tiny_network, quant):
+        from repro.obs.instrument import Instrumentation
+
+        # "defer" attaches depot-tied sensors to the *latest* feasible
+        # scheduling, so later (j > 0) sets grow — the case the forest
+        # extension serves (C'_0 is always built from scratch).
+        lifetimes = quant.assigned.copy()
+        lifetimes[2] *= 0.6
+        lifetimes[3] *= 0.6
+        obs = Instrumentation()
+        build_patch(tiny_network, quant, lifetimes, tie_break="defer",
+                    cache=self._warm_cache(tiny_network),
+                    incremental=True, obs=obs)
+        counters = obs.snapshot().counters
+        assert counters.get("patch.msf.incremental", 0) >= 1
+
+    def test_without_cache_falls_back_to_full(self, tiny_network, quant):
+        from repro.obs.instrument import Instrumentation
+
+        lifetimes = quant.assigned.copy()
+        lifetimes[2] *= 0.6
+        obs = Instrumentation()
+        patch = build_patch(tiny_network, quant, lifetimes, cache=None,
+                            incremental=True, obs=obs)
+        counters = obs.snapshot().counters
+        assert counters.get("patch.msf.incremental", 0) == 0
+        assert counters.get("patch.msf.full", 0) == patch.n_patched_schedulings

@@ -1,0 +1,221 @@
+"""Unit tests for :mod:`repro.kernels`: the registry, the dispatch
+wrappers, fast-vs-reference exactness, and the incremental MSF extension.
+
+The exactness tests here are seeded spot checks; the property-based
+sweeps live in ``tests/property/test_prop_kernels.py`` and the
+whole-pipeline differential in :mod:`repro.check` (``kernels`` /
+``patch`` checks).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, GraphError
+from repro.geometry.distance import distance_matrix
+from repro.kernels import (
+    DEFAULT_BACKEND,
+    ENV_VAR,
+    KernelBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    or_opt,
+    prim_mst,
+    register_backend,
+    resolve,
+    set_default_backend,
+    two_opt,
+)
+from repro.obs.instrument import Instrumentation
+from repro.rooted.incremental import extend_q_rooted_msf
+from repro.rooted.msf import q_rooted_msf
+from repro.tsp.tour import Tour
+
+
+@pytest.fixture(autouse=True)
+def _clean_default():
+    """Never leak a process default (or the env var) across tests."""
+    set_default_backend(None)
+    yield
+    set_default_backend(None)
+
+
+def _random_instance(rng, n):
+    return distance_matrix(rng.uniform(0, 100, size=(n, 2)))
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_backends()
+        assert "reference" in names and "fast" in names
+
+    def test_builtin_backends_are_exact(self):
+        assert get_backend("reference").exact
+        assert get_backend("fast").exact
+
+    def test_unknown_backend_raises_config_error(self):
+        with pytest.raises(ConfigError) as exc:
+            get_backend("warp-drive")
+        assert "warp-drive" in str(exc.value)
+        assert "reference" in str(exc.value)  # names the alternatives
+
+    def test_resolve_passes_backend_instances_through(self):
+        kb = get_backend("fast")
+        assert resolve(kb) is kb
+
+    def test_resolve_default_is_reference(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert default_backend_name() == DEFAULT_BACKEND
+        assert resolve(None).name == "reference"
+
+    def test_resolve_env_var(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "fast")
+        assert resolve(None).name == "fast"
+
+    def test_process_default_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "fast")
+        set_default_backend("reference")
+        assert resolve(None).name == "reference"
+        # Explicit argument beats both.
+        assert resolve("fast").name == "fast"
+
+    def test_set_default_validates_eagerly(self):
+        before = default_backend_name()  # env-dependent, e.g. in fast-backend CI
+        with pytest.raises(ConfigError):
+            set_default_backend("nope")
+        assert default_backend_name() == before  # unchanged
+
+    def test_register_refuses_silent_shadowing(self):
+        ref = get_backend("reference")
+        clone = KernelBackend(name="reference", prim_mst=ref.prim_mst,
+                              two_opt=ref.two_opt, or_opt=ref.or_opt)
+        with pytest.raises(ConfigError):
+            register_backend(clone)
+        register_backend(clone, replace=True)  # explicit replace is allowed
+        register_backend(ref, replace=True)    # restore the builtin
+
+
+class TestDispatchWrappers:
+    def test_prim_dispatch_matches_direct_and_counts(self, rng):
+        from repro.graphs.mst import prim_mst as direct
+
+        d = _random_instance(rng, 20)
+        obs = Instrumentation()
+        assert prim_mst(d, root=3, backend="fast", obs=obs) == direct(d, root=3)
+        counters = obs.snapshot().counters
+        assert counters["kernel.prim.calls"] == 1
+
+    def test_improver_dispatch_matches_direct_and_counts(self, rng):
+        from repro.tsp.improve import or_opt as direct_or
+        from repro.tsp.improve import two_opt as direct_two
+
+        d = _random_instance(rng, 12)
+        tour = Tour(depot=0, order=(0, *range(1, 12)))
+        obs = Instrumentation()
+        assert two_opt(d, tour, backend="fast", obs=obs) == direct_two(d, tour)
+        assert or_opt(d, tour, backend="fast", obs=obs) == direct_or(d, tour)
+        counters = obs.snapshot().counters
+        assert counters["kernel.two_opt.calls"] == 1
+        assert counters["kernel.or_opt.calls"] == 1
+
+
+class TestFastMatchesReference:
+    """Seeded spot checks that ``fast`` is move-for-move exact."""
+
+    def test_prim_identical_edge_lists(self, rng):
+        ref, fast = get_backend("reference"), get_backend("fast")
+        for n in (2, 3, 10, 40):
+            d = _random_instance(rng, n)
+            root = int(rng.integers(n))
+            assert ref.prim_mst(d, root=root) == fast.prim_mst(d, root=root)
+
+    def test_two_opt_identical_tours(self, rng):
+        ref, fast = get_backend("reference"), get_backend("fast")
+        for n in (4, 9, 25):
+            d = _random_instance(rng, n)
+            stops = list(rng.permutation(np.arange(1, n)))
+            tour = Tour(depot=0, order=(0, *(int(s) for s in stops)))
+            assert ref.two_opt(d, tour) == fast.two_opt(d, tour)
+
+    def test_or_opt_identical_tours(self, rng):
+        ref, fast = get_backend("reference"), get_backend("fast")
+        for n in (3, 8, 20):
+            d = _random_instance(rng, n)
+            stops = list(rng.permutation(np.arange(1, n)))
+            tour = Tour(depot=0, order=(0, *(int(s) for s in stops)))
+            assert ref.or_opt(d, tour) == fast.or_opt(d, tour)
+
+
+class TestExtendQRootedMsf:
+    """The incremental forest extension is exact-or-refuses."""
+
+    def _setup(self, rng, n, q):
+        pts = rng.uniform(0, 100, size=(n + q, 2))
+        dist = distance_matrix(pts)
+        depots = list(range(n, n + q))
+        return dist, depots
+
+    def test_matches_from_scratch_forest(self, rng):
+        for trial in range(25):
+            n = int(rng.integers(6, 30))
+            q = int(rng.integers(1, 4))
+            dist, depots = self._setup(rng, n, q)
+            sensors = list(range(n))
+            n_added = int(rng.integers(1, max(2, n // 3)))
+            added = sorted(rng.choice(n, size=n_added, replace=False).tolist())
+            base = sorted(set(sensors) - set(added))
+            if not base:
+                continue
+            base_forest = q_rooted_msf(dist, base, depots)
+            extended = extend_q_rooted_msf(dist, base, base_forest,
+                                           added, depots)
+            # Float-uniform coordinates: ties are measure zero, so the
+            # extension must essentially always certify.
+            assert extended is not None
+            assert extended == q_rooted_msf(dist, sensors, depots)
+
+    def test_added_empty_returns_base_forest(self, rng):
+        dist, depots = self._setup(rng, 8, 2)
+        base = list(range(8))
+        forest = q_rooted_msf(dist, base, depots)
+        assert extend_q_rooted_msf(dist, base, forest, [], depots) is forest
+
+    def test_tie_gate_refuses_degenerate_metrics(self):
+        # Integer grid: massively tied weights. The extension must refuse
+        # (return None) rather than risk a forest that differs from the
+        # from-scratch tie-breaks.
+        xs, ys = np.meshgrid(np.arange(4.0), np.arange(4.0))
+        pts = np.column_stack([xs.ravel(), ys.ravel()])
+        dist = distance_matrix(pts)
+        depots = [15]
+        base = list(range(10))
+        forest = q_rooted_msf(dist, base, depots)
+        assert extend_q_rooted_msf(dist, base, forest, [10, 11], depots) is None
+
+    def test_counts_calls(self, rng):
+        dist, depots = self._setup(rng, 8, 2)
+        base = list(range(6))
+        forest = q_rooted_msf(dist, base, depots)
+        obs = Instrumentation()
+        extend_q_rooted_msf(dist, base, forest, [6, 7], depots, obs=obs)
+        assert obs.snapshot().counters["msf.incremental.calls"] == 1
+
+    def test_rejects_depot_mismatch(self, rng):
+        dist, depots = self._setup(rng, 6, 2)
+        base = list(range(5))
+        forest = q_rooted_msf(dist, base, depots)
+        with pytest.raises(GraphError):
+            extend_q_rooted_msf(dist, base, forest, [5], list(reversed(depots)))
+
+    def test_rejects_overlapping_added(self, rng):
+        dist, depots = self._setup(rng, 6, 2)
+        base = list(range(5))
+        forest = q_rooted_msf(dist, base, depots)
+        with pytest.raises(GraphError):
+            extend_q_rooted_msf(dist, base, forest, [4, 5], depots)
+
+    def test_rejects_forest_not_spanning_base(self, rng):
+        dist, depots = self._setup(rng, 6, 2)
+        forest = q_rooted_msf(dist, list(range(4)), depots)
+        with pytest.raises(GraphError):
+            extend_q_rooted_msf(dist, list(range(5)), forest, [5], depots)

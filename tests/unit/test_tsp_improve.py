@@ -100,6 +100,39 @@ class TestOrOpt:
         t = Tour(depot=0, order=(0, 1))
         assert or_opt(cloud, t) == t
 
+    def test_deterministic_tie_break_lowest_j_unflipped(self):
+        # Hand-built symmetric metric with an *exact* tie: relocating node
+        # 1 after node 2 (j=2) and after node 3 (j=3) both gain 12. The
+        # documented tie-break (ascending j scan with strict > acceptance,
+        # un-flipped orientation first) must pick the LOWEST j, so node 1
+        # lands right after node 2 — a regressed scan order would yield
+        # (0, 2, 3, 1, 4) instead. Pinning this keeps refined tours
+        # bit-reproducible and is the contract exact kernel backends
+        # (repro.kernels) must reproduce.
+        d = np.zeros((5, 5))
+
+        def sym(i, j, w):
+            d[i, j] = d[j, i] = w
+
+        sym(0, 1, 10); sym(1, 2, 10); sym(0, 2, 1); sym(1, 3, 2)
+        sym(2, 3, 5); sym(1, 4, 10); sym(3, 4, 5); sym(0, 4, 5)
+        sym(0, 3, 6); sym(2, 4, 6)
+        tour = Tour(depot=0, order=(0, 1, 2, 3, 4))
+
+        # The planted tie really is a tie.
+        save = d[0, 1] + d[1, 2] - d[0, 2]
+        gain_after_2 = save - (d[2, 1] + d[1, 3] - d[2, 3])
+        gain_after_3 = save - (d[3, 1] + d[1, 4] - d[3, 4])
+        assert gain_after_2 == gain_after_3 == 12.0
+
+        improved = or_opt(d, tour, segment_lengths=(1,))
+        assert improved.order == (0, 2, 1, 3, 4)
+        # The full default pass converges to the same tour, and the fast
+        # kernel backend reproduces the choice move for move.
+        assert or_opt(d, tour).order == (0, 2, 1, 3, 4)
+        from repro.kernels import get_backend
+        assert get_backend("fast").or_opt(d, tour).order == (0, 2, 1, 3, 4)
+
 
 class TestPipelines:
     def test_two_opt_then_or_opt_composes(self, cloud):
