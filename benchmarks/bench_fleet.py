@@ -1,0 +1,163 @@
+"""Fleet benchmarks: serving capacity scaling and the shared tier-3 store.
+
+Boots real fleets — ``repro serve`` *subprocesses* behind the
+consistent-hash router (``shard_mode="process"``: each shard is its own
+interpreter with its own GIL) — and drives them with the load generator:
+
+* ``shards_N`` — the same delay-padded planning workload against fleets
+  of 1/2/4 shards. Each request carries a fixed synthetic service time
+  (``delay``) on top of a real (small) planning problem, so throughput
+  measures the fleet's *serving capacity* — shards x workers concurrent
+  slots behind one address — deterministically, independent of how many
+  cores the benchmark host happens to have (on a multi-core host the same
+  process shards also deliver CPU scale-out; on the single-core CI box a
+  CPU-bound workload could never show it). The acceptance gate is
+  near-linear capacity scaling: >= 1.6x throughput at 2 shards over the
+  single-shard fleet.
+* ``cross_shard_store`` — the tier-3 contract: a plan computed (and
+  write-through published) by its owning shard is served from the shared
+  :class:`~repro.plan.store.PlanArtifactStore` by the fail-over shard
+  after the owner is killed — payload-identical, with the survivor's
+  ``plan.cache.disk.hits`` proving it read the other shard's artifacts
+  instead of replanning from scratch.
+
+Workloads are balanced *per ring*: geometries are picked so every shard
+of the fleet under test owns the same number of requests (consistent-hash
+spread over a handful of keys is lumpy by nature — the hashring unit
+tests characterise that; here it would only add noise to the scaling
+number). All measurements land in ``BENCH_fleet.json``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.fleet import Fleet, FleetConfig
+from repro.fleet.router import routing_key
+from repro.io.network_json import network_to_dict
+from repro.network.builder import build_paper_network
+from repro.serve import LoadGenerator, ServeClient
+
+_FLEET_JSON = Path("BENCH_fleet.json")
+_fleet_measurements: dict = {}
+
+_LEVELS = (1, 2, 4)
+_WORKERS = 2                    # worker threads per shard
+_DELAY_S = 0.2                  # synthetic service time per request
+_TOTAL_REQUESTS = 24            # divisible by every level's shard count
+
+
+@pytest.fixture(scope="module")
+def fleet_json():
+    yield _fleet_measurements
+    if _fleet_measurements:
+        _FLEET_JSON.write_text(
+            json.dumps(_fleet_measurements, indent=2, sort_keys=True) + "\n")
+        print(f"\nfleet measurements -> {_FLEET_JSON.resolve()}")
+
+
+@pytest.fixture(scope="module")
+def candidate_pool():
+    """More geometries than any level needs, keyed for ring placement."""
+    pool = []
+    for seed in range(100, 180):
+        net = network_to_dict(build_paper_network(n=20, q=2, seed=seed))
+        pool.append((routing_key({"network": net}), net))
+    return pool
+
+
+def _config(shards, **overrides):
+    defaults = dict(shards=shards, shard_mode="process", workers=_WORKERS,
+                    executor="thread", queue_limit=256,
+                    default_deadline=300.0, retries=2, supervisor_poll=1.0,
+                    seed=0)
+    defaults.update(overrides)
+    return FleetConfig(**defaults)
+
+
+def _balanced_requests(fleet, candidate_pool, per_shard):
+    """``per_shard`` requests owned by each shard of ``fleet``'s ring."""
+    quota = {shard_id: per_shard for shard_id in fleet.config.shard_ids()}
+    requests = []
+    for key, net in candidate_pool:
+        owner = fleet.router._ring.primary(key)
+        if quota.get(owner, 0) > 0:
+            quota[owner] -= 1
+            requests.append(("plan", {"network": net, "horizon": 300.0,
+                                      "delay": _DELAY_S}))
+    assert not any(quota.values()), f"candidate pool too small: {quota}"
+    return requests
+
+
+def _report_line(tag, rep):
+    lat = rep.latency_summary()
+    print(f"{tag}: {rep.throughput:6.1f} req/s  "
+          f"p50 {lat['p50']:7.1f}ms  p95 {lat['p95']:7.1f}ms  "
+          f"(ok {rep.n_ok}/{rep.n_requests}, retries {rep.n_retries})")
+
+
+@pytest.mark.parametrize("shards", _LEVELS)
+def test_fleet_capacity_scaling(fleet_json, candidate_pool, shards):
+    """One delay-padded workload against a fleet of ``shards`` shards."""
+    with Fleet(_config(shards)) as fleet:
+        host, port = fleet.router.address
+        requests = _balanced_requests(
+            fleet, candidate_pool, _TOTAL_REQUESTS // shards)
+        concurrency = min(2 * shards * _WORKERS, _TOTAL_REQUESTS)
+        rep = LoadGenerator(host, port, concurrency=concurrency,
+                            timeout=300.0).run(requests)
+    assert rep.n_ok == rep.n_requests, f"fleet failed under load: {rep.to_dict()}"
+    _report_line(f"shards {shards}", rep)
+    fleet_json[f"shards_{shards}"] = rep.to_dict()
+
+
+def test_fleet_scaling_is_near_linear(fleet_json):
+    """The PR's acceptance gate: >= 1.6x at 2 shards over single-node."""
+    assert "shards_1" in fleet_json and "shards_2" in fleet_json, \
+        "run the capacity tests first (whole-module run)"
+    t1 = _TOTAL_REQUESTS / fleet_json["shards_1"]["duration_s"]
+    t2 = _TOTAL_REQUESTS / fleet_json["shards_2"]["duration_s"]
+    speedup = t2 / t1
+    fleet_json["scaling"] = {"speedup_2_over_1": speedup}
+    if "shards_4" in fleet_json:
+        t4 = _TOTAL_REQUESTS / fleet_json["shards_4"]["duration_s"]
+        fleet_json["scaling"]["speedup_4_over_1"] = t4 / t1
+    print(f"capacity speedup: 2 shards = {speedup:.2f}x over 1 "
+          f"(gate: >= 1.6x)")
+    assert speedup >= 1.6
+
+
+def test_fleet_cross_shard_store_hit(fleet_json, candidate_pool, tmp_path):
+    """Kill a plan's owner: the fail-over shard serves it from the shared
+    store (payload-identical, artifacts read not recomputed)."""
+    root = tmp_path / "store"
+    # Slow supervisor: the victim must stay dead for the whole probe.
+    with Fleet(_config(2, cache_dir=str(root), supervisor_poll=60.0)) as fleet:
+        host, port = fleet.router.address
+        key, net = candidate_pool[0]
+        victim = fleet.router._ring.primary(key)
+        with ServeClient(host, port, timeout=300.0) as client:
+            t0 = time.perf_counter()
+            first = client.plan(net, 300.0)
+            cold_s = time.perf_counter() - t0
+            fleet.kill_shard(victim)
+            t0 = time.perf_counter()
+            again = client.plan(net, 300.0)
+            warm_s = time.perf_counter() - t0
+            # Post-kill stats only reach the survivor, which never planned
+            # this geometry: its disk hits are the cross-shard reads.
+            counters = client.stats()["counters"]
+        assert again["plan"] == first["plan"]
+        assert again["service_cost"] == first["service_cost"]
+        disk_hits = int(counters.get("plan.cache.disk.hits", 0))
+        assert disk_hits >= 1, "fail-over shard recomputed instead of reading " \
+                               "the shared store"
+        assert fleet.obs.counters.get("fleet.failover.served", 0) >= 1
+    print(f"cross-shard store: cold {cold_s * 1e3:.1f}ms, "
+          f"fail-over warm {warm_s * 1e3:.1f}ms, disk hits {disk_hits}")
+    fleet_json["cross_shard_store"] = {
+        "cold_s": cold_s, "failover_warm_s": warm_s,
+        "survivor_disk_hits": disk_hits, "payload_identical": True,
+    }

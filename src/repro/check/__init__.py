@@ -29,6 +29,7 @@ Everything reports through ``check.*`` counters on an optional
 """
 
 from repro.check.differential import CheckFailure, ScenarioChecker, plans_equal
+from repro.check.fleetcheck import canonical_response, run_fleet_check
 from repro.check.fuzz import FuzzReport, fuzz, replay, shrink
 from repro.check.invariants import InvariantChecker, InvariantViolation
 from repro.check.scenario import Scenario, random_scenario
@@ -52,6 +53,8 @@ __all__ = [
     "replay",
     "shrink",
     "run_selftest",
+    "run_fleet_check",
+    "canonical_response",
     "run_sim_check",
     "check_engine_equivalence",
     "check_determinism",

@@ -216,6 +216,41 @@ def build_parser() -> argparse.ArgumentParser:
                          help="persist worker plan artifacts to this on-disk "
                               "store; pools warm-start from it at boot and "
                               "flush to it on drain")
+    serve_p.add_argument("--port-file", default=None, metavar="PATH",
+                         help="write 'host:port' here once bound (how a fleet "
+                              "supervisor learns a --port 0 shard's address)")
+
+    fleet_p = sub.add_parser(
+        "fleet", help="sharded planning fleet: consistent-hash router in "
+                      "front of N supervised serve shards")
+    fleet_p.add_argument("--host", default="127.0.0.1")
+    fleet_p.add_argument("--port", type=int, default=7350,
+                         help="router TCP port (0 picks an ephemeral one; "
+                              "default 7350)")
+    fleet_p.add_argument("--shards", type=int, default=2, metavar="N",
+                         help="backend serve shards (default 2)")
+    fleet_p.add_argument("--shard-mode", choices=["process", "thread"],
+                         default="process",
+                         help="'process' runs each shard as its own repro "
+                              "serve subprocess (true CPU scale-out, the "
+                              "default); 'thread' embeds them in-process "
+                              "(cheap, tests/smoke)")
+    fleet_p.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="planner workers per shard")
+    fleet_p.add_argument("--executor", choices=["process", "thread"],
+                         default="thread",
+                         help="worker pool kind inside each shard")
+    fleet_p.add_argument("--queue-limit", type=int, default=64, metavar="N",
+                         help="per-shard admission queue limit")
+    fleet_p.add_argument("--deadline", type=float, default=60.0, metavar="SEC",
+                         help="default per-request deadline (0 disables)")
+    fleet_p.add_argument("--retries", type=int, default=2, metavar="N",
+                         help="fail-over shards tried after the primary "
+                              "before the client sees shard_unavailable")
+    fleet_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="shared tier-3 artifact store root — one "
+                              "directory for every shard, so a plan computed "
+                              "anywhere is warm everywhere")
 
     cache_p = sub.add_parser(
         "cache", help="inspect and maintain an on-disk plan-artifact store")
@@ -273,6 +308,15 @@ def build_parser() -> argparse.ArgumentParser:
                     "loop and the failure-storm scenario deterministic")
     sim_p.add_argument("--seed", type=int, default=0,
                        help="scenario seed (default 0)")
+
+    fleetcheck_p = check_sub.add_parser(
+        "fleet", help="fleet differential: responses through the router are "
+                      "payload-identical to single-node serve, including "
+                      "across an injected mid-run shard kill")
+    fleetcheck_p.add_argument("--seed", type=int, default=0,
+                              help="scenario seed (default 0)")
+    fleetcheck_p.add_argument("--shards", type=int, default=2, metavar="N",
+                              help="fleet size for the comparison (default 2)")
     return parser
 
 
@@ -480,6 +524,19 @@ def _cmd_check(args: argparse.Namespace, obs: Instrumentation | None) -> int:
         print(f"sim check (seed {args.seed}): engine equivalence and "
               f"failure-storm determinism hold")
         return 0
+    if args.check_command == "fleet":
+        from repro.check.fleetcheck import run_fleet_check
+
+        _require_positive(args.shards, "--shards")
+        problems = run_fleet_check(seed=args.seed, shards=args.shards, obs=obs)
+        if problems:
+            print(f"fleet check (seed {args.seed}): FAILED:")
+            for p in problems:
+                print(f"  - {p}")
+            return 1
+        print(f"fleet check (seed {args.seed}): fleet responses identical to "
+              f"single-node across {args.shards} shards, fail-over invisible")
+        return 0
     # selftest
     problems = run_selftest(obs=obs)
     if problems:
@@ -502,7 +559,25 @@ def _cmd_serve(args: argparse.Namespace, obs: Instrumentation | None) -> int:
         default_deadline=(args.deadline if args.deadline > 0 else None),
         drain_timeout=args.drain_timeout, cache_dir=args.cache_dir,
         kernel_backend=args.kernel_backend)
-    return serve(config, obs=obs)
+    return serve(config, obs=obs, port_file=args.port_file)
+
+
+def _cmd_fleet(args: argparse.Namespace, obs: Instrumentation | None) -> int:
+    _require_positive(args.shards, "--shards")
+    _require_positive(args.workers, "--workers")
+    _require_positive(args.queue_limit, "--queue-limit")
+    if args.retries < 0:
+        raise ConfigError(f"--retries must be >= 0, got {args.retries}")
+    from repro.fleet import FleetConfig, serve_fleet
+
+    config = FleetConfig(
+        host=args.host, port=args.port, shards=args.shards,
+        shard_mode=args.shard_mode, workers=args.workers,
+        executor=args.executor, queue_limit=args.queue_limit,
+        default_deadline=(args.deadline if args.deadline > 0 else None),
+        retries=args.retries, cache_dir=args.cache_dir,
+        kernel_backend=args.kernel_backend)
+    return serve_fleet(config, obs=obs)
 
 
 def _cmd_cache(args: argparse.Namespace, obs: Instrumentation | None) -> int:
@@ -510,9 +585,15 @@ def _cmd_cache(args: argparse.Namespace, obs: Instrumentation | None) -> int:
 
     store = PlanArtifactStore(args.cache_dir)
     if args.cache_command == "stats":
-        stats = store.stats()
-        width = max(len(k) for k in stats)
-        for key, value in stats.items():
+        flat: dict[str, object] = {}
+        for key, value in store.stats().items():
+            if isinstance(value, dict):  # session tallies, incl. lock waits
+                for sub, v in value.items():
+                    flat[f"{key}.{sub}"] = round(v, 6) if isinstance(v, float) else v
+            else:
+                flat[key] = value
+        width = max(len(k) for k in flat)
+        for key, value in flat.items():
             print(f"{key.ljust(width)}  {value}")
         return 0
     if args.cache_command == "verify":
@@ -558,6 +639,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_simulate(args, obs)
         if args.command == "serve":
             return _cmd_serve(args, obs)
+        if args.command == "fleet":
+            return _cmd_fleet(args, obs)
         if args.command == "check":
             return _cmd_check(args, obs)
         if args.command == "cache":

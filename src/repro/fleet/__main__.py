@@ -1,0 +1,144 @@
+"""``python -m repro.fleet`` — fleet smoke harness (used by CI).
+
+Boots an in-process fleet (router + 2 thread shards sharing one artifact
+store), drives a mixed plan/health workload through the router, crashes
+one shard mid-run, and asserts that (a) every request still succeeded —
+fail-over is invisible to clients — and (b) at least one fail-over was
+actually recorded (the kill was not a no-op), and (c) the supervisor
+brought the dead shard back.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from typing import Any
+
+from repro.fleet.router import FleetConfig, routing_key
+from repro.fleet.service import Fleet
+from repro.serve.client import LoadGenerator, LoadReport
+
+__all__ = ["run_fleet_smoke", "main"]
+
+
+def _mixed_requests(n_requests: int, n_nets: int = 8,
+                    delay: float = 0.05) -> list[tuple[str, dict[str, Any]]]:
+    """Mostly-plan workload over ``n_nets`` distinct small topologies.
+
+    Distinct geometries keep every shard busy with real (well, delayed)
+    work for the whole run, so a mid-run kill reliably catches requests in
+    flight; every 5th request is a health probe through the fan-out path.
+    """
+    from repro.io.network_json import network_to_dict
+    from repro.network.builder import build_paper_network
+
+    nets = [network_to_dict(build_paper_network(n=24, q=3, seed=s))
+            for s in range(1, n_nets + 1)]
+    requests: list[tuple[str, dict[str, Any]]] = []
+    for i in range(n_requests):
+        if i % 5 == 4:
+            requests.append(("health", {}))
+        else:
+            requests.append(("plan", {"network": nets[i % n_nets],
+                                      "horizon": 200.0, "delay": delay}))
+    return requests
+
+
+def _merge(a: LoadReport, b: LoadReport) -> LoadReport:
+    merged = LoadReport(concurrency=a.concurrency)
+    for r in (a, b):
+        merged.n_requests += r.n_requests
+        merged.n_ok += r.n_ok
+        merged.n_rejected += r.n_rejected
+        merged.n_deadline += r.n_deadline
+        merged.n_failed += r.n_failed
+        merged.n_retries += r.n_retries
+        merged.duration += r.duration
+        merged.latencies_ms.extend(r.latencies_ms)
+    return merged
+
+
+def run_fleet_smoke(*, n_requests: int = 50, concurrency: int = 8,
+                    shards: int = 2) -> int:
+    """The CI fleet smoke; returns a process exit code.
+
+    The victim shard is chosen as the ring owner of the first workload
+    geometry, and the supervisor poll is slowed so the kill is guaranteed
+    a window in which the router must *discover* the death through a
+    failed request (the fail-over path) rather than being told first.
+    """
+    requests = _mixed_requests(n_requests)
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-smoke-") as cache_dir:
+        config = FleetConfig(
+            shards=shards, shard_mode="thread", workers=2, executor="thread",
+            queue_limit=max(64, n_requests), default_deadline=120.0,
+            cache_dir=cache_dir, supervisor_poll=0.75, seed=0)
+        with Fleet(config) as fleet:
+            host, port = fleet.router.address
+            first_plan = next(p for t, p in requests if t == "plan")
+            victim = fleet.router._ring.primary(routing_key(first_plan))
+            assert victim is not None
+            gen = LoadGenerator(host, port, concurrency=concurrency)
+            half = len(requests) // 2
+            report_a = gen.run(requests[:half])
+            fleet.kill_shard(victim)
+            report_b = gen.run(requests[half:])
+            # Give the supervisor time to resurrect the victim.
+            deadline = time.monotonic() + 15.0
+            while (len(fleet.router.live_shards) < shards
+                   and time.monotonic() < deadline):
+                time.sleep(0.1)
+            counters = dict(fleet.router.obs.counters)
+            live = len(fleet.router.live_shards)
+        report = _merge(report_a, report_b)
+    summary = dict(report.to_dict(),
+                   killed_shard=victim,
+                   failovers=int(counters.get("fleet.failover", 0)),
+                   failover_served=int(counters.get("fleet.failover.served", 0)),
+                   routed=int(counters.get("fleet.routed", 0)),
+                   retried=int(counters.get("fleet.retried", 0)),
+                   shard_restarts=int(counters.get("fleet.shard.restarts", 0)),
+                   live_shards=live)
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    failures: list[str] = []
+    if report.n_ok != report.n_requests:
+        failures.append(
+            f"expected {report.n_requests} ok responses, got {report.n_ok} "
+            f"(rejected={report.n_rejected}, deadline={report.n_deadline}, "
+            f"failed={report.n_failed}) — fail-over leaked to a client")
+    if counters.get("fleet.failover", 0) < 1:
+        failures.append("expected at least one recorded fail-over "
+                        "(the injected kill was a no-op)")
+    if live < shards:
+        failures.append(f"supervisor did not restore the fleet: "
+                        f"{live}/{shards} shards live")
+    for f in failures:
+        print(f"FLEET SMOKE FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print(f"fleet smoke ok: {report.n_ok}/{report.n_requests} responses "
+              f"across {shards} shards, {summary['failovers']} fail-over(s), "
+              f"{summary['shard_restarts']} restart(s), shard {victim} "
+              f"killed and recovered", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-fleet-smoke",
+        description="Fleet smoke harness: router + shards, mid-run kill")
+    parser.add_argument("--requests", type=int, default=50, metavar="N")
+    parser.add_argument("--concurrency", type=int, default=8, metavar="N")
+    parser.add_argument("--shards", type=int, default=2, metavar="N")
+    parser.add_argument("--smoke", action="store_true",
+                        help="accepted for symmetry with repro.serve "
+                             "(this entry point is always the smoke)")
+    args = parser.parse_args(argv)
+    return run_fleet_smoke(n_requests=args.requests,
+                           concurrency=args.concurrency, shards=args.shards)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -49,6 +49,7 @@ import hashlib
 import json
 import os
 import threading
+import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterator
 
@@ -146,7 +147,9 @@ class PlanArtifactStore:
         self._lockfile = self.root / ".lock"
         self._tally_lock = threading.Lock()
         self._tallies = {"hits": 0, "misses": 0, "writes": 0, "corrupt": 0,
-                         "bytes_written": 0}
+                         "bytes_written": 0, "lock_acquires": 0,
+                         "lock_contended": 0, "lock_wait_s": 0.0,
+                         "lock_wait_max_s": 0.0}
         marker = self.root / _MARKER_NAME
         if self.root.exists():
             if not self.root.is_dir():
@@ -171,12 +174,35 @@ class PlanArtifactStore:
     @contextlib.contextmanager
     def _locked(self) -> Iterator[None]:
         """Exclusive advisory lock over the store directory (no-op where
-        ``fcntl`` is unavailable)."""
+        ``fcntl`` is unavailable).
+
+        Tries the lock non-blocking first: an immediate grab is the
+        uncontended fast path; failure means another process (a fleet
+        shard, a parallel runner) holds it, so the blocking wait is timed
+        and tallied — ``lock_contended`` / ``lock_wait_s`` in
+        :meth:`stats` are how cross-shard store contention is diagnosed
+        (``repro cache stats``).
+        """
         if fcntl is None:  # pragma: no cover - non-POSIX fallback
             yield
             return
         with self._lockfile.open("a") as fh:
-            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            contended = False
+            waited = 0.0
+            try:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                contended = True
+                t0 = time.perf_counter()
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+                waited = time.perf_counter() - t0
+            with self._tally_lock:
+                self._tallies["lock_acquires"] += 1
+                if contended:
+                    self._tallies["lock_contended"] += 1
+                    self._tallies["lock_wait_s"] += waited
+                    self._tallies["lock_wait_max_s"] = max(
+                        self._tallies["lock_wait_max_s"], waited)
             try:
                 yield
             finally:

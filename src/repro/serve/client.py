@@ -23,11 +23,13 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import multiprocessing
 import socket
 import sys
 import threading
 import time
 from dataclasses import dataclass, field
+from random import Random
 from typing import Any
 
 from repro.errors import ServeError
@@ -57,12 +59,45 @@ class ServeClient:
 
     Usable as a context manager. Not thread-safe — give each thread its own
     client (connections are cheap; the server multiplexes).
+
+    ``retries`` > 0 makes :meth:`request` retry transient failures — a
+    structured ``overloaded`` rejection (backpressure: the queue was full
+    *right then*) or a reset/closed connection (a server or fleet shard
+    restarting under us) — with jittered exponential backoff
+    (``retry_backoff`` base, ``retry_cap`` ceiling, both seconds),
+    reconnecting first when the transport died. Every other error code
+    (``bad_request``, ``deadline_exceeded``, ...) still raises
+    immediately: those are answers, not weather. Performed retries
+    accumulate on :attr:`n_retries` (read by the load generator's report).
     """
 
-    def __init__(self, host: str, port: int, *, timeout: float = 60.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+    def __init__(self, host: str, port: int, *, timeout: float = 60.0,
+                 retries: int = 0, retry_backoff: float = 0.05,
+                 retry_cap: float = 2.0, seed: int | None = None) -> None:
+        if retries < 0:
+            raise ValueError(f"ServeClient: retries must be >= 0, got {retries}")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.n_retries = 0
+        self._retries = retries
+        self._retry_backoff = retry_backoff
+        self._retry_cap = retry_cap
+        self._rng = Random(seed)
         self._next_id = 0
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection((self.host, self.port),
+                                              timeout=self.timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def _reconnect(self) -> None:
+        try:
+            self.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        self._connect()
 
     # ------------------------------------------------------------------ core
     def request(self, rtype: str, *, deadline: float | None = None,
@@ -73,18 +108,49 @@ class ServeClient:
         ------
         ServeError
             With the server's error ``code`` on a failure response, or
-            ``code="internal"`` on a broken/closed connection.
+            ``code="internal"`` on a broken/closed connection — after the
+            retry budget, if one was configured, is exhausted.
         """
-        self._next_id += 1
-        message: dict[str, Any] = {"type": rtype, "id": self._next_id, **params}
-        if deadline is not None:
-            message["deadline"] = deadline
-        self._file.write(encode(message))
-        self._file.flush()
-        line = self._file.readline()
-        if not line:
-            raise ServeError("connection closed by server", code="internal")
-        return _raise_for_error(decode_response(line))
+        last_exc: ServeError | None = None
+        for attempt in range(self._retries + 1):
+            if attempt:
+                self.n_retries += 1
+                base = min(self._retry_backoff * (2 ** (attempt - 1)),
+                           self._retry_cap)
+                time.sleep(base * (0.5 + self._rng.random()))
+            # A fresh id per attempt: retrying a rejected id on the same
+            # connection would trip the server's duplicate-id guard.
+            self._next_id += 1
+            message: dict[str, Any] = {"type": rtype, "id": self._next_id,
+                                       **params}
+            if deadline is not None:
+                message["deadline"] = deadline
+            try:
+                self._file.write(encode(message))
+                self._file.flush()
+                line = self._file.readline()
+            except (OSError, ValueError) as exc:
+                last_exc = ServeError(f"connection failed: {exc}", code="internal")
+                if attempt < self._retries:
+                    self._reconnect()
+                    continue
+                raise last_exc from exc
+            if not line:
+                last_exc = ServeError("connection closed by server",
+                                      code="internal")
+                if attempt < self._retries:
+                    self._reconnect()
+                    continue
+                raise last_exc
+            try:
+                return _raise_for_error(decode_response(line))
+            except ServeError as exc:
+                if exc.code == OVERLOADED and attempt < self._retries:
+                    last_exc = exc
+                    continue
+                raise
+        raise last_exc if last_exc is not None else ServeError(
+            "request failed", code="internal")  # pragma: no cover
 
     # ------------------------------------------------------------- shorthands
     def plan(self, network: dict[str, Any], horizon: float, *,
@@ -132,6 +198,7 @@ class LoadReport:
     n_rejected: int = 0      # structured `overloaded` responses
     n_deadline: int = 0      # structured `deadline_exceeded` responses
     n_failed: int = 0        # anything else that was not ok
+    n_retries: int = 0       # client-side retry attempts actually performed
     duration: float = 0.0
     latencies_ms: list[float] = field(default_factory=list)
     coalesced: int = 0       # server-side serve.coalesced delta
@@ -162,6 +229,7 @@ class LoadReport:
             "n_rejected": self.n_rejected,
             "n_deadline": self.n_deadline,
             "n_failed": self.n_failed,
+            "n_retries": self.n_retries,
             "duration_s": self.duration,
             "throughput_rps": self.throughput,
             "latency_ms": self.latency_summary(),
@@ -177,16 +245,28 @@ class LoadGenerator:
     ``requests`` is a list of ``(type, params)`` pairs; worker threads pull
     from it in order (shared cursor), each over its own connection, so the
     wire behaviour matches ``concurrency`` independent clients.
+
+    ``retries`` is handed to every :class:`ServeClient` (transient-failure
+    retry budget; attempts performed land in ``LoadReport.n_retries``).
+    ``processes`` > 1 forks that many generator *processes*, each driving
+    ``concurrency`` threads over its own slice of the mix — the shape that
+    saturates a multi-shard fleet from a single driver machine, where one
+    Python process would bottleneck on its own GIL before the fleet does.
     """
 
     def __init__(self, host: str, port: int, *, concurrency: int = 4,
-                 timeout: float = 120.0) -> None:
+                 timeout: float = 120.0, retries: int = 0,
+                 processes: int = 1) -> None:
         if concurrency < 1:
             raise ValueError(f"LoadGenerator: concurrency must be >= 1, got {concurrency}")
+        if processes < 1:
+            raise ValueError(f"LoadGenerator: processes must be >= 1, got {processes}")
         self.host = host
         self.port = port
         self.concurrency = concurrency
         self.timeout = timeout
+        self.retries = retries
+        self.processes = processes
 
     def run(self, requests: list[tuple[str, dict[str, Any]]],
             *, start_barrier: bool = True) -> LoadReport:
@@ -196,21 +276,39 @@ class LoadGenerator:
         release together, so the initial burst is genuinely concurrent —
         what the coalescing assertions in CI rely on.
         """
-        report = LoadReport(concurrency=self.concurrency)
         before = self._server_counters()
+        t0 = time.perf_counter()
+        if self.processes > 1:
+            report = self._run_multiprocess(requests, start_barrier)
+        else:
+            report = self._run_threads(requests, start_barrier)
+        report.duration = time.perf_counter() - t0
+        after = self._server_counters()
+        report.coalesced = int(after.get("serve.coalesced", 0)
+                               - before.get("serve.coalesced", 0))
+        report.plan_cache_hits = int(after.get("serve.plan_cache.hit", 0)
+                                     - before.get("serve.plan_cache.hit", 0))
+        report.planner_runs = int(after.get("plan.calls", 0)
+                                  - before.get("plan.calls", 0))
+        return report
+
+    def _run_threads(self, requests: list[tuple[str, dict[str, Any]]],
+                     start_barrier: bool) -> LoadReport:
+        report = LoadReport(concurrency=self.concurrency)
         cursor = {"i": 0}
         lock = threading.Lock()
         barrier = threading.Barrier(self.concurrency) if start_barrier else None
 
         def worker() -> None:
-            with ServeClient(self.host, self.port, timeout=self.timeout) as client:
+            with ServeClient(self.host, self.port, timeout=self.timeout,
+                             retries=self.retries) as client:
                 if barrier is not None:
                     barrier.wait(timeout=self.timeout)
                 while True:
                     with lock:
                         i = cursor["i"]
                         if i >= len(requests):
-                            return
+                            break
                         cursor["i"] = i + 1
                     rtype, params = requests[i]
                     t0 = time.perf_counter()
@@ -231,22 +329,46 @@ class LoadGenerator:
                             report.n_deadline += 1
                         else:
                             report.n_failed += 1
+                with lock:
+                    report.n_retries += client.n_retries
 
         threads = [threading.Thread(target=worker, daemon=True)
                    for _ in range(self.concurrency)]
-        t0 = time.perf_counter()
         for t in threads:
             t.start()
         for t in threads:
             t.join()
-        report.duration = time.perf_counter() - t0
-        after = self._server_counters()
-        report.coalesced = int(after.get("serve.coalesced", 0)
-                               - before.get("serve.coalesced", 0))
-        report.plan_cache_hits = int(after.get("serve.plan_cache.hit", 0)
-                                     - before.get("serve.plan_cache.hit", 0))
-        report.planner_runs = int(after.get("plan.calls", 0)
-                                  - before.get("plan.calls", 0))
+        return report
+
+    def _run_multiprocess(self, requests: list[tuple[str, dict[str, Any]]],
+                          start_barrier: bool) -> LoadReport:
+        """Fan the mix out over ``processes`` child generator processes."""
+        ctx = multiprocessing.get_context("spawn")
+        slices = [requests[i::self.processes] for i in range(self.processes)]
+        barrier = ctx.Barrier(self.processes) if start_barrier else None
+        queue: multiprocessing.Queue = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_drive_slice,
+                args=(self.host, self.port, self.concurrency, self.timeout,
+                      self.retries, part, barrier, queue),
+                daemon=True)
+            for part in slices if part
+        ]
+        for p in procs:
+            p.start()
+        report = LoadReport(concurrency=self.concurrency * len(procs))
+        for _ in procs:
+            part = queue.get()
+            report.n_requests += part["n_requests"]
+            report.n_ok += part["n_ok"]
+            report.n_rejected += part["n_rejected"]
+            report.n_deadline += part["n_deadline"]
+            report.n_failed += part["n_failed"]
+            report.n_retries += part["n_retries"]
+            report.latencies_ms.extend(part["latencies_ms"])
+        for p in procs:
+            p.join()
         return report
 
     def _server_counters(self) -> dict[str, float]:
@@ -255,6 +377,31 @@ class LoadGenerator:
                 return dict(client.stats().get("counters", {}))
         except (OSError, ServeError):  # stats are best-effort decoration
             return {}
+
+
+def _drive_slice(host: str, port: int, concurrency: int, timeout: float,
+                 retries: int, requests: list[tuple[str, dict[str, Any]]],
+                 barrier: Any, queue: Any) -> None:
+    """One child generator process: thread-drive a slice, queue the tallies.
+
+    Module-level (not a closure) so the spawn start method can pickle it;
+    the cross-process barrier aligns the children's bursts the same way
+    the in-process thread barrier aligns threads.
+    """
+    gen = LoadGenerator(host, port, concurrency=concurrency,
+                        timeout=timeout, retries=retries)
+    if barrier is not None:
+        barrier.wait(timeout=timeout)
+    report = gen._run_threads(requests, start_barrier=True)
+    queue.put({
+        "n_requests": report.n_requests,
+        "n_ok": report.n_ok,
+        "n_rejected": report.n_rejected,
+        "n_deadline": report.n_deadline,
+        "n_failed": report.n_failed,
+        "n_retries": report.n_retries,
+        "latencies_ms": report.latencies_ms,
+    })
 
 
 # --------------------------------------------------------------------------
@@ -333,13 +480,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--port", type=int, default=7351)
     parser.add_argument("--requests", type=int, default=50, metavar="N")
     parser.add_argument("--concurrency", type=int, default=8, metavar="N")
+    parser.add_argument("--processes", type=int, default=1, metavar="N",
+                        help="generator processes (each drives --concurrency "
+                             "threads over its own slice; >1 avoids a "
+                             "single-process GIL bottleneck against a fleet)")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="client retry budget for overloaded/connection-"
+                             "reset responses (jittered exponential backoff)")
     parser.add_argument("--smoke", action="store_true",
                         help="spawn an in-process server, drive the mixed "
                              "workload, assert clean serving (used by CI)")
     args = parser.parse_args(argv)
     if args.smoke:
         return run_smoke(n_requests=args.requests, concurrency=args.concurrency)
-    gen = LoadGenerator(args.host, args.port, concurrency=args.concurrency)
+    gen = LoadGenerator(args.host, args.port, concurrency=args.concurrency,
+                        retries=args.retries, processes=args.processes)
     report = gen.run(_smoke_requests(args.requests))
     print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     return 0 if report.n_failed == 0 else 1

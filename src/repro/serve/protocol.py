@@ -21,6 +21,8 @@ switch on them:
 ``overloaded``              admission queue full — retry later (backpressure)
 ``deadline_exceeded``       the per-request deadline elapsed first
 ``shutting_down``           server is draining; no new work accepted
+``shard_unavailable``       fleet router: no live shard can own the request
+                            (every candidate dead or still restarting)
 ``internal``                unexpected server-side failure
 =========================== ================================================
 
@@ -51,6 +53,7 @@ __all__ = [
     "OVERLOADED",
     "DEADLINE_EXCEEDED",
     "SHUTTING_DOWN",
+    "SHARD_UNAVAILABLE",
     "INTERNAL",
     "Request",
     "decode_request",
@@ -62,7 +65,7 @@ __all__ = [
 ]
 
 #: Bumped on wire-visible changes; reported by ``health``.
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: The request types the service answers.
 REQUEST_TYPES = ("plan", "simulate", "stats", "health")
@@ -71,10 +74,12 @@ BAD_REQUEST = "bad_request"
 OVERLOADED = "overloaded"
 DEADLINE_EXCEEDED = "deadline_exceeded"
 SHUTTING_DOWN = "shutting_down"
+SHARD_UNAVAILABLE = "shard_unavailable"
 INTERNAL = "internal"
 
 #: The closed error-code set clients may switch on.
-ERROR_CODES = (BAD_REQUEST, OVERLOADED, DEADLINE_EXCEEDED, SHUTTING_DOWN, INTERNAL)
+ERROR_CODES = (BAD_REQUEST, OVERLOADED, DEADLINE_EXCEEDED, SHUTTING_DOWN,
+               SHARD_UNAVAILABLE, INTERNAL)
 
 #: Top-level request keys that are protocol envelope, not command payload.
 _ENVELOPE_KEYS = frozenset({"type", "id", "deadline"})

@@ -43,9 +43,11 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import json
+import os
 import signal
 import threading
 import time
+from pathlib import Path
 from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -724,8 +726,13 @@ class ServerThread:
 
 
 def serve(config: ServeConfig | None = None,
-          obs: Instrumentation | None = None) -> int:
+          obs: Instrumentation | None = None,
+          port_file: str | None = None) -> int:
     """Blocking entry point: run a server until SIGTERM/SIGINT (the CLI).
+
+    ``port_file``, when given, receives ``host:port`` (atomically published)
+    once the listening socket is bound — how a fleet supervisor learns the
+    ephemeral port of a ``--port 0`` shard subprocess.
 
     Returns a process exit code.
     """
@@ -735,6 +742,10 @@ def serve(config: ServeConfig | None = None,
         await server.start()
         server.install_signal_handlers()
         host, port = server.address
+        if port_file is not None:
+            tmp = Path(f"{port_file}.tmp")
+            tmp.write_text(f"{host}:{port}\n")
+            os.replace(tmp, port_file)
         cfg = server.config
         log.info("repro serve: listening on %s:%d (%s executor x %d, queue %d, "
                  "protocol v%d)", host, port, cfg.executor, cfg.workers,

@@ -316,3 +316,101 @@ class TestDrain:
                     c.plan(net, 300.0)
                 assert exc.value.code == SHUTTING_DOWN
                 srv.server._draining = False  # restore for a clean stop
+
+
+class TestClientRetry:
+    """The client-side transient-failure retry budget (fleet satellite).
+
+    ``retries`` makes :class:`ServeClient` absorb exactly two kinds of
+    weather — a dropped connection (server restart, fleet fail-over
+    window) and a structured ``overloaded`` — with jittered exponential
+    backoff, surfacing the attempts on ``n_retries``. Real answers
+    (``bad_request`` etc.) must never be retried.
+    """
+
+    def test_reconnects_across_a_server_restart(self, net):
+        first = ServerThread(_config())
+        host, port = first.start()
+        c = ServeClient(host, port, retries=3, retry_backoff=0.05, seed=1)
+        try:
+            assert c.health()["status"] == "ok"
+            first.stop(drain=False)
+            second = ServerThread(_config(port=port))
+            second.start()
+            try:
+                # The pooled connection is dead: the retry path reconnects
+                # to the same address and the request succeeds.
+                result = c.plan(net, 300.0)
+                assert result["service_cost"] > 0
+                assert c.n_retries >= 1
+            finally:
+                second.stop()
+        finally:
+            c.close()
+
+    def test_zero_retries_fails_fast(self):
+        srv = ServerThread(_config())
+        host, port = srv.start()
+        with ServeClient(host, port) as c:
+            c.health()
+            srv.stop(drain=False)
+            with pytest.raises(ServeError):
+                c.health()
+            assert c.n_retries == 0
+
+    def test_retries_overloaded_until_capacity_frees(self, net, other_net):
+        with ServerThread(_config(workers=1, queue_limit=1)) as srv:
+            host, port = srv.address
+            with ServeClient(host, port) as hog, \
+                    ServeClient(host, port, retries=10, retry_backoff=0.1,
+                                retry_cap=0.4, seed=2) as c:
+                slow = threading.Thread(
+                    target=hog.request, kwargs=dict(
+                        rtype="plan", network=net, horizon=300.0, delay=1.0))
+                slow.start()
+                time.sleep(0.2)  # the hog occupies the single slot
+                result = c.plan(other_net, 300.0)
+                slow.join(timeout=30)
+                assert result["service_cost"] > 0
+                assert c.n_retries >= 1
+
+    def test_real_errors_are_not_retried(self, net):
+        with ServerThread(_config()) as srv:
+            with ServeClient(*srv.address, retries=5) as c:
+                with pytest.raises(ServeError) as exc:
+                    c.request("plan", network=net)  # no horizon
+                assert exc.value.code == BAD_REQUEST
+                assert c.n_retries == 0
+
+
+class TestLoadGeneratorModes:
+    def test_retries_surface_in_the_report(self, net, other_net):
+        from repro.serve import LoadGenerator
+
+        with ServerThread(_config(workers=1, queue_limit=1)) as srv:
+            host, port = srv.address
+            gen = LoadGenerator(host, port, concurrency=4, retries=20)
+            nets = [network_to_dict(build_paper_network(n=10, q=2, seed=s))
+                    for s in range(40, 44)]
+            report = gen.run([("plan", {"network": nets[i % 4],
+                                        "horizon": 200.0, "delay": 0.1})
+                              for i in range(8)])
+            assert report.n_requests == 8
+            assert report.n_failed == 0
+            # 4 threads against a single admission slot: some attempts
+            # were rejected `overloaded` and retried into success.
+            assert report.n_retries >= 1
+            assert report.to_dict()["n_retries"] == report.n_retries
+
+    def test_multiprocess_mode_drives_real_processes(self, net):
+        from repro.serve import LoadGenerator
+
+        with ServerThread(_config()) as srv:
+            host, port = srv.address
+            gen = LoadGenerator(host, port, concurrency=2, processes=2)
+            report = gen.run([("health", {}) for _ in range(8)]
+                             + [("plan", {"network": net, "horizon": 300.0})])
+            assert report.n_requests == 9
+            assert report.n_failed == 0
+            assert report.duration > 0
+            assert report.throughput > 0

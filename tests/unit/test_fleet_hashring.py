@@ -1,0 +1,127 @@
+"""Unit tests for the fleet's consistent-hash ring and routing key."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fleet.hashring import HashRing
+from repro.fleet.router import FleetConfig, routing_key
+from repro.io.network_json import network_to_dict
+from repro.network.builder import build_paper_network
+from repro.io.network_json import network_from_dict
+
+KEYS = [f"key-{i}" for i in range(2000)]
+
+
+class TestHashRing:
+    def test_empty_ring_routes_nowhere(self):
+        ring = HashRing()
+        assert ring.route("anything") == ()
+        assert ring.primary("anything") is None
+        assert len(ring) == 0
+
+    def test_vnodes_validated(self):
+        with pytest.raises(ConfigError):
+            HashRing(vnodes=0)
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.primary(k) == "only" for k in KEYS[:50])
+
+    def test_route_is_deterministic_and_distinct(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        for k in KEYS[:100]:
+            order = ring.route(k)
+            assert order == ring.route(k)
+            assert sorted(order) == ["a", "b", "c", "d"]  # all distinct nodes
+
+    def test_route_n_caps_length(self):
+        ring = HashRing(["a", "b", "c"])
+        assert len(ring.route("k", 2)) == 2
+        assert ring.route("k", 99) == ring.route("k")
+        assert ring.route("k", 0) == ()
+
+    def test_membership_independent_of_insert_order(self):
+        a = HashRing(["a", "b", "c"])
+        b = HashRing(["c", "a", "b"])
+        assert all(a.route(k) == b.route(k) for k in KEYS[:200])
+
+    def test_add_remove_idempotent(self):
+        ring = HashRing(["a", "b"])
+        before = [ring.route(k) for k in KEYS[:50]]
+        ring.add("a")
+        ring.remove("nope")
+        assert [ring.route(k) for k in KEYS[:50]] == before
+
+    def test_removal_only_moves_the_removed_nodes_keys(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        owners = {k: ring.primary(k) for k in KEYS}
+        ring.remove("b")
+        for k, owner in owners.items():
+            if owner == "b":
+                assert ring.primary(k) != "b"
+            else:
+                assert ring.primary(k) == owner  # everyone else stays put
+
+    def test_failover_successor_matches_post_removal_primary(self):
+        # The fail-over contract: route()[1] is exactly where the key
+        # lands if its primary is removed from the ring.
+        ring = HashRing(["a", "b", "c", "d"])
+        for k in KEYS[:200]:
+            primary, successor = ring.route(k, 2)
+            clone = HashRing(["a", "b", "c", "d"])
+            clone.remove(primary)
+            assert clone.primary(k) == successor
+
+    def test_balance_within_tolerance(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        load = ring.load(KEYS)
+        assert min(load.values()) > 0.6 * (len(KEYS) / 4)
+        assert max(load.values()) < 1.5 * (len(KEYS) / 4)
+
+    def test_readding_restores_ownership(self):
+        ring = HashRing(["a", "b", "c"])
+        owners = {k: ring.primary(k) for k in KEYS[:300]}
+        ring.remove("c")
+        ring.add("c")
+        assert {k: ring.primary(k) for k in KEYS[:300]} == owners
+
+
+class TestRoutingKey:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return network_to_dict(build_paper_network(n=14, q=2, seed=9))
+
+    def test_matches_model_fingerprint(self, net):
+        # The router's cheap recomputation must equal the model's hash —
+        # the property the whole sharding scheme keys on.
+        assert routing_key({"network": net, "horizon": 100.0}) == \
+            network_from_dict(net).geometry_fingerprint
+
+    def test_ignores_non_geometry_params(self, net):
+        a = routing_key({"network": net, "horizon": 100.0})
+        b = routing_key({"network": net, "horizon": 999.0, "refine": True,
+                         "delay": 0.5})
+        assert a == b
+
+    def test_distinct_geometries_distinct_keys(self, net):
+        other = network_to_dict(build_paper_network(n=14, q=2, seed=10))
+        assert routing_key({"network": net}) != routing_key({"network": other})
+
+    def test_malformed_network_still_routes_deterministically(self):
+        bad = {"network": {"sensors": "nonsense"}, "horizon": 1.0}
+        assert routing_key(bad) == routing_key(dict(bad))
+        assert routing_key(bad) != routing_key({"network": None})
+
+
+class TestFleetConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FleetConfig(shards=0)
+        with pytest.raises(ConfigError):
+            FleetConfig(shard_mode="quantum")
+        with pytest.raises(ConfigError):
+            FleetConfig(retries=-1)
+
+    def test_shard_ids_stable(self):
+        assert FleetConfig(shards=3).shard_ids() == \
+            ["shard-0", "shard-1", "shard-2"]

@@ -287,3 +287,43 @@ class TestBulkOps:
         assert s["entries"] == s["tours"] + s["forests"] == store.n_entries
         assert s["bytes"] > 0 and s["unreadable"] == 0
         assert s["session"]["writes"] == s["entries"]
+
+
+class TestLockContention:
+    """The advisory-lock tallies behind ``repro cache stats``.
+
+    ``flock`` locks hang off the open file description, so a second fd on
+    the lock file contends even within one process — which lets the
+    cross-process contention path (a fleet shard waiting on another's
+    write) be pinned deterministically without spawning processes.
+    """
+
+    def test_uncontended_fast_path_not_counted_as_waiting(self, net, store):
+        cov = frozenset({0, 1})
+        store.put_tours("fp", cov, False, plan_tours(net, cov))
+        session = store.stats()["session"]
+        assert session["lock_acquires"] >= 1
+        assert session["lock_contended"] == 0
+        assert session["lock_wait_s"] == 0.0
+
+    def test_contended_lock_wait_is_timed_and_tallied(self, net, store):
+        fcntl = pytest.importorskip("fcntl")
+        import threading
+        import time
+
+        cov = frozenset({0, 1})
+        tours = plan_tours(net, cov)
+        with (store.root / ".lock").open("a") as fh:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            writer = threading.Thread(
+                target=store.put_tours, args=("fp", cov, False, tours))
+            writer.start()
+            time.sleep(0.3)  # hold the store lock while the write waits
+            fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+            writer.join(timeout=10)
+        assert not writer.is_alive()
+        session = store.stats()["session"]
+        assert session["lock_contended"] >= 1
+        assert session["lock_wait_s"] >= 0.1
+        assert session["lock_wait_s"] >= session["lock_wait_max_s"] > 0.0
+        assert store.get_tours("fp", cov, False) == tours

@@ -86,7 +86,8 @@ class TestResponses:
             decode_response(line)
 
     def test_error_codes_closed_set(self):
-        assert len(set(ERROR_CODES)) == len(ERROR_CODES) == 5
+        assert len(set(ERROR_CODES)) == len(ERROR_CODES) == 6
+        assert "shard_unavailable" in ERROR_CODES
 
 
 class TestPlanKey:
