@@ -174,6 +174,12 @@ class MinTotalDistanceVarPolicy:
                         out=np.full(view.batteries.shape, np.inf),
                         where=cons > 0)
         reported = np.minimum(reported, cap)
+        # Offline (churned-out) sensors observe no consumption at all, so
+        # their predicted cycle is infinite — which the quantizer rejects.
+        # Plan them at the horizon scale instead: finite, and long enough
+        # that the base plan schedules at most one (skipped) visit. When
+        # the sensor rejoins, its cycle shrinks and triggers a replan.
+        reported = np.where(np.isfinite(reported), reported, self._horizon)
 
         if self._assigned is None:
             # First observation (t = 0): all sensors are full — plain

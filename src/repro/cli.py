@@ -23,6 +23,8 @@
     repro plan --cache-dir .plan-store     # persist plan artifacts across runs
     repro cache stats --cache-dir .plan-store    # inspect the on-disk store
     repro cache verify --cache-dir .plan-store   # integrity-scan + quarantine
+    repro score --suite quick --jobs 2     # scenario scoreboard vs the golden
+    repro score --suite quick --update-golden    # re-bless the golden scorecard
 
 Also available as ``python -m repro ...``.
 """
@@ -317,6 +319,32 @@ def build_parser() -> argparse.ArgumentParser:
                               help="scenario seed (default 0)")
     fleetcheck_p.add_argument("--shards", type=int, default=2, metavar="N",
                               help="fleet size for the comparison (default 2)")
+
+    score_p = sub.add_parser(
+        "score", help="run the scenario suite over every registered policy "
+                      "and gate against the golden scorecard")
+    score_p.add_argument("--suite", default="quick", metavar="NAME",
+                         help="registered suite to run (default: quick)")
+    score_p.add_argument("--policies", nargs="+", default=None, metavar="NAME",
+                         help="subset of registered policies (default: all)")
+    score_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for the scenario/topology "
+                              "fan-out (gated metrics are identical to "
+                              "--jobs 1)")
+    score_p.add_argument("--out", default="SCORECARD.json", metavar="PATH",
+                         help="scorecard output path (default: SCORECARD.json)")
+    score_p.add_argument("--baseline", default=None, metavar="PATH",
+                         help="golden scorecard to gate against (default: "
+                              "golden/SCORECARD.<suite>.json)")
+    score_p.add_argument("--update-golden", action="store_true",
+                         help="write the baseline instead of comparing "
+                              "against it (bless the current behaviour)")
+    score_p.add_argument("--markdown", default=None, metavar="PATH",
+                         help="also write the scorecard as a markdown table")
+    score_p.add_argument("--svg", default=None, metavar="PATH",
+                         help="also write the scorecard as an SVG table")
+    score_p.add_argument("--quiet", action="store_true",
+                         help="suppress per-scenario progress lines")
     return parser
 
 
@@ -548,6 +576,66 @@ def _cmd_check(args: argparse.Namespace, obs: Instrumentation | None) -> int:
     return 0
 
 
+def _cmd_score(args: argparse.Namespace, obs: Instrumentation | None) -> int:
+    _require_positive(args.jobs, "--jobs")
+    from pathlib import Path
+
+    from repro.reporting.scorecard import save_scorecard_svg, scorecard_markdown
+    from repro.scenarios import (
+        METRICS,
+        Scorecard,
+        compare_scorecards,
+        default_baseline_path,
+        score_suite,
+    )
+
+    progress = None if args.quiet else log.info
+    t0 = time.perf_counter()
+    card = score_suite(args.suite,
+                       tuple(args.policies) if args.policies else None,
+                       jobs=args.jobs, obs=obs, progress=progress)
+    elapsed = time.perf_counter() - t0
+    out = card.save(args.out)
+    log.info("scored %d cells across %d scenarios in %.1fs -> %s",
+             card.n_cells, len(card.scenarios), elapsed, out)
+
+    columns = [(m.key, m.label, m.fmt) for m in METRICS]
+    if args.markdown:
+        text = scorecard_markdown(card.scenarios, columns,
+                                  title=f"Scorecard — suite {card.suite}")
+        path = Path(args.markdown)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        log.info("markdown scorecard written to %s", path.resolve())
+    if args.svg:
+        path = save_scorecard_svg(card.scenarios, columns, args.svg,
+                                  title=f"Scorecard — suite {card.suite}")
+        log.info("SVG scorecard written to %s", path)
+
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else default_baseline_path(card.suite))
+    if args.update_golden:
+        written = card.save(baseline_path)
+        print(f"golden scorecard updated: {written}")
+        return 0
+    if not baseline_path.exists():
+        print(f"score: no golden scorecard at {baseline_path}; run "
+              f"'repro score --suite {card.suite} --update-golden' to "
+              f"create one (not gating this run)")
+        return 0
+    baseline = Scorecard.load(baseline_path)
+    regressions, improvements = compare_scorecards(card, baseline)
+    for note in improvements:
+        print(f"improved: {note}")
+    if regressions:
+        print(f"score: {len(regressions)} regression(s) vs {baseline_path}:")
+        for reg in regressions:
+            print(f"  - {reg.describe()}")
+        return 1
+    print(f"score: {card.n_cells} cells within tolerance of {baseline_path}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace, obs: Instrumentation | None) -> int:
     _require_positive(args.workers, "--workers")
     _require_positive(args.queue_limit, "--queue-limit")
@@ -643,6 +731,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_fleet(args, obs)
         if args.command == "check":
             return _cmd_check(args, obs)
+        if args.command == "score":
+            return _cmd_score(args, obs)
         if args.command == "cache":
             return _cmd_cache(args, obs)
         return 2  # unreachable: argparse enforces the choices

@@ -3,6 +3,11 @@ summaries, markdown report generation and simulation timelines."""
 
 from repro.reporting.csvio import sweep_to_csv, write_csv
 from repro.reporting.experiments_md import experiments_markdown, figure_markdown
+from repro.reporting.scorecard import (
+    save_scorecard_svg,
+    scorecard_markdown,
+    scorecard_svg,
+)
 from repro.reporting.summary import figure_report, headline_pair, sweep_summary
 from repro.reporting.svg import network_svg, save_network_svg
 from repro.reporting.table import format_table, render_sweep
@@ -20,6 +25,9 @@ __all__ = [
     "render_sweep",
     "run_digest",
     "save_network_svg",
+    "save_scorecard_svg",
+    "scorecard_markdown",
+    "scorecard_svg",
     "sweep_summary",
     "sweep_to_csv",
     "write_csv",

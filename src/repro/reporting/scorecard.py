@@ -1,0 +1,118 @@
+"""Scorecard rendering: markdown table and SVG heat table.
+
+Operates on the plain ``scenario -> policy -> metric`` dict plus a
+sequence of ``(key, label, fmt)`` column descriptors, so the reporting
+layer stays independent of :mod:`repro.scenarios` (callers pass
+``repro.scenarios.METRICS``-derived columns).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+__all__ = ["scorecard_markdown", "scorecard_svg", "save_scorecard_svg"]
+
+#: ``(metric key, column label, format string)``.
+Column = tuple[str, str, str]
+
+
+def _cell(metrics: Mapping[str, Any] | None, key: str, fmt: str) -> str:
+    if metrics is None:
+        return "—"
+    value = metrics.get(key)
+    if value is None:
+        return "·"
+    return fmt.format(float(value))
+
+
+def scorecard_markdown(scenarios: Mapping[str, Mapping[str, Mapping[str, Any] | None]],
+                       columns: Sequence[Column], *,
+                       title: str | None = None) -> str:
+    """Render the scorecard as a GitHub-flavoured markdown table.
+
+    One row per ``(scenario, policy)`` pair; ``—`` marks incompatible
+    pairs, ``·`` an undefined dimension.
+    """
+    lines: list[str] = []
+    if title:
+        lines += [f"## {title}", ""]
+    header = ["scenario", "policy"] + [label for _, label, _ in columns]
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for scenario, by_policy in scenarios.items():
+        for policy, metrics in by_policy.items():
+            row = [scenario, policy] + \
+                [_cell(metrics, key, fmt) for key, _, fmt in columns]
+            lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def scorecard_svg(scenarios: Mapping[str, Mapping[str, Mapping[str, Any] | None]],
+                  columns: Sequence[Column], *,
+                  title: str = "Scorecard") -> str:
+    """Render the scorecard as a self-contained SVG table.
+
+    Pure text-and-rects (same zero-dependency approach as
+    :mod:`repro.reporting.svg`); rows alternate background stripes and
+    the first row of each scenario carries its name.
+    """
+    rows: list[tuple[str, str, Mapping[str, Any] | None]] = []
+    for scenario, by_policy in scenarios.items():
+        first = True
+        for policy, metrics in by_policy.items():
+            rows.append((scenario if first else "", policy, metrics))
+            first = False
+
+    col_w = 86
+    name_w = 170
+    policy_w = 90
+    row_h = 22
+    header_h = 54
+    width = name_w + policy_w + col_w * len(columns) + 16
+    height = header_h + row_h * len(rows) + 12
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="monospace" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="#fcfcfc" '
+        f'stroke="#999"/>',
+        f'<text x="8" y="20" font-size="14" fill="#333">{title}</text>',
+    ]
+    # Column headers.
+    y = header_h - 12
+    parts.append(f'<text x="8" y="{y}" fill="#555">scenario</text>')
+    parts.append(f'<text x="{name_w}" y="{y}" fill="#555">policy</text>')
+    for c, (_, label, _) in enumerate(columns):
+        x = name_w + policy_w + c * col_w
+        parts.append(f'<text x="{x + col_w - 6}" y="{y}" fill="#555" '
+                     f'text-anchor="end">{label}</text>')
+    # Rows.
+    for r, (scenario, policy, metrics) in enumerate(rows):
+        top = header_h + r * row_h
+        if r % 2:
+            parts.append(f'<rect x="4" y="{top - 14}" width="{width - 8}" '
+                         f'height="{row_h}" fill="#f0f0f0"/>')
+        if scenario:
+            parts.append(f'<text x="8" y="{top + 2}" fill="#222">'
+                         f'{scenario}</text>')
+        parts.append(f'<text x="{name_w}" y="{top + 2}" fill="#222">'
+                     f'{policy}</text>')
+        for c, (key, _, fmt) in enumerate(columns):
+            x = name_w + policy_w + c * col_w
+            parts.append(f'<text x="{x + col_w - 6}" y="{top + 2}" '
+                         f'fill="#333" text-anchor="end">'
+                         f'{_cell(metrics, key, fmt)}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_scorecard_svg(scenarios: Mapping[str, Mapping[str, Mapping[str, Any] | None]],
+                       columns: Sequence[Column], path: str | Path, *,
+                       title: str = "Scorecard") -> Path:
+    """Write :func:`scorecard_svg` output to ``path``; returns the resolved path."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(scorecard_svg(scenarios, columns, title=title))
+    return p.resolve()

@@ -1,0 +1,287 @@
+"""Score every registered policy over a scenario suite.
+
+One ``(scenario, topology)`` pair is an independent **instance job**: it
+materialises the instance (:func:`~repro.scenarios.generators.build_instance`),
+then runs every compatible policy against the *shared* workload and the
+*replayed* dynamic-event history (fresh source objects, same seeds —
+common random numbers, the paper's own variance-reduction trick). Jobs
+run serially or fan out on a ``ProcessPoolExecutor`` (``jobs > 1``) with
+identical results for every gated metric: instances are pure functions of
+``(spec, r)`` and rows are folded in ``(scenario, topology)`` order.
+
+Each policy run collects into a fresh, private
+:class:`~repro.obs.instrument.Instrumentation` context, which is where
+the planner-health dimensions come from: replan counts and latencies from
+the ``plan``/``replan`` spans, cache hit rates from the
+``plan.cache.tours.*`` counters. Wall-clock dimensions
+(``replan_latency_*``) are measured, not derived, so they are reported on
+the scorecard but never regression-gated (see
+:mod:`repro.scenarios.golden` for which metrics gate).
+
+The result is a :class:`Scorecard`: ``scenario -> policy -> metric``
+(``None`` marks an incompatible pair), serialised to ``SCORECARD.json``
+through the standard envelope (:mod:`repro.io.files`).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.errors import ConfigError
+from repro.experiments.runner import make_policy
+from repro.obs.instrument import Instrumentation, ensure
+from repro.obs.log import get_logger
+from repro.plan.cache import PlanArtifactCache
+from repro.scenarios.generators import ScenarioInstance, build_instance
+from repro.scenarios.registry import (
+    POLICIES,
+    PolicyEntry,
+    ScenarioSpec,
+    get_suite,
+    policy_names,
+)
+from repro.serve.client import percentile
+from repro.sim.engine import simulate
+
+__all__ = ["Scorecard", "score_suite", "SCORECARD_KIND", "METRIC_KEYS"]
+
+log = get_logger(__name__)
+
+#: Envelope kind of a serialised scorecard (see :mod:`repro.io.files`).
+SCORECARD_KIND = "scorecard"
+
+#: Fixed scoring dimensions, in scorecard column order. Definitions,
+#: directions and gate tolerances live in :mod:`repro.scenarios.golden`.
+METRIC_KEYS = (
+    "service_cost",
+    "deaths",
+    "dispatches",
+    "charger_utilization",
+    "energy_delivered",
+    "replan_count",
+    "replan_latency_p50_ms",
+    "replan_latency_p99_ms",
+    "cache_hit_rate",
+)
+
+#: Raw per-(instance, policy) row — everything the aggregation needs,
+#: deterministic except ``replan_durs`` (wall-clock samples).
+_Raw = dict[str, Any]
+
+
+def _run_policy(inst: ScenarioInstance, entry: PolicyEntry) -> _Raw:
+    """One policy on one instance, under a private instrumentation context."""
+    o = Instrumentation()
+    cache = PlanArtifactCache()
+    policy = make_policy(entry.algorithm, inst.config, inst.network,
+                         obs=o, cache=cache)
+    result = simulate(inst.network, policy, inst.workload, inst.config.horizon,
+                      strict=False, instrumentation=o,
+                      sources=inst.build_sources())
+    m = result.metrics
+    active = sum(ev.n_active_chargers for ev in m.dispatches)
+    # Replan spans: the adaptive policies time each re-plan under
+    # ``replan`` (which nests a ``plan`` span); offline planners only
+    # record ``plan``. Prefer the outer span so nothing double-counts.
+    spans = o.spans("replan") or o.spans("plan")
+    hits = int(o.counters.get("plan.cache.tours.hit", 0))
+    misses = int(o.counters.get("plan.cache.tours.miss", 0))
+    return {
+        "cost": float(m.service_cost),
+        "deaths": int(m.n_deaths),
+        "dispatches": int(m.n_dispatches),
+        "active_tours": int(active),
+        "tour_slots": int(m.n_dispatches * inst.network.q),
+        "energy": float(m.energy_delivered),
+        "replans": len(spans),
+        "replan_durs": [float(s.dur) for s in spans],
+        "cache_hits": hits,
+        "cache_misses": misses,
+    }
+
+
+def _run_instance(spec: ScenarioSpec, topology: int,
+                  entries: tuple[PolicyEntry, ...]) -> dict[str, _Raw | None]:
+    """One instance job: build once, run every compatible policy."""
+    inst = build_instance(spec, topology)
+    rows: dict[str, _Raw | None] = {}
+    for entry in entries:
+        rows[entry.name] = _run_policy(inst, entry) if entry.compatible(spec) \
+            else None
+    return rows
+
+
+def _instance_worker(payload: tuple[int, ScenarioSpec, int,
+                                    tuple[PolicyEntry, ...]]
+                     ) -> tuple[int, int, dict[str, _Raw | None]]:
+    """Pool entry point (top-level for pickling)."""
+    index, spec, topology, entries = payload
+    return index, topology, _run_instance(spec, topology, entries)
+
+
+def _aggregate(rows: list[_Raw]) -> dict[str, float | None]:
+    """Fold one policy's per-topology rows into the fixed metric columns."""
+    reps = len(rows)
+    durs = [d for row in rows for d in row["replan_durs"]]
+    tour_slots = sum(row["tour_slots"] for row in rows)
+    active = sum(row["active_tours"] for row in rows)
+    hits = sum(row["cache_hits"] for row in rows)
+    lookups = hits + sum(row["cache_misses"] for row in rows)
+    return {
+        "service_cost": sum(row["cost"] for row in rows) / reps,
+        "deaths": float(sum(row["deaths"] for row in rows)),
+        "dispatches": sum(row["dispatches"] for row in rows) / reps,
+        "charger_utilization": (active / tour_slots) if tour_slots else 0.0,
+        "energy_delivered": sum(row["energy"] for row in rows) / reps,
+        "replan_count": sum(row["replans"] for row in rows) / reps,
+        "replan_latency_p50_ms": 1e3 * percentile(durs, 50) if durs else None,
+        "replan_latency_p99_ms": 1e3 * percentile(durs, 99) if durs else None,
+        "cache_hit_rate": (hits / lookups) if lookups else None,
+    }
+
+
+@dataclass(frozen=True)
+class Scorecard:
+    """``scenario -> policy -> metric`` results for one suite run.
+
+    ``None`` at the policy level marks an incompatible pair (e.g. an
+    adaptive policy on a fixed-cycle scenario); ``None`` at the metric
+    level marks an undefined dimension (no replans to take a percentile
+    of). Ordering is canonical — scenarios in suite order, policies in
+    registry order, metrics in :data:`METRIC_KEYS` order — so serialised
+    scorecards from equal runs are byte-equal.
+    """
+
+    suite: str
+    policies: tuple[str, ...]
+    scenarios: dict[str, dict[str, dict[str, float | None] | None]] = \
+        field(default_factory=dict)
+
+    # ------------------------------------------------------------ accessors
+    def metrics(self, scenario: str, policy: str) -> dict[str, float | None] | None:
+        return self.scenarios.get(scenario, {}).get(policy)
+
+    @property
+    def n_cells(self) -> int:
+        """Scored (scenario, policy) pairs, skips excluded."""
+        return sum(1 for by_policy in self.scenarios.values()
+                   for m in by_policy.values() if m is not None)
+
+    def gated_view(self, gated_keys: tuple[str, ...]) -> dict[str, Any]:
+        """The deterministic sub-scorecard (regression-gated metrics only).
+
+        Two runs of the same suite at the same code must produce equal
+        gated views regardless of ``--jobs``, machine load or wall time —
+        the determinism test asserts exactly this.
+        """
+        out: dict[str, Any] = {}
+        for scenario, by_policy in self.scenarios.items():
+            out[scenario] = {
+                policy: None if m is None
+                else {k: m[k] for k in gated_keys if k in m}
+                for policy, m in by_policy.items()
+            }
+        return out
+
+    # -------------------------------------------------------- serialisation
+    def to_dict(self) -> dict[str, Any]:
+        return {"suite": self.suite, "policies": list(self.policies),
+                "metrics": list(METRIC_KEYS), "scenarios": self.scenarios}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scorecard":
+        try:
+            return cls(suite=str(data["suite"]),
+                       policies=tuple(data["policies"]),
+                       scenarios={str(s): {str(p): (None if m is None else dict(m))
+                                           for p, m in by_policy.items()}
+                                  for s, by_policy in data["scenarios"].items()})
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise ConfigError(f"malformed scorecard document ({exc})") from exc
+
+    def save(self, path: str | Path) -> Path:
+        from repro.io.files import save_json
+
+        return save_json(path, SCORECARD_KIND, self.to_dict())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Scorecard":
+        from repro.io.files import load_json
+
+        return cls.from_dict(load_json(path, SCORECARD_KIND))
+
+
+def score_suite(suite: str = "quick",
+                policies: tuple[str, ...] | None = None, *,
+                jobs: int = 1,
+                obs: Instrumentation | None = None,
+                progress: Callable[[str], None] | None = None) -> Scorecard:
+    """Run every (registered or selected) policy over the suite.
+
+    Parameters
+    ----------
+    suite:
+        Registered suite name (``"quick"``, ``"full"``, ...).
+    policies:
+        Optional subset of registered policy names (default: all).
+    jobs:
+        Worker processes for the instance jobs. Gated metrics are
+        identical for every value of ``jobs``.
+    obs:
+        Optional instrumentation: counts ``score.instances`` /
+        ``score.cells`` and wraps the run in a ``score`` span.
+    progress:
+        Optional per-scenario progress callback.
+    """
+    if jobs < 1:
+        raise ConfigError(f"score_suite: jobs must be >= 1, got {jobs}")
+    suite_spec = get_suite(suite)
+    specs = suite_spec.members()
+    selected = tuple(policies) if policies is not None else policy_names()
+    unknown = set(selected) - set(POLICIES)
+    if unknown:
+        raise ConfigError(f"unknown policies {sorted(unknown)}; "
+                          f"registered: {sorted(POLICIES)}")
+    if not selected:
+        raise ConfigError("score_suite: no policies selected")
+    entries = tuple(POLICIES[name] for name in selected)
+
+    o = ensure(obs)
+    payloads = [(i, spec, r, entries)
+                for i, spec in enumerate(specs)
+                for r in range(spec.config.n_topologies)]
+    results: dict[tuple[int, int], dict[str, _Raw | None]] = {}
+    with o.span("score", suite=suite, scenarios=len(specs),
+                policies=len(entries), jobs=jobs):
+        if jobs == 1 or len(payloads) == 1:
+            for payload in payloads:
+                index, r, rows = _instance_worker(payload)
+                results[(index, r)] = rows
+                o.incr("score.instances")
+        else:
+            with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(payloads))) as pool:
+                for index, r, rows in pool.map(_instance_worker, payloads):
+                    results[(index, r)] = rows
+                    o.incr("score.instances")
+
+    scenarios: dict[str, dict[str, dict[str, float | None] | None]] = {}
+    for i, spec in enumerate(specs):
+        per_policy: dict[str, dict[str, float | None] | None] = {}
+        for entry in entries:
+            rows = [results[(i, r)][entry.name]
+                    for r in range(spec.config.n_topologies)]
+            if any(row is None for row in rows):
+                per_policy[entry.name] = None
+                continue
+            per_policy[entry.name] = _aggregate(rows)  # type: ignore[arg-type]
+            o.incr("score.cells")
+        scenarios[spec.name] = per_policy
+        if progress is not None:
+            scored = sum(1 for m in per_policy.values() if m is not None)
+            progress(f"[{i + 1}/{len(specs)}] {spec.name}: "
+                     f"{scored}/{len(entries)} policies scored")
+    return Scorecard(suite=suite, policies=selected, scenarios=scenarios)

@@ -1,0 +1,105 @@
+"""Failure-storm end-to-end: every dynamic event source at once.
+
+The ``failure-storm`` scenario runs the discrete-event engine with
+charger breakdowns, sensor membership churn and Poisson charging
+requests simultaneously. This is the regime where bookkeeping bugs hide
+— a charge applied to a churned-out sensor, shadow energy drifting
+negative, an event source firing out of order — so every registered
+policy runs under :class:`~repro.check.invariants.InvariantChecker` and
+the full invariant set must hold end-to-end.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.check.invariants import InvariantChecker
+from repro.experiments.runner import make_policy
+from repro.scenarios import POLICIES, build_instance, get_scenario
+from repro.sim.engine import simulate
+
+
+@pytest.fixture(scope="module")
+def storm_runs():
+    """One failure-storm topology simulated under every registered policy."""
+    spec = get_scenario("failure-storm")
+    inst = build_instance(spec, 0)
+    runs = {}
+    for name, entry in POLICIES.items():
+        if not entry.compatible(spec):
+            continue
+        checker = InvariantChecker(inst.network, raise_on_violation=False)
+        policy = make_policy(entry.algorithm, inst.config, inst.network)
+        result = simulate(inst.network, policy, inst.workload,
+                          inst.config.horizon, hooks=checker,
+                          sources=inst.build_sources())
+        runs[name] = (checker, result)
+    return inst, runs
+
+
+def test_storm_actually_storms(storm_runs):
+    """The scenario exercises all three event sources at once — otherwise
+    the invariant assertions below are vacuous."""
+    _, runs = storm_runs
+    for name, (_, result) in runs.items():
+        m = result.metrics
+        assert m.n_failures > 0, f"{name}: no charger breakdowns fired"
+        assert m.n_churn_events > 0, f"{name}: no membership churn fired"
+        assert m.n_requests > 0, f"{name}: no charging requests fired"
+        assert m.n_dispatches > 0, f"{name}: nothing was ever dispatched"
+
+
+def test_invariants_hold_under_the_storm(storm_runs):
+    """The full InvariantChecker set holds for every policy."""
+    _, runs = storm_runs
+    for name, (checker, _) in runs.items():
+        assert checker.violations == [], (
+            f"{name}: {[str(v) for v in checker.violations]}")
+
+
+def test_no_service_to_churned_out_sensors(storm_runs):
+    """No charge lands inside a sensor's offline window (reconstructed
+    from the churn log, independently of the checker's own bookkeeping)."""
+    inst, runs = storm_runs
+    for name, (_, result) in runs.items():
+        m = result.metrics
+        offline_since: dict[int, float] = {}
+        windows: list[tuple[int, float, float]] = []
+        for ev in m.churn:
+            if not ev.online:
+                offline_since[ev.sensor] = ev.time
+            elif ev.sensor in offline_since:
+                windows.append((ev.sensor, offline_since.pop(ev.sensor), ev.time))
+        for sensor, start in offline_since.items():  # never rejoined
+            windows.append((sensor, start, float("inf")))
+        assert windows, f"{name}: churn produced no offline windows"
+        for charge in m.charges:
+            for sensor, start, end in windows:
+                if charge.sensor == sensor:
+                    assert not (start < charge.time < end), (
+                        f"{name}: sensor {sensor} charged at t={charge.time} "
+                        f"while offline ({start}, {end})")
+
+
+def test_energy_never_negative(storm_runs):
+    """Final energies are non-negative and every charge saw a non-negative
+    pre-charge level (deaths clamp at zero, they don't go below)."""
+    _, runs = storm_runs
+    for name, (_, result) in runs.items():
+        assert np.all(result.final_energy >= -1e-9), (
+            f"{name}: negative final energy {result.final_energy.min()}")
+        for charge in result.metrics.charges:
+            assert charge.energy_before >= -1e-9, (
+                f"{name}: charge at t={charge.time} saw negative energy")
+
+
+def test_event_stream_totally_ordered(storm_runs):
+    """The canonical merged event log is in non-decreasing time order —
+    the total order every replay/differential comparison relies on."""
+    _, runs = storm_runs
+    for name, (_, result) in runs.items():
+        lines = result.metrics.event_log_jsonl().splitlines()
+        assert lines, f"{name}: empty event stream"
+        times = [json.loads(line)["t"] for line in lines]
+        assert times == sorted(times), f"{name}: event stream out of order"

@@ -1,0 +1,113 @@
+"""Unit tests for the scenario/policy/suite registries."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.scenarios import (
+    METRIC_KEYS,
+    METRICS,
+    POLICIES,
+    SCENARIOS,
+    SUITES,
+    PolicyEntry,
+    ScenarioSpec,
+    SuiteSpec,
+    get_scenario,
+    get_suite,
+    policy_names,
+    register_policy,
+    register_scenario,
+    register_suite,
+    scenario_names,
+)
+from repro.scenarios.generators import _BASE
+
+
+class TestBuiltinRegistrations:
+    def test_the_six_builtin_scenarios(self):
+        assert set(SCENARIOS) >= {
+            "dense-urban", "sparse-wide-area", "heterogeneous-batteries",
+            "high-churn", "failure-storm", "request-burst"}
+
+    def test_builtin_policies_and_suites(self):
+        assert set(POLICIES) >= {"mtd", "mtd-var", "greedy"}
+        assert set(SUITES) >= {"quick", "full"}
+
+    def test_names_in_registration_order(self):
+        assert scenario_names()[0] == "dense-urban"
+        assert tuple(POLICIES) == policy_names()
+
+    def test_metric_tables_agree(self):
+        """score.METRIC_KEYS and golden.METRICS describe the same columns."""
+        assert tuple(m.key for m in METRICS) == METRIC_KEYS
+
+    def test_dynamic_scenarios_have_active_dynamics(self):
+        for name in ("high-churn", "failure-storm", "request-burst"):
+            assert SCENARIOS[name].config.dynamics(0) is not None
+        assert SCENARIOS["dense-urban"].config.dynamics(0) is None
+
+
+class TestRegistrationSemantics:
+    def test_reregistration_is_idempotent_by_content(self):
+        spec = SCENARIOS["dense-urban"]
+        assert register_scenario(spec) is spec
+        entry = POLICIES["greedy"]
+        assert register_policy("greedy") == entry
+        suite = SUITES["quick"]
+        assert register_suite(suite) is suite
+
+    def test_conflicting_reregistration_fails_loudly(self):
+        clash = SCENARIOS["dense-urban"].with_overrides(n=7)
+        with pytest.raises(ConfigError, match="already registered"):
+            register_scenario(clash)
+        with pytest.raises(ConfigError, match="already registered"):
+            register_policy("greedy", "naive")
+
+    def test_unknown_lookups_list_known_names(self):
+        with pytest.raises(ConfigError, match="dense-urban"):
+            get_scenario("no-such-scenario")
+        with pytest.raises(ConfigError, match="quick"):
+            get_suite("no-such-suite")
+
+
+class TestSpecValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigError, match="non-empty"):
+            ScenarioSpec(name="", description="x", config=_BASE)
+
+    def test_bad_battery_range_rejected(self):
+        with pytest.raises(ConfigError, match="battery_range"):
+            ScenarioSpec(name="x", description="x", config=_BASE,
+                         battery_range=(2.0, 1.0))
+        with pytest.raises(ConfigError, match="battery_range"):
+            ScenarioSpec(name="x", description="x", config=_BASE,
+                         battery_range=(0.0, 1.0))
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigError, match="unknown algorithm"):
+            PolicyEntry(name="x", algorithm="definitely-not-real")
+
+    def test_compatibility_predicate(self):
+        adaptive = POLICIES["mtd-var"]
+        assert adaptive.compatible(SCENARIOS["dense-urban"])
+        assert not adaptive.compatible(SCENARIOS["sparse-wide-area"])
+        assert POLICIES["greedy"].compatible(SCENARIOS["sparse-wide-area"])
+
+
+class TestSuites:
+    def test_empty_scenarios_means_all(self):
+        members = get_suite("quick").members()
+        assert tuple(s.name for s in members) == scenario_names()
+
+    def test_overrides_applied_to_every_member(self):
+        for spec in get_suite("full").members():
+            assert spec.config.n_topologies == 5
+            assert spec.config.horizon == 240.0
+        # ... without mutating the registered originals.
+        assert SCENARIOS["dense-urban"].config.n_topologies == 2
+
+    def test_explicit_member_list(self):
+        suite = SuiteSpec(name="tmp", description="x",
+                          scenarios=("failure-storm", "dense-urban"))
+        assert tuple(s.name for s in suite.members()) == (
+            "failure-storm", "dense-urban")
