@@ -115,6 +115,40 @@ def test_instrumentation_overhead_guard(benchmark):
         f"enabled instrumentation costs {enabled_ratio:.2f}x baseline")
 
 
+def test_watch_delta_emission_cost(benchmark):
+    """One streaming frame must stay microscopic next to its interval.
+
+    A subscribed server snapshots its ``Instrumentation`` once per watch
+    interval (``DeltaEmitter.frame`` + JSON encoding). Sized like a busy
+    node — hundreds of counters, dozens of timers with populated quantile
+    sketches — a frame must cost well under a millisecond, i.e. noise
+    against the default 1 s interval. The unwatched path is covered by
+    ``test_instrumentation_overhead_guard``: no subscription, no emitter,
+    no snapshot at all.
+    """
+    from repro.obs.live import DeltaEmitter
+
+    obs = Instrumentation()
+    for i in range(300):
+        obs.incr(f"serve.counter.{i}", i)
+    for i in range(30):
+        name = f"serve.timer.{i}"
+        for _ in range(50):
+            with obs.span(name):
+                pass
+    emitter = DeltaEmitter(obs, source="bench")
+    emitter.frame()  # first frame carries the cumulative state; skip it
+
+    def one_frame():
+        obs.incr("serve.counter.0")
+        with obs.span("serve.timer.0"):
+            pass
+        return json.dumps(emitter.frame().to_dict())
+
+    encoded = benchmark(one_frame)
+    assert '"stream": "watch"' in encoded or '"stream"' in encoded
+
+
 # --------------------------------------------------------------------------
 # Staged-pipeline benches (plan-artifact cache; parallel executor)
 # --------------------------------------------------------------------------

@@ -25,6 +25,10 @@
     repro cache verify --cache-dir .plan-store   # integrity-scan + quarantine
     repro score --suite quick --jobs 2     # scenario scoreboard vs the golden
     repro score --suite quick --update-golden    # re-bless the golden scorecard
+    repro watch --port 7350                # live dashboard over a fleet/serve
+    repro watch --port 7350 --svg dash.svg --jsonl frames.jsonl   # + sinks
+    repro score --jobs 2 --live progress.jsonl &   # pair with:
+    repro watch --port 7350 --score progress.jsonl # scoreboard deltas live
 
 Also available as ``python -m repro ...``.
 """
@@ -345,6 +349,40 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the scorecard as an SVG table")
     score_p.add_argument("--quiet", action="store_true",
                          help="suppress per-scenario progress lines")
+    score_p.add_argument("--live", default=None, metavar="PATH",
+                         help="stream NDJSON progress events here while "
+                              "running (tail with 'repro watch --score PATH')")
+
+    watch_p = sub.add_parser(
+        "watch", help="live terminal dashboard over a serve/fleet 'watch' "
+                      "metric subscription")
+    watch_p.add_argument("--host", default="127.0.0.1")
+    watch_p.add_argument("--port", type=int, default=7350,
+                         help="serve or fleet-router port (default: the "
+                              "fleet router's 7350)")
+    watch_p.add_argument("--interval", type=float, default=1.0, metavar="SEC",
+                         help="frame period requested from the server "
+                              "(default 1.0)")
+    watch_p.add_argument("--duration", type=float, default=0.0, metavar="SEC",
+                         help="stop after this long (0 = until the stream "
+                              "ends or Ctrl-C)")
+    watch_p.add_argument("--frames", type=int, default=0, metavar="N",
+                         help="stop after N frames (0 = unlimited)")
+    watch_p.add_argument("--once", action="store_true",
+                         help="render a single frame and exit "
+                              "(same as --frames 1)")
+    watch_p.add_argument("--plain", action="store_true",
+                         help="append panels instead of redrawing in place "
+                              "(no ANSI escapes; logs, pipes, CI)")
+    watch_p.add_argument("--jsonl", default=None, metavar="PATH",
+                         help="also append every received frame here as "
+                              "NDJSON (replayable, machine-readable)")
+    watch_p.add_argument("--svg", default=None, metavar="PATH",
+                         help="also rewrite the panel here as SVG on every "
+                              "frame (CI artifact / README screenshot)")
+    watch_p.add_argument("--score", default=None, metavar="PATH",
+                         help="tail a 'repro score --live PATH' progress "
+                              "stream into the panel (with golden deltas)")
     return parser
 
 
@@ -593,7 +631,8 @@ def _cmd_score(args: argparse.Namespace, obs: Instrumentation | None) -> int:
     t0 = time.perf_counter()
     card = score_suite(args.suite,
                        tuple(args.policies) if args.policies else None,
-                       jobs=args.jobs, obs=obs, progress=progress)
+                       jobs=args.jobs, obs=obs, progress=progress,
+                       live=args.live)
     elapsed = time.perf_counter() - t0
     out = card.save(args.out)
     log.info("scored %d cells across %d scenarios in %.1fs -> %s",
@@ -634,6 +673,72 @@ def _cmd_score(args: argparse.Namespace, obs: Instrumentation | None) -> int:
         return 1
     print(f"score: {card.n_cells} cells within tolerance of {baseline_path}")
     return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.errors import ServeError
+    from repro.reporting.dashboard import (
+        DashboardState,
+        ScoreTail,
+        render_dashboard,
+        save_dashboard_svg,
+    )
+    from repro.serve.watch import WatchClient
+
+    if args.interval <= 0:
+        raise ConfigError(f"--interval must be > 0, got {args.interval}")
+    n_frames = 1 if args.once else args.frames
+    state = DashboardState()
+    tail = ScoreTail(args.score) if args.score else None
+    try:
+        client = WatchClient(args.host, args.port, interval=args.interval)
+    except (OSError, ServeError) as exc:
+        print(f"repro watch: cannot subscribe to {args.host}:{args.port}: "
+              f"{exc}", file=sys.stderr)
+        return 1
+    log.info("watching %s:%s (%s, every %.2fs)", args.host, args.port,
+             client.info.get("role", "?"), client.info.get("interval", 0.0))
+    jsonl = open(args.jsonl, "a", encoding="utf-8") if args.jsonl else None
+    deadline = (time.monotonic() + args.duration) if args.duration > 0 else None
+    try:
+        for frame in client.frames():
+            state.ingest(frame)
+            if jsonl is not None:
+                jsonl.write(_json_line(frame.to_dict()))
+                jsonl.flush()
+            if tail is not None:
+                tail.poll()
+            panel = render_dashboard(state, score=tail)
+            if args.plain:
+                print(panel, end="\n\n", flush=True)
+            else:
+                # Clear + home, then the panel: redraw in place.
+                print(f"\x1b[2J\x1b[H{panel}", flush=True)
+            if args.svg:
+                save_dashboard_svg(state, args.svg, score=tail)
+            if n_frames and state.n_frames >= n_frames:
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+    except KeyboardInterrupt:
+        pass
+    finally:
+        client.close()
+        if jsonl is not None:
+            jsonl.close()
+    if state.n_frames == 0:
+        print("repro watch: stream ended before the first frame",
+              file=sys.stderr)
+        return 1
+    log.info("watch closed: %d frames, %d gap(s)",
+             state.n_frames, client.n_dropped)
+    return 0
+
+
+def _json_line(data: dict) -> str:
+    import json
+
+    return json.dumps(data, separators=(",", ":")) + "\n"
 
 
 def _cmd_serve(args: argparse.Namespace, obs: Instrumentation | None) -> int:
@@ -733,6 +838,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_check(args, obs)
         if args.command == "score":
             return _cmd_score(args, obs)
+        if args.command == "watch":
+            return _cmd_watch(args)
         if args.command == "cache":
             return _cmd_cache(args, obs)
         return 2  # unreachable: argparse enforces the choices

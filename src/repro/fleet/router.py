@@ -47,12 +47,24 @@ import numpy as np
 from repro.errors import ConfigError, ReproError, ServeError
 from repro.io.files import unwrap_envelope
 from repro.obs.instrument import Instrumentation
+from repro.obs.live import (
+    DeltaEmitter,
+    LiveAggregator,
+    WatchFrame,
+    gauge_table,
+    is_frame_line,
+    merge_counter_tables,
+    merge_sketch_tables,
+    merge_stat_tables,
+    quantile_table,
+)
 from repro.obs.log import get_logger
 from repro.serve.protocol import (
     BAD_REQUEST,
     PROTOCOL_VERSION,
     SHARD_UNAVAILABLE,
     SHUTTING_DOWN,
+    WatchUpgrade,
     decode_request,
     encode,
     error_response,
@@ -206,6 +218,100 @@ class _BackendConn:
         self.writer.close()
 
 
+class _WatchSession:
+    """One client's ``watch`` subscription on the router.
+
+    Subscribes to every live shard's own watch stream (a dedicated
+    connection per shard — never pooled, the stream owns it), folds the
+    shard delta frames into a :class:`~repro.obs.live.LiveAggregator`, and
+    mixes in the router's own counters via a local
+    :class:`~repro.obs.live.DeltaEmitter` — so aggregate-frame counter
+    totals match the ``stats`` fan-out (router + shard counters summed).
+    Supervisor membership changes arrive through :meth:`on_down` /
+    :meth:`on_up` and surface as ``shard_down`` / ``shard_up`` events on
+    the client's next aggregate frame.
+    """
+
+    def __init__(self, router: "FleetRouter", interval: float) -> None:
+        self._router = router
+        self.interval = interval
+        self.aggregator = LiveAggregator()
+        self._emitter = DeltaEmitter(router.obs, source="router")
+        self._pumps: dict[str, asyncio.Task] = {}
+        self._events: list[dict] = []
+
+    # ----------------------------------------------------------- subscriptions
+    def subscribe(self, shard_id: str) -> None:
+        old = self._pumps.get(shard_id)
+        if old is not None and not old.done():
+            return
+        self._pumps[shard_id] = asyncio.get_running_loop().create_task(
+            self._pump(shard_id))
+
+    async def _pump(self, shard_id: str) -> None:
+        """Read one shard's watch stream into the aggregator until it ends."""
+        cfg = self._router.config
+        try:
+            host, port = self._router._addresses[shard_id]
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port,
+                                        limit=cfg.max_line_bytes),
+                timeout=cfg.connect_timeout)
+        except (KeyError, OSError, asyncio.TimeoutError):
+            return
+        try:
+            writer.write(encode({"type": "watch", "id": f"watch:{shard_id}",
+                                 "interval": max(0.05, self.interval / 2.0),
+                                 "source": shard_id}))
+            await writer.drain()
+            ack = await reader.readline()
+            if not ack or not json.loads(ack).get("ok"):
+                return
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                data = json.loads(line)
+                if isinstance(data, dict) and is_frame_line(data):
+                    self.aggregator.ingest(WatchFrame.from_dict(data))
+        except (OSError, ValueError, asyncio.IncompleteReadError):
+            return
+        except asyncio.CancelledError:
+            raise
+        finally:
+            writer.close()
+
+    # ------------------------------------------------------------- membership
+    def on_down(self, shard_id: str) -> None:
+        task = self._pumps.pop(shard_id, None)
+        if task is not None:
+            task.cancel()
+        self.aggregator.mark_down(shard_id)
+        self._events.append({"event": "shard_down", "shard": shard_id})
+
+    def on_up(self, shard_id: str) -> None:
+        self.aggregator.mark_up(shard_id)
+        self._events.append({"event": "shard_up", "shard": shard_id})
+        self.subscribe(shard_id)
+
+    # ------------------------------------------------------------------ frames
+    def frame(self) -> WatchFrame:
+        # Fold the router's own counter deltas in before aggregating. The
+        # router is not a shard: keep it out of the up/down membership view.
+        self.aggregator.ingest(self._emitter.frame())
+        self.aggregator.up.pop("router", None)
+        events, self._events = self._events, []
+        return self.aggregator.frame(source="fleet", events=events)
+
+    async def close(self) -> None:
+        tasks = [t for t in self._pumps.values() if not t.done()]
+        self._pumps.clear()
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+
 class FleetRouter:
     """The asyncio front-end process of a planning fleet.
 
@@ -228,6 +334,7 @@ class FleetRouter:
         self._server: asyncio.base_events.Server | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._conns: set[asyncio.Task] = set()
+        self._watchers: set[_WatchSession] = set()
         self._stopped = asyncio.Event()
         self._stopping = False
         self._t0 = time.monotonic()
@@ -268,6 +375,8 @@ class FleetRouter:
             self.obs.incr("fleet.rebalanced")
             log.warning("fleet: shard %s out of rotation (%d/%d live)",
                         shard_id, len(self._live), len(self._ring))
+            for session in self._watchers:
+                session.on_down(shard_id)
         for conn in self._pools.pop(shard_id, []):
             conn.close()
 
@@ -280,6 +389,8 @@ class FleetRouter:
             self.obs.incr("fleet.rejoined")
             log.info("fleet: shard %s back in rotation at %s:%d",
                      shard_id, address[0], address[1])
+            for session in self._watchers:
+                session.on_up(shard_id)
 
     @property
     def live_shards(self) -> frozenset[str]:
@@ -346,6 +457,9 @@ class FleetRouter:
                 if not line.strip():
                     continue
                 response = await self._handle_line(line, seen_ids)
+                if isinstance(response, WatchUpgrade):
+                    await self._watch(response.req, reader, writer)
+                    break
                 writer.write(encode(response))
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
@@ -362,7 +476,8 @@ class FleetRouter:
                 pass
 
     async def _handle_line(self, line: bytes,
-                           seen_ids: OrderedDict[str, None]) -> dict[str, Any]:
+                           seen_ids: OrderedDict[str, None],
+                           ) -> "dict[str, Any] | WatchUpgrade":
         o = self.obs
         o.incr("fleet.requests")
         try:
@@ -383,11 +498,58 @@ class FleetRouter:
             while len(seen_ids) > _SEEN_IDS_LIMIT:
                 seen_ids.popitem(last=False)
         o.incr(f"fleet.requests.{req.type}")
+        if req.type == "watch":
+            try:
+                float(req.params.get("interval", 1.0))
+            except (TypeError, ValueError):
+                o.incr("fleet.failed.bad_request")
+                return error_response(
+                    req.id, BAD_REQUEST,
+                    f"watch interval must be a number of seconds, "
+                    f"got {req.params.get('interval')!r}")
+            return WatchUpgrade(req)
         message = json.loads(line)
         with o.span("fleet.request", type=req.type):
             if req.type in _SHARDED_TYPES:
                 return await self._route(message)
             return await self._fan_out(req.type, message)
+
+    # ------------------------------------------------------------ watch stream
+    async def _watch(self, req, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        """Fleet-wide server-push subscription (see :class:`_WatchSession`).
+
+        Emits one ``kind="aggregate"`` frame per interval: counters summed
+        across router + shards, gauges per-shard + max, quantiles merged
+        from sketches, shard up/down states, and any supervisor membership
+        events since the previous frame.
+        """
+        interval = max(0.05, float(req.params.get("interval", 1.0)))
+        session = _WatchSession(self, interval)
+        self._watchers.add(session)
+        self.obs.incr("fleet.watch.subscribed")
+        for shard_id in sorted(self._live):
+            session.subscribe(shard_id)
+        writer.write(encode(ok_response(req.id, {
+            "stream": "watch", "role": "fleet-router", "source": "fleet",
+            "interval": interval, "protocol": PROTOCOL_VERSION,
+            "shards": sorted(self._live)})))
+        await writer.drain()
+        eof = asyncio.ensure_future(reader.read())
+        try:
+            while True:
+                done, _ = await asyncio.wait({eof}, timeout=interval)
+                if done or writer.is_closing() or self._stopping:
+                    break
+                writer.write(encode(session.frame().to_dict()))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            eof.cancel()
+            self._watchers.discard(session)
+            await session.close()
+            self.obs.incr("fleet.watch.closed")
 
     # ----------------------------------------------------------- forwarding
     async def _acquire(self, shard_id: str) -> _BackendConn:
@@ -510,10 +672,19 @@ class FleetRouter:
         }
 
     def _aggregate_stats(self, results: dict[str, dict]) -> dict[str, Any]:
-        counters: dict[str, float] = dict(self.obs.counters)
-        for shard_stats in results.values():
-            for name, value in (shard_stats.get("counters") or {}).items():
-                counters[name] = counters.get(name, 0) + value
+        """Fold per-shard stats with per-metric-kind rules (obs.live).
+
+        Only *counters* may be summed across shards. Timers and series
+        merge their running stats exactly (counts/totals add, min/max
+        extremise, means recomputed); gauges like ``serve.queue_depth``
+        are reported per-shard plus the fleet ``max``; latency quantiles
+        come from merged sketches, never from averaging per-shard
+        percentiles. ``repro check fleet`` and the ``watch`` stream both
+        rely on these semantics matching a single node's own stats.
+        """
+        counters = merge_counter_tables(
+            [self.obs.counters]
+            + [st.get("counters") for st in results.values()])
         per_shard = {
             s: {"pending": st.get("pending", 0),
                 "uptime": st.get("uptime", 0.0),
@@ -521,6 +692,8 @@ class FleetRouter:
                 "plan_responses_cached": st.get("plan_responses_cached", 0)}
             for s, st in results.items()
         }
+        sketches = merge_sketch_tables(
+            st.get("sketches") for st in results.values())
         return {
             "role": "fleet-router",
             "uptime": time.monotonic() - self._t0,
@@ -530,6 +703,15 @@ class FleetRouter:
             # pointed at the router read fleet-wide coalescing/cache deltas
             # exactly as it would from a single node.
             "counters": counters,
+            "timers": merge_stat_tables(
+                st.get("timers") for st in results.values()),
+            "series": merge_stat_tables(
+                st.get("series") for st in results.values()),
+            "gauges": gauge_table(
+                {s: st.get("gauges") or {} for s, st in results.items()}),
+            "active_spans": merge_counter_tables(
+                st.get("active_spans") for st in results.values()),
+            "quantiles": quantile_table(sketches),
             "shards": per_shard,
             "shards_live": sorted(self._live),
         }

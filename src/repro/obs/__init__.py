@@ -7,6 +7,10 @@ optionally — ``None`` means the free no-op :data:`NULL`) through Algorithms
 See ``docs/OBSERVABILITY.md`` for the span/counter taxonomy and the CLI's
 ``--profile`` / ``--trace`` flags.
 
+:mod:`repro.obs.live` adds the streaming side: delta frames, a mergeable
+quantile sketch (:mod:`repro.obs.quantile`) and the per-metric-kind merge
+rules behind the ``watch`` subscription and ``repro watch``.
+
 Note: :mod:`repro.obs.report` (table rendering) is imported lazily by
 ``Instrumentation.stats_table`` — importing it here would cycle through the
 reporting and experiments layers, which themselves use this package.
@@ -19,20 +23,29 @@ from repro.obs.instrument import (
     RunningStat,
     StatsSnapshot,
     ensure,
+    trim_trace,
 )
+from repro.obs.live import DeltaEmitter, LiveAggregator, WatchFrame
 from repro.obs.log import configure_logging, get_logger
-from repro.obs.trace import TraceEvent, read_jsonl, write_jsonl
+from repro.obs.quantile import QuantileSketch
+from repro.obs.trace import Trace, TraceEvent, read_jsonl, write_jsonl
 
 __all__ = [
     "NULL",
+    "DeltaEmitter",
     "Instrumentation",
+    "LiveAggregator",
     "NullInstrumentation",
+    "QuantileSketch",
     "RunningStat",
     "StatsSnapshot",
+    "Trace",
     "TraceEvent",
+    "WatchFrame",
     "configure_logging",
     "ensure",
     "get_logger",
     "read_jsonl",
+    "trim_trace",
     "write_jsonl",
 ]

@@ -26,10 +26,11 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any
 
-from repro.obs.trace import EVENT, SPAN, TraceEvent, write_jsonl
+from repro.obs.quantile import QuantileSketch
+from repro.obs.trace import BEGIN, EVENT, SPAN, TraceEvent, write_jsonl
 
 __all__ = ["RunningStat", "StatsSnapshot", "Instrumentation",
-           "NullInstrumentation", "NULL", "ensure"]
+           "NullInstrumentation", "NULL", "ensure", "trim_trace"]
 
 
 class RunningStat:
@@ -99,19 +100,25 @@ class StatsSnapshot:
     timers: dict[str, tuple[int, float, float, float]] = field(default_factory=dict)
     series: dict[str, tuple[int, float, float, float]] = field(default_factory=dict)
     events: tuple[TraceEvent, ...] = ()
+    #: Last observed value per series name (gauge semantics; see obs.live).
+    gauges: dict[str, float] = field(default_factory=dict)
+    #: Timer name -> encoded :class:`~repro.obs.quantile.QuantileSketch`.
+    sketches: dict[str, dict] = field(default_factory=dict)
 
 
 class _Span:
     """Context manager produced by :meth:`Instrumentation.span`."""
 
-    __slots__ = ("_obs", "name", "attrs", "_start")
+    __slots__ = ("_obs", "name", "attrs", "_start", "_mark", "_id")
 
-    def __init__(self, obs: "Instrumentation", name: str,
+    def __init__(self, obs: "Instrumentation", name: str, mark: bool,
                  attrs: dict[str, Any]) -> None:
         self._obs = obs
         self.name = name
         self.attrs = attrs
         self._start = 0.0
+        self._mark = mark
+        self._id = 0
 
     def set(self, **attrs: Any) -> None:
         """Attach attributes discovered while the span is open."""
@@ -119,11 +126,22 @@ class _Span:
 
     def __enter__(self) -> "_Span":
         self._start = perf_counter()
+        obs = self._obs
+        obs.active[self.name] = obs.active.get(self.name, 0) + 1
+        if self._mark:
+            self._id = obs._begin_span(self.name, self._start, self.attrs)
         return self
 
     def __exit__(self, *exc: object) -> bool:
-        self._obs._record_span(self.name, self._start,
-                               perf_counter() - self._start, self.attrs)
+        obs = self._obs
+        left = obs.active.get(self.name, 0) - 1
+        if left > 0:
+            obs.active[self.name] = left
+        else:
+            obs.active.pop(self.name, None)
+        obs._record_span(self.name, self._start,
+                         perf_counter() - self._start, self.attrs,
+                         span_id=self._id)
         return False
 
 
@@ -167,7 +185,18 @@ class Instrumentation:
         self.timers: dict[str, RunningStat] = {}
         self.series: dict[str, RunningStat] = {}
         self.events: list[TraceEvent] = []
+        #: Last observed value per series name (gauge reading; obs.live).
+        self.gauges: dict[str, float] = {}
+        #: Timer name -> mergeable duration sketch (quantiles; obs.live).
+        self.sketches: dict[str, QuantileSketch] = {}
+        #: Span name -> currently-open count (marked and unmarked spans).
+        self.active: dict[str, int] = {}
         self._t0 = perf_counter()
+        self._span_seq = 0
+        # Span ids whose BEGIN marker was trimmed away while the span was
+        # still open; their eventual end record is suppressed so dumped
+        # traces never contain an unpairable half (see trim_trace).
+        self._muted_spans: set[int] = set()
 
     # ------------------------------------------------------------- primitives
     def incr(self, name: str, value: float = 1.0) -> None:
@@ -180,10 +209,18 @@ class Instrumentation:
         if stat is None:
             stat = self.series[name] = RunningStat()
         stat.add(value)
+        self.gauges[name] = float(value)
 
-    def span(self, name: str, **attrs: Any) -> _Span:
-        """A context manager timing a scoped block under timer ``name``."""
-        return _Span(self, name, attrs)
+    def span(self, name: str, _mark: bool = False, **attrs: Any) -> _Span:
+        """A context manager timing a scoped block under timer ``name``.
+
+        ``_mark=True`` additionally files a ``BEGIN`` trace marker on entry
+        (paired with the span record by a shared ``span`` id attribute), so
+        dumped traces show requests that were still in flight. Long-running
+        request loops (the serve request handler) opt in; library spans stay
+        single-record.
+        """
+        return _Span(self, name, _mark, attrs)
 
     def event(self, name: str, **attrs: Any) -> None:
         """File an instantaneous trace event."""
@@ -199,6 +236,8 @@ class Instrumentation:
             timers={k: v.as_tuple() for k, v in self.timers.items()},
             series={k: v.as_tuple() for k, v in self.series.items()},
             events=tuple(self.events),
+            gauges=dict(self.gauges),
+            sketches={k: v.to_dict() for k, v in self.sketches.items()},
         )
 
     def merge(self, snap: StatsSnapshot) -> None:
@@ -221,6 +260,14 @@ class Instrumentation:
             if stat is None:
                 stat = self.series[name] = RunningStat()
             stat.merge(RunningStat.from_tuple(data))
+        self.gauges.update(snap.gauges)
+        for name, encoded in snap.sketches.items():
+            incoming = QuantileSketch.from_dict(encoded)
+            sketch = self.sketches.get(name)
+            if sketch is None:
+                self.sketches[name] = incoming
+            else:
+                sketch.merge(incoming)
         self.events.extend(snap.events)
 
     # --------------------------------------------------------------- outputs
@@ -240,12 +287,34 @@ class Instrumentation:
         return write_jsonl(self.events, path)
 
     # -------------------------------------------------------------- internals
+    def _begin_span(self, name: str, start: float,
+                    attrs: dict[str, Any]) -> int:
+        """File a BEGIN marker for a ``_mark=True`` span; returns its id."""
+        self._span_seq += 1
+        span_id = self._span_seq
+        self.events.append(TraceEvent(
+            name=name, kind=BEGIN, t=start - self._t0,
+            attrs={**attrs, "span": span_id}))
+        return span_id
+
     def _record_span(self, name: str, start: float, dur: float,
-                     attrs: dict[str, Any]) -> None:
+                     attrs: dict[str, Any], span_id: int = 0) -> None:
         stat = self.timers.get(name)
         if stat is None:
             stat = self.timers[name] = RunningStat()
         stat.add(dur)
+        sketch = self.sketches.get(name)
+        if sketch is None:
+            sketch = self.sketches[name] = QuantileSketch()
+        sketch.add(dur)
+        if span_id:
+            if span_id in self._muted_spans:
+                # The BEGIN marker was trimmed while this span was open:
+                # suppress the end record so the trace stays pairable (the
+                # duration is already in the timer and the sketch).
+                self._muted_spans.discard(span_id)
+                return
+            attrs = {**attrs, "span": span_id}
         self.events.append(TraceEvent(
             name=name, kind=SPAN, t=start - self._t0, dur=dur, attrs=attrs))
 
@@ -266,7 +335,8 @@ class NullInstrumentation(Instrumentation):
     def observe(self, name: str, value: float) -> None:
         return None
 
-    def span(self, name: str, **attrs: Any) -> _NullSpan:  # type: ignore[override]
+    def span(self, name: str, _mark: bool = False,  # type: ignore[override]
+             **attrs: Any) -> _NullSpan:
         return _NULL_SPAN
 
     def event(self, name: str, **attrs: Any) -> None:
@@ -274,6 +344,45 @@ class NullInstrumentation(Instrumentation):
 
     def merge(self, snap: StatsSnapshot) -> None:
         return None
+
+
+def trim_trace(obs: Instrumentation, max_events: int) -> int:
+    """Trim ``obs.events`` to at most ``max_events``, on span-pair boundaries.
+
+    The naive ``del events[:excess]`` can orphan marked spans: a span's
+    ``BEGIN`` marker falls inside the trimmed prefix while its end record
+    survives (or arrives later), leaving an unpairable half in dumped traces.
+    This trims the oldest records but keeps pairs intact:
+
+    * end records whose BEGIN was just trimmed are dropped too;
+    * spans still *open* at trim time have their future end record
+      suppressed (via ``obs._muted_spans``) when it is eventually filed.
+
+    Every dropped record bumps the ``trace.truncated`` counter. Returns the
+    number of events dropped (0 when under the limit).
+    """
+    events = obs.events
+    excess = len(events) - max_events
+    if excess <= 0:
+        return 0
+    trimmed_begins = {e.attrs.get("span") for e in events[:excess]
+                      if e.kind == BEGIN}
+    trimmed_begins.discard(None)
+    del events[:excess]
+    dropped = excess
+    if trimmed_begins:
+        still_open = set(trimmed_begins)
+        kept: list[TraceEvent] = []
+        for e in events:
+            if e.kind == SPAN and e.attrs.get("span") in trimmed_begins:
+                still_open.discard(e.attrs["span"])
+                dropped += 1
+                continue
+            kept.append(e)
+        events[:] = kept
+        obs._muted_spans.update(still_open)
+    obs.incr("trace.truncated", dropped)
+    return dropped
 
 
 #: Shared disabled context; what ``instrumentation=None`` resolves to.

@@ -1,0 +1,363 @@
+"""Streaming metrics: delta frames, per-kind merge rules, live aggregation.
+
+The ``watch`` request (:mod:`repro.serve.protocol` v3) upgrades a serve or
+fleet connection to a server-push subscription: the server periodically
+snapshots its :class:`~repro.obs.instrument.Instrumentation` and ships the
+*change* since the previous frame as one NDJSON line. This module owns the
+three building blocks:
+
+* :class:`DeltaEmitter` — turns a live instrumentation context into a
+  sequence of :class:`WatchFrame` deltas (sequence-numbered, so a consumer
+  detects drops);
+* :class:`LiveAggregator` — folds delta frames from one or many sources
+  (shards) into fleet-wide state, with **per-metric-kind merge rules**;
+* table-level merge helpers reused by the fleet router's ``stats`` fan-out,
+  so one-shot aggregation and the live stream apply identical semantics.
+
+Merge rules by metric kind
+--------------------------
+=============  ==========================================================
+counters       summed across sources; deltas accumulate, so fleet totals
+               stay monotone even across a shard restart (the restarted
+               shard's deltas restart from its fresh zero).
+gauges         last observed value *per source* plus the fleet ``max`` —
+               queue depths (``serve.queue_depth``, ``sim.queue.depth``)
+               must never be summed across shards.
+timers         running stats merged exactly (count/total/min/max add or
+               extremise); **quantiles merged from sketches**
+               (:class:`~repro.obs.quantile.QuantileSketch`), never by
+               averaging per-shard percentiles.
+active spans   current open count per source, summed for the fleet view
+               (a gauge-like instantaneous reading, not a counter).
+=============  ==========================================================
+
+Everything here is plain data + stdlib so the consumer (``repro watch``)
+stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.obs.instrument import Instrumentation
+from repro.obs.quantile import QuantileSketch
+
+__all__ = [
+    "WatchFrame",
+    "DeltaEmitter",
+    "LiveAggregator",
+    "is_frame_line",
+    "merge_counter_tables",
+    "merge_stat_tables",
+    "gauge_table",
+    "merge_sketch_tables",
+    "quantile_table",
+    "DEFAULT_QUANTILES",
+]
+
+#: The marker key distinguishing a pushed frame line from a response line.
+STREAM_KEY = "stream"
+STREAM_NAME = "watch"
+
+#: Quantile fractions reported by default (p50 / p90 / p99).
+DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
+
+
+@dataclass
+class WatchFrame:
+    """One NDJSON line of the watch stream.
+
+    ``kind="delta"`` frames (from a serve node) carry *changes* since the
+    previous frame: counter deltas, timer count/total deltas plus sketch
+    bucket deltas — and the *current* gauge readings and open-span counts.
+    ``kind="aggregate"`` frames (from the fleet router) carry cumulative
+    fleet totals, per-shard + max gauge views, merged quantiles, and shard
+    up/down states.
+    """
+
+    source: str
+    seq: int
+    t: float
+    kind: str = "delta"
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, Any] = field(default_factory=dict)
+    active: dict[str, Any] = field(default_factory=dict)
+    timers: dict[str, dict] = field(default_factory=dict)
+    quantiles: dict[str, dict] = field(default_factory=dict)
+    shards: dict[str, str] = field(default_factory=dict)
+    events: list[dict] = field(default_factory=list)
+    #: Aggregate frames only: delta frames the upstream aggregator missed
+    #: (sequence gaps in its shard subscriptions). 0 == lossless so far.
+    dropped: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {STREAM_KEY: STREAM_NAME, "source": self.source,
+                               "seq": self.seq, "t": self.t, "kind": self.kind}
+        for key in ("counters", "gauges", "active", "timers", "quantiles",
+                    "shards", "events", "dropped"):
+            value = getattr(self, key)
+            if value:
+                out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WatchFrame":
+        return cls(source=str(data.get("source", "")),
+                   seq=int(data.get("seq", 0)),
+                   t=float(data.get("t", 0.0)),
+                   kind=str(data.get("kind", "delta")),
+                   counters=dict(data.get("counters", {})),
+                   gauges=dict(data.get("gauges", {})),
+                   active=dict(data.get("active", {})),
+                   timers=dict(data.get("timers", {})),
+                   quantiles=dict(data.get("quantiles", {})),
+                   shards=dict(data.get("shards", {})),
+                   events=list(data.get("events", [])),
+                   dropped=int(data.get("dropped", 0)))
+
+
+def is_frame_line(data: Mapping[str, Any]) -> bool:
+    """True when a decoded NDJSON line is a pushed watch frame."""
+    return data.get(STREAM_KEY) == STREAM_NAME
+
+
+class DeltaEmitter:
+    """Periodic delta snapshots of one live :class:`Instrumentation`.
+
+    Each :meth:`frame` call diffs the context against the state captured at
+    the previous call and advances the sequence number. The emitter holds
+    only per-metric cumulative copies (no trace events), so a subscription
+    adds O(metrics) memory, not O(requests). Callers are responsible for
+    invoking :meth:`frame` on the thread/loop that owns the context.
+    """
+
+    def __init__(self, obs: Instrumentation, source: str = "serve") -> None:
+        self._obs = obs
+        self.source = source
+        self.seq = 0
+        self._counters: dict[str, float] = {}
+        self._timer_stats: dict[str, tuple[int, float]] = {}
+        self._sketches: dict[str, tuple[int, dict[int, int]]] = {}
+
+    def frame(self, events: Iterable[dict] | None = None) -> WatchFrame:
+        """The delta since the previous call (first call: since creation)."""
+        obs = self._obs
+        self.seq += 1
+        counters: dict[str, float] = {}
+        for name, value in obs.counters.items():
+            delta = value - self._counters.get(name, 0.0)
+            if delta:
+                counters[name] = delta
+                self._counters[name] = value
+        timers: dict[str, dict] = {}
+        for name, stat in obs.timers.items():
+            prev_count, prev_total = self._timer_stats.get(name, (0, 0.0))
+            if stat.count == prev_count:
+                continue
+            entry: dict[str, Any] = {"count": stat.count - prev_count,
+                                     "total": stat.total - prev_total}
+            self._timer_stats[name] = (stat.count, stat.total)
+            sketch = obs.sketches.get(name)
+            if sketch is not None:
+                prev_zeros, prev_buckets = self._sketches.get(name, (0, {}))
+                buckets = {i: n - prev_buckets.get(i, 0)
+                           for i, n in sketch.buckets.items()
+                           if n != prev_buckets.get(i, 0)}
+                entry["sketch"] = {
+                    "alpha": sketch.alpha,
+                    "zeros": sketch.zeros - prev_zeros,
+                    "buckets": {str(i): n for i, n in buckets.items()},
+                }
+                self._sketches[name] = (sketch.zeros, dict(sketch.buckets))
+            timers[name] = entry
+        return WatchFrame(
+            source=self.source, seq=self.seq, t=time.time(),
+            counters=counters, gauges=dict(obs.gauges),
+            active=dict(obs.active), timers=timers,
+            events=list(events) if events else [])
+
+
+class LiveAggregator:
+    """Folds delta frames from one or many sources into fleet-wide state.
+
+    The fleet router keeps one per watch session (fed by its per-shard
+    subscriptions); ``repro watch`` keeps one when pointed at a single
+    serve node. Counter totals are accumulated from *deltas*, which is what
+    keeps them monotone across shard restarts — a restarted shard's fresh
+    context simply contributes new deltas from zero.
+    """
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {}
+        self.gauges: dict[str, dict[str, float]] = {}
+        self.active: dict[str, dict[str, int]] = {}
+        self.timer_stats: dict[str, list[float]] = {}
+        self.sketches: dict[str, QuantileSketch] = {}
+        self.up: dict[str, bool] = {}
+        self.frames = 0
+        self.dropped = 0
+        self._last_seq: dict[str, int] = {}
+        self._seq = 0
+
+    # ---------------------------------------------------------------- ingest
+    def ingest(self, frame: WatchFrame) -> None:
+        """Fold one ``kind="delta"`` frame in (per-kind merge rules)."""
+        source = frame.source
+        last = self._last_seq.get(source)
+        if last is not None and frame.seq > last + 1:
+            self.dropped += frame.seq - last - 1
+        elif last is not None and frame.seq <= last:
+            # A restarted source re-starts its sequence; state resets too.
+            self.gauges.pop(source, None)
+            self.active.pop(source, None)
+        self._last_seq[source] = frame.seq
+        self.frames += 1
+        self.up[source] = True
+        for name, delta in frame.counters.items():
+            self.totals[name] = self.totals.get(name, 0.0) + delta
+        self.gauges[source] = dict(frame.gauges)
+        self.active[source] = dict(frame.active)
+        for name, entry in frame.timers.items():
+            stat = self.timer_stats.setdefault(name, [0, 0.0])
+            stat[0] += entry.get("count", 0)
+            stat[1] += entry.get("total", 0.0)
+            encoded = entry.get("sketch")
+            if encoded:
+                incoming = QuantileSketch.from_dict(encoded)
+                sketch = self.sketches.get(name)
+                if sketch is None:
+                    self.sketches[name] = incoming
+                else:
+                    sketch.merge(incoming)
+
+    def mark_down(self, source: str) -> None:
+        """A source (shard) left: keep its counter contribution, drop its
+        instantaneous readings (gauges / open spans) from the fleet view."""
+        self.up[source] = False
+        self.gauges.pop(source, None)
+        self.active.pop(source, None)
+
+    def mark_up(self, source: str) -> None:
+        self.up[source] = True
+
+    # ----------------------------------------------------------------- views
+    def gauge_view(self) -> dict[str, dict[str, Any]]:
+        """``{name: {"per_shard": {source: last}, "max": fleet max}}``."""
+        return gauge_table(self.gauges)
+
+    def active_view(self) -> dict[str, int]:
+        """Open span counts summed across live sources."""
+        out: dict[str, int] = {}
+        for counts in self.active.values():
+            for name, n in counts.items():
+                out[name] = out.get(name, 0) + int(n)
+        return out
+
+    def quantile_view(self, qs: Iterable[float] = DEFAULT_QUANTILES,
+                      ) -> dict[str, dict[str, float]]:
+        """Merged-sketch quantiles plus exact count/mean per timer."""
+        return quantile_table(self.sketches, self.timer_stats, qs)
+
+    def frame(self, source: str = "fleet",
+              events: Iterable[dict] | None = None) -> WatchFrame:
+        """An aggregate frame of the current fleet-wide state."""
+        self._seq += 1
+        return WatchFrame(
+            source=source, seq=self._seq, t=time.time(), kind="aggregate",
+            counters=dict(self.totals), gauges=self.gauge_view(),
+            active=self.active_view(), quantiles=self.quantile_view(),
+            shards={s: ("up" if up else "down")
+                    for s, up in sorted(self.up.items())},
+            events=list(events) if events else [],
+            dropped=self.dropped)
+
+
+# --------------------------------------------------------------------------
+# Table-level merge helpers (shared with the router's one-shot `stats`
+# fan-out so live and snapshot aggregation can never disagree on semantics).
+# --------------------------------------------------------------------------
+
+def merge_counter_tables(tables: Iterable[Mapping[str, float]],
+                         ) -> dict[str, float]:
+    """Counters: summed."""
+    out: dict[str, float] = {}
+    for table in tables:
+        for name, value in (table or {}).items():
+            out[name] = out.get(name, 0.0) + value
+    return out
+
+
+def merge_stat_tables(tables: Iterable[Mapping[str, Mapping[str, float]]],
+                      ) -> dict[str, dict[str, float]]:
+    """Expanded running stats (count/total/mean/min/max): exact merge.
+
+    Counts and totals add, min/max extremise, the mean is recomputed from
+    the merged count/total — never averaged across sources.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for table in tables:
+        for name, stat in (table or {}).items():
+            agg = out.get(name)
+            if agg is None:
+                out[name] = {"count": stat.get("count", 0),
+                             "total": stat.get("total", 0.0),
+                             "min": stat.get("min", float("inf")),
+                             "max": stat.get("max", float("-inf"))}
+                continue
+            agg["count"] += stat.get("count", 0)
+            agg["total"] += stat.get("total", 0.0)
+            agg["min"] = min(agg["min"], stat.get("min", float("inf")))
+            agg["max"] = max(agg["max"], stat.get("max", float("-inf")))
+    for agg in out.values():
+        agg["mean"] = agg["total"] / agg["count"] if agg["count"] else 0.0
+    return out
+
+
+def gauge_table(per_source: Mapping[str, Mapping[str, float]],
+                ) -> dict[str, dict[str, Any]]:
+    """Gauges: reported per source plus the fleet max — never summed."""
+    out: dict[str, dict[str, Any]] = {}
+    for source in sorted(per_source):
+        for name, value in (per_source[source] or {}).items():
+            entry = out.setdefault(name, {"per_shard": {}, "max": value})
+            entry["per_shard"][source] = value
+            if value > entry["max"]:
+                entry["max"] = value
+    return out
+
+
+def merge_sketch_tables(tables: Iterable[Mapping[str, Mapping]],
+                        ) -> dict[str, QuantileSketch]:
+    """Encoded sketches from many sources, merged per timer name."""
+    out: dict[str, QuantileSketch] = {}
+    for table in tables:
+        for name, encoded in (table or {}).items():
+            incoming = QuantileSketch.from_dict(encoded)
+            sketch = out.get(name)
+            if sketch is None:
+                out[name] = incoming
+            else:
+                sketch.merge(incoming)
+    return out
+
+
+def quantile_table(sketches: Mapping[str, QuantileSketch],
+                   timer_stats: Mapping[str, Any] | None = None,
+                   qs: Iterable[float] = DEFAULT_QUANTILES,
+                   ) -> dict[str, dict[str, float]]:
+    """``{timer: {"count", "mean"?, "p50", "p90", "p99"}}`` from sketches."""
+    qs = tuple(qs)
+    out: dict[str, dict[str, float]] = {}
+    for name in sorted(sketches):
+        sketch = sketches[name]
+        entry: dict[str, float] = {"count": sketch.count}
+        stat = (timer_stats or {}).get(name)
+        if stat is not None:
+            count, total = stat[0], stat[1]
+            if count:
+                entry["mean"] = total / count
+        entry.update(sketch.quantiles(qs))
+        out[name] = entry
+    return out

@@ -14,11 +14,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Mapping
 
-__all__ = ["TraceEvent", "write_jsonl", "read_jsonl"]
+__all__ = ["TraceEvent", "Trace", "write_jsonl", "read_jsonl"]
 
-#: The two record kinds a trace contains.
+#: The record kinds a trace contains. ``BEGIN`` marks the entry of a
+#: ``_mark=True`` span (paired with its ``SPAN`` end record by a shared
+#: ``span`` id attribute); plain spans are single ``SPAN`` records.
 SPAN = "span"
 EVENT = "event"
+BEGIN = "begin"
 
 
 def _jsonable(value: Any) -> Any:
@@ -89,12 +92,47 @@ def write_jsonl(events: Iterable[TraceEvent], path: str | Path) -> Path:
     return p
 
 
-def read_jsonl(path: str | Path) -> list[TraceEvent]:
-    """Load a trace written by :func:`write_jsonl` (blank lines skipped)."""
-    out: list[TraceEvent] = []
-    with Path(path).open("r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                out.append(TraceEvent.from_dict(json.loads(line)))
+class Trace(list):
+    """A ``list[TraceEvent]`` with torn-tail metadata from :func:`read_jsonl`.
+
+    ``truncated`` is True when the file ended mid-record (a crashed writer —
+    e.g. a killed shard spilling through ``EventSpill`` — tears at most the
+    final line); ``partial_line`` carries the skipped fragment for forensics.
+    """
+
+    __slots__ = ("truncated", "partial_line")
+
+    def __init__(self, events: Iterable[TraceEvent] = ()) -> None:
+        super().__init__(events)
+        self.truncated = False
+        self.partial_line: str | None = None
+
+
+def read_jsonl(path: str | Path, *, strict: bool = False) -> Trace:
+    """Load a trace written by :func:`write_jsonl` (blank lines skipped).
+
+    A torn *final* line — the one artefact an interrupted append-only writer
+    can leave behind — is skipped and surfaced on the returned
+    :class:`Trace` (``.truncated`` / ``.partial_line``) instead of raising.
+    Corruption anywhere *before* the final record still raises
+    ``json.JSONDecodeError`` (or ``KeyError``/``ValueError`` for a
+    well-formed line that is not a trace record): mid-file damage means the
+    file was not produced by an append-only writer, and silently resuming
+    past it would mask real corruption. ``strict=True`` restores the old
+    raise-on-anything behaviour.
+    """
+    lines = Path(path).read_text(encoding="utf-8").split("\n")
+    last = max((i for i, line in enumerate(lines) if line.strip()), default=-1)
+    out = Trace()
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            out.append(TraceEvent.from_dict(json.loads(line)))
+        except (json.JSONDecodeError, KeyError, ValueError):
+            if strict or i != last:
+                raise
+            out.truncated = True
+            out.partial_line = line
     return out

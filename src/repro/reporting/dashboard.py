@@ -1,0 +1,358 @@
+"""Live terminal/SVG dashboard over a ``watch`` metric stream.
+
+``repro watch`` feeds every received :class:`~repro.obs.live.WatchFrame`
+into a :class:`DashboardState` and renders :func:`render_dashboard` — a
+plain-text panel showing fleet-wide request rate, plan-latency quantiles
+(from merged sketches, see :mod:`repro.obs.live`), cache-tier hit rates,
+per-shard gauges, shard up/down state and recent membership events.
+Everything is stdlib: the consumer must run anywhere a terminal does.
+
+Pointed at a running ``repro score --jobs N --live progress.jsonl``,
+:class:`ScoreTail` folds the scoreboard's NDJSON progress stream into the
+same panel, with per-cell ``service_cost`` deltas against the checked-in
+golden scorecard when one exists.
+
+:func:`save_dashboard_svg` writes the same panel as a self-contained SVG
+(the :mod:`repro.reporting.svg` idiom) for READMEs and CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.obs.live import LiveAggregator, WatchFrame
+
+__all__ = ["DashboardState", "ScoreTail", "render_dashboard",
+           "dashboard_svg", "save_dashboard_svg"]
+
+#: The request-total counter used for the headline rate, first match wins
+#: (a fleet router counts ``fleet.requests``; a bare serve node only
+#: ``serve.requests``).
+_RATE_COUNTERS = ("fleet.requests", "serve.requests")
+
+#: Cache tiers rendered as hit rates: label -> (hit counter, miss counter).
+_CACHE_TIERS = (
+    ("tours", "plan.cache.tours.hit", "plan.cache.tours.miss"),
+    ("forest", "plan.cache.forest.hit", "plan.cache.forest.miss"),
+    ("disk", "plan.cache.disk.hits", "plan.cache.disk.misses"),
+)
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _spark(values: list[float], width: int = 16) -> str:
+    """A unicode sparkline of the last ``width`` samples."""
+    tail = values[-width:]
+    if not tail:
+        return ""
+    top = max(tail)
+    if top <= 0:
+        return _SPARK_BLOCKS[0] * len(tail)
+    return "".join(
+        _SPARK_BLOCKS[min(len(_SPARK_BLOCKS) - 1,
+                          int(v / top * (len(_SPARK_BLOCKS) - 1) + 0.5))]
+        for v in tail)
+
+
+class DashboardState:
+    """Consumer-side fold of a watch stream into renderable state.
+
+    Aggregate frames (from a fleet router) are the view directly; delta
+    frames (from a bare serve node) are folded through a local
+    :class:`~repro.obs.live.LiveAggregator` first, so the dashboard
+    applies the same per-kind merge rules regardless of what it watches.
+    """
+
+    def __init__(self, window: int = 32) -> None:
+        self._agg = LiveAggregator()
+        self.frame: WatchFrame | None = None
+        self.started: float | None = None
+        self.n_frames = 0
+        self.events: deque[dict] = deque(maxlen=8)
+        self._history: deque[tuple[float, dict[str, float]]] = \
+            deque(maxlen=max(2, window))
+        self._rates: deque[float] = deque(maxlen=max(2, window))
+
+    def ingest(self, frame: WatchFrame) -> None:
+        if frame.kind == "aggregate":
+            view = frame
+        else:
+            self._agg.ingest(frame)
+            view = self._agg.frame(source=frame.source)
+            view.seq = frame.seq
+        if self.started is None:
+            self.started = view.t
+        for event in view.events:
+            self.events.append(dict(event, t=view.t))
+        if self._history:
+            t0, c0 = self._history[-1]
+            dt = view.t - t0
+            if dt > 0:
+                name = self.rate_counter()
+                self._rates.append(
+                    max(0.0, (view.counters.get(name, 0.0)
+                              - c0.get(name, 0.0)) / dt))
+        self._history.append((view.t, dict(view.counters)))
+        self.frame = view
+        self.n_frames += 1
+
+    def rate_counter(self) -> str:
+        """The counter the headline rps is derived from."""
+        counters = self.frame.counters if self.frame else {}
+        for name in _RATE_COUNTERS:
+            if name in counters:
+                return name
+        return _RATE_COUNTERS[-1]
+
+    def rps(self) -> float:
+        """Requests/second over the sliding window."""
+        if len(self._history) < 2:
+            return 0.0
+        (t0, c0), (t1, c1) = self._history[0], self._history[-1]
+        dt = t1 - t0
+        if dt <= 0:
+            return 0.0
+        name = self.rate_counter()
+        return max(0.0, (c1.get(name, 0.0) - c0.get(name, 0.0)) / dt)
+
+    def rate_history(self) -> list[float]:
+        """Per-frame rps samples (sparkline fodder)."""
+        return list(self._rates)
+
+
+class ScoreTail:
+    """Incremental reader of a ``repro score --live`` NDJSON stream.
+
+    :meth:`poll` consumes whatever complete lines were appended since the
+    last call (a torn final line simply waits for the next poll). When the
+    stream names its suite and a golden scorecard exists for it, scored
+    cells are annotated with their ``service_cost`` delta vs the golden.
+    """
+
+    def __init__(self, path: str | Path,
+                 baseline_path: str | Path | None = None) -> None:
+        self.path = Path(path)
+        self.suite: str | None = None
+        self.done = 0
+        self.total = 0
+        self.scenarios_done = 0
+        self.scenarios_total = 0
+        self.current: str | None = None
+        self.finished = False
+        self.cells: dict[str, dict[str, dict | None]] = {}
+        self._offset = 0
+        self._baseline_path = baseline_path
+        self._baseline: Any = None
+        self._baseline_missing = False
+
+    def poll(self) -> bool:
+        """Consume new complete lines; True when anything changed."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                fh.seek(self._offset)
+                chunk = fh.read()
+        except OSError:
+            return False
+        if not chunk:
+            return False
+        lines = chunk.split("\n")
+        partial = lines.pop()  # "" when the chunk ended on a newline
+        consumed = len(chunk) - len(partial)
+        if consumed <= 0:
+            return False
+        self._offset += consumed
+        changed = False
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                data = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(data, dict) and data.get("stream") == "score":
+                self._apply(data)
+                changed = True
+        return changed
+
+    def _apply(self, data: Mapping[str, Any]) -> None:
+        event = data.get("event")
+        if event == "start":
+            self.suite = data.get("suite")
+            self.total = int(data.get("total_instances", 0))
+            self.scenarios_total = len(data.get("scenarios", []))
+        elif event == "instance":
+            self.done = int(data.get("done", self.done))
+            self.total = int(data.get("total", self.total))
+            self.current = data.get("scenario")
+        elif event == "scenario":
+            self.scenarios_done = int(data.get("index", self.scenarios_done))
+            name = str(data.get("scenario"))
+            self.cells[name] = data.get("cells") or {}
+        elif event == "done":
+            self.finished = True
+
+    def golden_cost(self, scenario: str, policy: str) -> float | None:
+        """The golden scorecard's ``service_cost`` for a cell, if any."""
+        if self._baseline is None and not self._baseline_missing:
+            try:
+                from repro.scenarios import Scorecard, default_baseline_path
+
+                path = (Path(self._baseline_path) if self._baseline_path
+                        else default_baseline_path(self.suite or "quick"))
+                if path.exists():
+                    self._baseline = Scorecard.load(path)
+                else:
+                    self._baseline_missing = True
+            except Exception:
+                self._baseline_missing = True
+        if self._baseline is None:
+            return None
+        metrics = self._baseline.metrics(scenario, policy)
+        if not metrics:
+            return None
+        value = metrics.get("service_cost")
+        return None if value is None else float(value)
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.1f}"
+
+
+def _row(label: str, body: str, width: int) -> str:
+    return f"{label:<14} {body}"[:width]
+
+
+def render_dashboard(state: DashboardState,
+                     score: ScoreTail | None = None,
+                     width: int = 96) -> str:
+    """The dashboard panel as plain text (one call per frame)."""
+    lines: list[str] = []
+    frame = state.frame
+    if frame is None:
+        return "repro watch — waiting for the first frame..."
+
+    uptime = max(0.0, frame.t - (state.started or frame.t))
+    head = (f"repro watch — {frame.source}  seq {frame.seq}  "
+            f"up {uptime:6.1f}s  frames {state.n_frames}  "
+            f"dropped {frame.dropped}")
+    lines.append(head[:width])
+    lines.append("-" * min(width, len(head)))
+
+    if frame.shards:
+        body = "  ".join(f"{name}:{stat}"
+                         for name, stat in sorted(frame.shards.items()))
+        lines.append(_row("shards", body, width))
+
+    name = state.rate_counter()
+    total = frame.counters.get(name, 0.0)
+    body = (f"{state.rps():7.1f} rps  {_spark(state.rate_history())}  "
+            f"total {total:.0f}  "
+            f"coalesced {frame.counters.get('serve.coalesced', 0):.0f}  "
+            f"rejected {frame.counters.get('serve.rejected', 0):.0f}  "
+            f"failed {frame.counters.get('serve.failed', 0):.0f}")
+    lines.append(_row("throughput", body, width))
+
+    for timer in sorted(frame.quantiles):
+        q = frame.quantiles[timer]
+        body = (f"{timer:<16} n={q.get('count', 0):<7.0f}"
+                f"p50 {_fmt_ms(q.get('p50', 0.0)):>8}  "
+                f"p90 {_fmt_ms(q.get('p90', 0.0)):>8}  "
+                f"p99 {_fmt_ms(q.get('p99', 0.0)):>8}")
+        if "mean" in q:
+            body += f"  mean {_fmt_ms(q['mean']):>8}"
+        lines.append(_row("latency ms" if timer == sorted(frame.quantiles)[0]
+                          else "", body, width))
+
+    tiers: list[str] = []
+    for label, hit_key, miss_key in _CACHE_TIERS:
+        hits = frame.counters.get(hit_key, 0.0)
+        lookups = hits + frame.counters.get(miss_key, 0.0)
+        if lookups:
+            tiers.append(f"{label} {hits:.0f}/{lookups:.0f} "
+                         f"({100.0 * hits / lookups:.0f}%)")
+    served = frame.counters.get("serve.plan_cache.hit", 0.0)
+    if served:
+        tiers.append(f"served {served:.0f}")
+    if tiers:
+        lines.append(_row("cache tiers", "  ".join(tiers), width))
+
+    for gauge in sorted(frame.gauges):
+        entry = frame.gauges[gauge]
+        if isinstance(entry, Mapping):
+            per = entry.get("per_shard", {})
+            body = (f"{gauge:<18} max {entry.get('max', 0.0):g}  "
+                    + "  ".join(f"{s}={v:g}" for s, v in sorted(per.items())))
+        else:  # a bare serve node's flat gauge value
+            body = f"{gauge:<18} {entry:g}"
+        lines.append(_row("gauges" if gauge == sorted(frame.gauges)[0]
+                          else "", body, width))
+
+    if frame.active:
+        body = "  ".join(f"{span}={n}"
+                         for span, n in sorted(frame.active.items()))
+        lines.append(_row("active spans", body, width))
+
+    for event in state.events:
+        what = " ".join(f"{k}={v}" for k, v in event.items() if k != "t")
+        lines.append(_row("event", what, width))
+
+    if score is not None:
+        lines.append("")
+        status = "done" if score.finished else "running"
+        lines.append(_row("score",
+                          f"suite {score.suite or '?'} [{status}]  "
+                          f"instances {score.done}/{score.total}  "
+                          f"scenarios {score.scenarios_done}/"
+                          f"{score.scenarios_total}", width))
+        for scenario in sorted(score.cells):
+            for policy, metrics in sorted((score.cells[scenario] or {}).items()):
+                if not metrics:
+                    continue
+                cost = metrics.get("service_cost")
+                if cost is None:
+                    continue
+                body = f"{scenario}/{policy:<14} cost {cost:10.1f}"
+                golden = score.golden_cost(scenario, policy)
+                if golden:
+                    body += f"  golden {golden:10.1f} ({100.0 * (cost - golden) / golden:+.2f}%)"
+                lines.append(_row("", body, width))
+    return "\n".join(lines)
+
+
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def dashboard_svg(state: DashboardState, score: ScoreTail | None = None,
+                  width: int = 860) -> str:
+    """The current panel as a self-contained monospace SVG."""
+    text = render_dashboard(state, score=score, width=110)
+    rows = text.split("\n")
+    line_h = 18
+    height = line_h * (len(rows) + 2)
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="#101418"/>',
+    ]
+    for i, row in enumerate(rows):
+        color = "#7fd4a0" if i == 0 else "#d8dee4"
+        parts.append(
+            f'<text x="12" y="{line_h * (i + 1.5):.0f}" fill="{color}" '
+            f'font-family="monospace" font-size="13" xml:space="preserve">'
+            f'{_escape(row)}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_dashboard_svg(state: DashboardState, path: str | Path,
+                       score: ScoreTail | None = None) -> Path:
+    """Write :func:`dashboard_svg` to ``path`` (atomic enough: full rewrite)."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(dashboard_svg(state, score=score), encoding="utf-8")
+    return out

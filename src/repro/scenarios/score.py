@@ -25,6 +25,8 @@ through the standard envelope (:mod:`repro.io.files`).
 
 from __future__ import annotations
 
+import json
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -70,6 +72,30 @@ METRIC_KEYS = (
 #: Raw per-(instance, policy) row — everything the aggregation needs,
 #: deterministic except ``replan_durs`` (wall-clock samples).
 _Raw = dict[str, Any]
+
+
+class _LiveSink:
+    """NDJSON progress stream for ``repro watch --score`` (no-op when
+    ``path`` is ``None``).
+
+    One ``{"stream": "score", "event": ..., "t": ...}`` object per line,
+    flushed per event so a tailing consumer sees progress while the pool
+    is still folding. Purely additive: the scorecard itself is unchanged
+    and the sink never gates."""
+
+    def __init__(self, path: str | Path | None) -> None:
+        self._fh = open(path, "w", encoding="utf-8") if path else None
+
+    def emit(self, event: str, **fields: Any) -> None:
+        if self._fh is None:
+            return
+        line = {"stream": "score", "event": event, "t": time.time(), **fields}
+        self._fh.write(json.dumps(line, separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
 
 
 def _run_policy(inst: ScenarioInstance, entry: PolicyEntry) -> _Raw:
@@ -218,7 +244,8 @@ def score_suite(suite: str = "quick",
                 policies: tuple[str, ...] | None = None, *,
                 jobs: int = 1,
                 obs: Instrumentation | None = None,
-                progress: Callable[[str], None] | None = None) -> Scorecard:
+                progress: Callable[[str], None] | None = None,
+                live: str | Path | None = None) -> Scorecard:
     """Run every (registered or selected) policy over the suite.
 
     Parameters
@@ -235,6 +262,10 @@ def score_suite(suite: str = "quick",
         ``score.cells`` and wraps the run in a ``score`` span.
     progress:
         Optional per-scenario progress callback.
+    live:
+        Optional path for a live NDJSON progress stream (``start`` /
+        ``instance`` / ``scenario`` / ``done`` events) that
+        ``repro watch --score`` tails while the run is in flight.
     """
     if jobs < 1:
         raise ConfigError(f"score_suite: jobs must be >= 1, got {jobs}")
@@ -250,38 +281,56 @@ def score_suite(suite: str = "quick",
     entries = tuple(POLICIES[name] for name in selected)
 
     o = ensure(obs)
+    sink = _LiveSink(live)
     payloads = [(i, spec, r, entries)
                 for i, spec in enumerate(specs)
                 for r in range(spec.config.n_topologies)]
     results: dict[tuple[int, int], dict[str, _Raw | None]] = {}
-    with o.span("score", suite=suite, scenarios=len(specs),
-                policies=len(entries), jobs=jobs):
-        if jobs == 1 or len(payloads) == 1:
-            for payload in payloads:
-                index, r, rows = _instance_worker(payload)
-                results[(index, r)] = rows
-                o.incr("score.instances")
-        else:
-            with ProcessPoolExecutor(
-                    max_workers=min(jobs, len(payloads))) as pool:
-                for index, r, rows in pool.map(_instance_worker, payloads):
+    try:
+        sink.emit("start", suite=suite, policies=list(selected),
+                  scenarios=[spec.name for spec in specs],
+                  total_instances=len(payloads))
+        n_done = 0
+        with o.span("score", suite=suite, scenarios=len(specs),
+                    policies=len(entries), jobs=jobs):
+            if jobs == 1 or len(payloads) == 1:
+                for payload in payloads:
+                    index, r, rows = _instance_worker(payload)
                     results[(index, r)] = rows
                     o.incr("score.instances")
+                    n_done += 1
+                    sink.emit("instance", done=n_done, total=len(payloads),
+                              scenario=specs[index].name, topology=r)
+            else:
+                with ProcessPoolExecutor(
+                        max_workers=min(jobs, len(payloads))) as pool:
+                    for index, r, rows in pool.map(_instance_worker, payloads):
+                        results[(index, r)] = rows
+                        o.incr("score.instances")
+                        n_done += 1
+                        sink.emit("instance", done=n_done, total=len(payloads),
+                                  scenario=specs[index].name, topology=r)
 
-    scenarios: dict[str, dict[str, dict[str, float | None] | None]] = {}
-    for i, spec in enumerate(specs):
-        per_policy: dict[str, dict[str, float | None] | None] = {}
-        for entry in entries:
-            rows = [results[(i, r)][entry.name]
-                    for r in range(spec.config.n_topologies)]
-            if any(row is None for row in rows):
-                per_policy[entry.name] = None
-                continue
-            per_policy[entry.name] = _aggregate(rows)  # type: ignore[arg-type]
-            o.incr("score.cells")
-        scenarios[spec.name] = per_policy
-        if progress is not None:
-            scored = sum(1 for m in per_policy.values() if m is not None)
-            progress(f"[{i + 1}/{len(specs)}] {spec.name}: "
-                     f"{scored}/{len(entries)} policies scored")
-    return Scorecard(suite=suite, policies=selected, scenarios=scenarios)
+        scenarios: dict[str, dict[str, dict[str, float | None] | None]] = {}
+        for i, spec in enumerate(specs):
+            per_policy: dict[str, dict[str, float | None] | None] = {}
+            for entry in entries:
+                rows = [results[(i, r)][entry.name]
+                        for r in range(spec.config.n_topologies)]
+                if any(row is None for row in rows):
+                    per_policy[entry.name] = None
+                    continue
+                per_policy[entry.name] = _aggregate(rows)  # type: ignore[arg-type]
+                o.incr("score.cells")
+            scenarios[spec.name] = per_policy
+            sink.emit("scenario", index=i + 1, total=len(specs),
+                      scenario=spec.name, cells=per_policy)
+            if progress is not None:
+                scored = sum(1 for m in per_policy.values() if m is not None)
+                progress(f"[{i + 1}/{len(specs)}] {spec.name}: "
+                         f"{scored}/{len(entries)} policies scored")
+        card = Scorecard(suite=suite, policies=selected, scenarios=scenarios)
+        sink.emit("done", cells=card.n_cells)
+        return card
+    finally:
+        sink.close()

@@ -10,10 +10,18 @@ wait), and type-specific parameters::
     {"type": "simulate", "id": 2, "network": {...}, "plan": {...}}
     {"type": "stats", "id": 3}
     {"type": "health", "id": 4}
+    {"type": "watch", "id": 5, "interval": 1.0}
 
 Responses are ``{"id": ..., "ok": true, "result": {...}}`` on success and
 ``{"id": ..., "ok": false, "error": {"code": ..., "message": ...}}`` on
-failure. Error codes are a closed set (:data:`ERROR_CODES`) so clients can
+failure.
+
+``watch`` is special: after its ``ok`` acknowledgement the connection is
+**upgraded to a server-push subscription** — the server emits one NDJSON
+metric-delta frame (``{"stream": "watch", "seq": N, ...}``; see
+:mod:`repro.obs.live`) every ``interval`` seconds until the client closes
+the connection or the server drains. No further requests are accepted on
+an upgraded connection. Error codes are a closed set (:data:`ERROR_CODES`) so clients can
 switch on them:
 
 =========================== ================================================
@@ -56,6 +64,7 @@ __all__ = [
     "SHARD_UNAVAILABLE",
     "INTERNAL",
     "Request",
+    "WatchUpgrade",
     "decode_request",
     "decode_response",
     "encode",
@@ -65,10 +74,12 @@ __all__ = [
 ]
 
 #: Bumped on wire-visible changes; reported by ``health``.
-PROTOCOL_VERSION = 2
+#: v3 added the ``watch`` subscription upgrade and richer ``stats``
+#: (gauges / active spans / quantile sketches).
+PROTOCOL_VERSION = 3
 
 #: The request types the service answers.
-REQUEST_TYPES = ("plan", "simulate", "stats", "health")
+REQUEST_TYPES = ("plan", "simulate", "stats", "health", "watch")
 
 BAD_REQUEST = "bad_request"
 OVERLOADED = "overloaded"
@@ -108,6 +119,22 @@ class Request:
     id: Any = None
     deadline: float | None = None
     params: dict[str, Any] = field(default_factory=dict)
+
+
+class WatchUpgrade:
+    """Marker wrapping a validated ``watch`` request.
+
+    Returned by a server's line handler instead of a response dict: the
+    connection is about to be upgraded to a server-push subscription, so
+    the connection loop must hand it to the push loop (outside any
+    busy/in-flight accounting — a subscription is idle observation and
+    must not hold up graceful drain).
+    """
+
+    __slots__ = ("req",)
+
+    def __init__(self, req: Request) -> None:
+        self.req = req
 
 
 def decode_request(line: str | bytes) -> Request:

@@ -60,7 +60,8 @@ from repro.errors import ConfigError, ReproError, ServeError
 from repro.io.files import unwrap_envelope
 from repro.io.network_json import network_from_dict
 from repro.kernels import get_backend
-from repro.obs.instrument import Instrumentation
+from repro.obs.instrument import Instrumentation, trim_trace
+from repro.obs.live import DeltaEmitter, quantile_table
 from repro.obs.log import get_logger
 from repro.plan.cache import PlanArtifactCache
 from repro.plan.store import PlanArtifactStore
@@ -72,6 +73,7 @@ from repro.serve.protocol import (
     PROTOCOL_VERSION,
     SHUTTING_DOWN,
     Request,
+    WatchUpgrade,
     decode_request,
     encode,
     error_response,
@@ -385,12 +387,16 @@ class PlanningServer:
                 self._idle.clear()
                 try:
                     response = await self._handle_line(line, seen_ids)
-                    writer.write(encode(response))
-                    await writer.drain()
+                    if not isinstance(response, WatchUpgrade):
+                        writer.write(encode(response))
+                        await writer.drain()
                 finally:
                     self._busy -= 1
                     if self._busy == 0:
                         self._idle.set()
+                if isinstance(response, WatchUpgrade):
+                    await self._watch(response.req, reader, writer)
+                    break
         except (ConnectionResetError, BrokenPipeError):
             pass
         except asyncio.CancelledError:
@@ -408,7 +414,7 @@ class PlanningServer:
 
     async def _handle_line(self, line: bytes,
                            seen_ids: "OrderedDict[str, None] | None" = None,
-                           ) -> dict[str, Any]:
+                           ) -> "dict[str, Any] | WatchUpgrade":
         o = self.obs
         o.incr("serve.requests")
         try:
@@ -431,7 +437,20 @@ class PlanningServer:
             while len(seen_ids) > _SEEN_IDS_LIMIT:
                 seen_ids.popitem(last=False)
         o.incr(f"serve.requests.{req.type}")
-        with o.span("serve.request", type=req.type):
+        if req.type == "watch":
+            # Validated here; the connection handler runs the push loop
+            # outside the busy/idle accounting (see WatchUpgrade).
+            try:
+                float(req.params.get("interval", 1.0))
+            except (TypeError, ValueError):
+                o.incr("serve.failed")
+                o.incr(f"serve.failed.{BAD_REQUEST}")
+                return error_response(
+                    req.id, BAD_REQUEST,
+                    f"watch interval must be a number of seconds, "
+                    f"got {req.params.get('interval')!r}")
+            return WatchUpgrade(req)
+        with o.span("serve.request", _mark=True, type=req.type):
             if req.type == "health":
                 response = ok_response(req.id, self._health())
             elif req.type == "stats":
@@ -443,9 +462,41 @@ class PlanningServer:
         if not response["ok"]:
             o.incr("serve.failed")
             o.incr(f"serve.failed.{response['error']['code']}")
-        if len(o.events) > self.config.max_trace_events:
-            del o.events[:len(o.events) - self.config.max_trace_events]
+        trim_trace(o, self.config.max_trace_events)
         return response
+
+    # ------------------------------------------------------------ watch stream
+    async def _watch(self, req: Request, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        """Server-push subscription: one metric-delta frame per interval.
+
+        Strictly opt-in: the :class:`~repro.obs.live.DeltaEmitter` exists
+        only for the lifetime of a subscription, so a server nobody watches
+        does no extra per-request work. The loop ends when the client
+        closes its end (EOF) or the server starts draining.
+        """
+        interval = max(0.05, float(req.params.get("interval", 1.0)))
+        source = str(req.params.get("source") or "serve")
+        emitter = DeltaEmitter(self.obs, source=source)
+        self.obs.incr("serve.watch.subscribed")
+        writer.write(encode(ok_response(req.id, {
+            "stream": "watch", "role": "serve", "source": source,
+            "interval": interval, "protocol": PROTOCOL_VERSION})))
+        await writer.drain()
+        eof = asyncio.ensure_future(reader.read())
+        try:
+            while True:
+                done, _ = await asyncio.wait({eof}, timeout=interval)
+                closed = bool(done) or writer.is_closing()
+                if closed or self._stopping:
+                    break
+                writer.write(encode(emitter.frame().to_dict()))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            eof.cancel()
+            self.obs.incr("serve.watch.closed")
 
     # ---------------------------------------------------------------- queries
     def _health(self) -> dict[str, Any]:
@@ -472,6 +523,15 @@ class PlanningServer:
             "counters": dict(self.obs.counters),
             "timers": expand(self.obs.timers),
             "series": expand(self.obs.series),
+            # Per-kind extras for the fleet aggregation (obs.live rules):
+            # current gauge readings (last observed value), open span
+            # counts, raw mergeable sketches, and readable quantiles.
+            "gauges": dict(self.obs.gauges),
+            "active_spans": dict(self.obs.active),
+            "sketches": {k: v.to_dict() for k, v in self.obs.sketches.items()},
+            "quantiles": quantile_table(
+                self.obs.sketches,
+                {k: (v.count, v.total) for k, v in self.obs.timers.items()}),
             # process workers own their caches; only thread mode can report
             "artifact_cache": (None if self._shared_cache is None
                                else self._shared_cache.info()),

@@ -102,9 +102,13 @@ def flush_worker_cache() -> int:
 
 
 def _strip_events(snap: StatsSnapshot) -> StatsSnapshot:
-    """Counters/timers/series only — the server must not grow a trace."""
+    """Everything but the trace — the server must not grow per-request
+    events, but gauges and quantile sketches must survive the hop so the
+    merged server stats (and the ``watch`` stream) see worker-side state
+    like ``sim.queue.depth`` and ``plan`` latency sketches."""
     return StatsSnapshot(counters=snap.counters, timers=snap.timers,
-                         series=snap.series, events=())
+                         series=snap.series, events=(),
+                         gauges=snap.gauges, sketches=snap.sketches)
 
 
 def _synthetic_delay(payload: dict[str, Any]) -> None:

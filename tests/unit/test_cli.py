@@ -171,3 +171,32 @@ class TestCacheCLI:
         err = capsys.readouterr().err
         assert "repro: error:" in err and "Traceback" not in err
         assert (foreign / "data.txt").exists()
+
+
+class TestWatchParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["watch"])
+        assert (args.command, args.host, args.port) == ("watch", "127.0.0.1", 7350)
+        assert (args.interval, args.duration, args.frames) == (1.0, 0.0, 0)
+        assert (args.once, args.plain) == (False, False)
+        assert (args.jsonl, args.svg, args.score) == (None, None, None)
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["watch", "--port", "7351", "--interval", "0.25", "--frames", "5",
+             "--duration", "30", "--once", "--plain", "--jsonl", "f.jsonl",
+             "--svg", "d.svg", "--score", "live.jsonl"])
+        assert (args.port, args.interval, args.frames) == (7351, 0.25, 5)
+        assert (args.duration, args.once, args.plain) == (30.0, True, True)
+        assert (args.jsonl, args.svg, args.score) == (
+            "f.jsonl", "d.svg", "live.jsonl")
+
+    def test_nonpositive_interval_is_a_usage_error(self, capsys):
+        assert main(["watch", "--interval", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "--interval" in err and "Traceback" not in err
+
+    def test_unreachable_server_is_a_clean_failure(self, capsys):
+        # Nothing listens on this port: one stderr line, exit 1.
+        assert main(["watch", "--port", "1", "--frames", "1"]) == 1
+        assert "Traceback" not in capsys.readouterr().err

@@ -1,0 +1,178 @@
+"""Dashboard state folding, panel rendering, and the score tail."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.live import WatchFrame
+from repro.reporting.dashboard import (
+    DashboardState,
+    ScoreTail,
+    dashboard_svg,
+    render_dashboard,
+    save_dashboard_svg,
+)
+
+
+def _aggregate(seq, t, counters=None, **kw):
+    return WatchFrame(source="fleet", seq=seq, t=t, kind="aggregate",
+                      counters=counters or {}, **kw)
+
+
+class TestDashboardState:
+    def test_aggregate_frames_are_the_view(self):
+        state = DashboardState()
+        state.ingest(_aggregate(1, 100.0, {"fleet.requests": 10.0},
+                                shards={"shard-0": "up"}))
+        assert state.frame.counters["fleet.requests"] == 10.0
+        assert state.n_frames == 1
+
+    def test_delta_frames_fold_through_local_aggregator(self):
+        state = DashboardState()
+        state.ingest(WatchFrame(source="serve", seq=1, t=100.0,
+                                counters={"serve.requests": 5.0}))
+        state.ingest(WatchFrame(source="serve", seq=2, t=101.0,
+                                counters={"serve.requests": 3.0}))
+        assert state.frame.kind == "aggregate"
+        assert state.frame.counters["serve.requests"] == 8.0
+
+    def test_rps_from_counter_window(self):
+        state = DashboardState()
+        state.ingest(_aggregate(1, 100.0, {"fleet.requests": 0.0}))
+        state.ingest(_aggregate(2, 102.0, {"fleet.requests": 20.0}))
+        assert state.rps() == 10.0
+        assert state.rate_history() == [10.0]
+
+    def test_rate_counter_prefers_fleet_then_serve(self):
+        state = DashboardState()
+        state.ingest(_aggregate(1, 1.0, {"serve.requests": 1.0}))
+        assert state.rate_counter() == "serve.requests"
+        state.ingest(_aggregate(2, 2.0, {"serve.requests": 1.0,
+                                         "fleet.requests": 1.0}))
+        assert state.rate_counter() == "fleet.requests"
+
+    def test_events_retained_across_frames(self):
+        state = DashboardState()
+        state.ingest(_aggregate(1, 1.0, events=[
+            {"event": "shard_down", "shard": "shard-1"}]))
+        state.ingest(_aggregate(2, 2.0))
+        assert any(e["event"] == "shard_down" for e in state.events)
+
+
+class TestRender:
+    def _state(self):
+        state = DashboardState()
+        state.ingest(_aggregate(
+            1, 100.0,
+            counters={"fleet.requests": 5.0, "plan.cache.tours.hit": 3.0,
+                      "plan.cache.tours.miss": 1.0},
+            gauges={"serve.queue_depth": {"per_shard": {"shard-0": 1.0,
+                                                        "shard-1": 2.0},
+                                          "max": 2.0}},
+            active={"serve.request": 1},
+            quantiles={"plan": {"count": 4, "p50": 0.01, "p90": 0.02,
+                                "p99": 0.05, "mean": 0.015}},
+            shards={"shard-0": "up", "shard-1": "down"}))
+        return state
+
+    def test_panel_contains_the_load_bearing_rows(self):
+        text = render_dashboard(self._state())
+        assert "shard-0:up" in text
+        assert "shard-1:down" in text
+        assert "tours 3/4" in text
+        assert "serve.queue_depth" in text
+        assert "plan" in text
+        assert "dropped 0" in text
+
+    def test_empty_state_renders_placeholder(self):
+        assert "waiting" in render_dashboard(DashboardState())
+
+    def test_svg_is_self_contained(self, tmp_path):
+        state = self._state()
+        svg = dashboard_svg(state)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "shard-0" in svg
+        out = save_dashboard_svg(state, tmp_path / "a" / "dash.svg")
+        assert out.read_text().startswith("<svg")
+
+    def test_svg_escapes_markup(self):
+        state = DashboardState()
+        state.ingest(_aggregate(1, 1.0, events=[{"event": "<oops>"}]))
+        assert "<oops>" not in dashboard_svg(state)
+        assert "&lt;oops&gt;" in dashboard_svg(state)
+
+
+class TestScoreTail:
+    def _line(self, event, **fields):
+        return json.dumps({"stream": "score", "event": event, "t": 0.0,
+                           **fields}) + "\n"
+
+    def test_incremental_poll(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        path.write_text(self._line("start", suite="quick",
+                                   scenarios=["s1", "s2"],
+                                   total_instances=4))
+        tail = ScoreTail(path)
+        assert tail.poll() is True
+        assert tail.suite == "quick"
+        assert tail.total == 4
+        assert tail.scenarios_total == 2
+        with open(path, "a") as fh:
+            fh.write(self._line("instance", done=1, total=4, scenario="s1",
+                                topology=0))
+            fh.write(self._line("scenario", index=1, total=2, scenario="s1",
+                                cells={"greedy": {"service_cost": 10.0}}))
+        assert tail.poll() is True
+        assert tail.done == 1
+        assert tail.cells["s1"]["greedy"]["service_cost"] == 10.0
+        assert tail.poll() is False  # nothing new
+
+    def test_torn_final_line_waits_for_completion(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        path.write_text(self._line("start", suite="quick", scenarios=[],
+                                   total_instances=1)
+                        + '{"stream": "score", "event": "ins')  # torn
+        tail = ScoreTail(path)
+        tail.poll()
+        assert tail.suite == "quick"
+        assert tail.done == 0
+        # The writer finishes the line; the tail picks it up whole.
+        with open(path, "a") as fh:
+            fh.write('tance", "done": 1, "total": 1}\n')
+        assert tail.poll() is True
+        assert tail.done == 1
+
+    def test_done_marks_finished(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        path.write_text(self._line("done", cells=6))
+        tail = ScoreTail(path)
+        tail.poll()
+        assert tail.finished is True
+
+    def test_missing_file_is_not_an_error(self, tmp_path):
+        tail = ScoreTail(tmp_path / "not-yet.jsonl")
+        assert tail.poll() is False
+
+    def test_golden_deltas_in_panel(self, tmp_path):
+        from repro.scenarios import Scorecard
+
+        golden = Scorecard(suite="quick", policies=("greedy",),
+                           scenarios={"s1": {"greedy": {
+                               "service_cost": 100.0}}})
+        golden_path = tmp_path / "golden.json"
+        golden.save(golden_path)
+        live = tmp_path / "live.jsonl"
+        live.write_text(
+            self._line("start", suite="quick", scenarios=["s1"],
+                       total_instances=1)
+            + self._line("scenario", index=1, total=1, scenario="s1",
+                         cells={"greedy": {"service_cost": 110.0}}))
+        tail = ScoreTail(live, baseline_path=golden_path)
+        tail.poll()
+        assert tail.golden_cost("s1", "greedy") == 100.0
+        state = DashboardState()
+        state.ingest(_aggregate(1, 1.0))
+        panel = render_dashboard(state, score=tail)
+        assert "suite quick" in panel
+        assert "+10.00%" in panel

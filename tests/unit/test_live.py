@@ -1,0 +1,219 @@
+"""The streaming layer: delta emission, per-kind merge rules, aggregation.
+
+Satellite 3's differential lives here too: the gauge merge rule must
+report per-shard values plus the max — an aggregated gauge can never
+exceed the max over shard gauges (summing, the old ``stats`` bug, does).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.obs.instrument import Instrumentation
+from repro.obs.live import (
+    DeltaEmitter,
+    LiveAggregator,
+    WatchFrame,
+    gauge_table,
+    is_frame_line,
+    merge_counter_tables,
+    merge_sketch_tables,
+    merge_stat_tables,
+    quantile_table,
+)
+from repro.obs.quantile import QuantileSketch
+
+
+class TestWatchFrame:
+    def test_round_trip_through_json(self):
+        frame = WatchFrame(source="shard-0", seq=3, t=123.5,
+                           counters={"a": 2.0}, gauges={"g": 1.5},
+                           active={"span": 1},
+                           timers={"plan": {"count": 1, "total": 0.5}},
+                           events=[{"event": "shard_down", "shard": "s1"}],
+                           dropped=2)
+        back = WatchFrame.from_dict(json.loads(json.dumps(frame.to_dict())))
+        assert back == frame
+
+    def test_marker_distinguishes_frames_from_responses(self):
+        frame = WatchFrame(source="s", seq=1, t=0.0)
+        assert is_frame_line(frame.to_dict())
+        assert not is_frame_line({"id": 1, "ok": True, "result": {}})
+
+    def test_empty_sections_omitted_on_the_wire(self):
+        encoded = WatchFrame(source="s", seq=1, t=0.0).to_dict()
+        assert "counters" not in encoded
+        assert "dropped" not in encoded
+
+
+class TestDeltaEmitter:
+    def test_first_frame_carries_cumulative_state(self):
+        obs = Instrumentation()
+        obs.incr("requests", 5)
+        emitter = DeltaEmitter(obs, source="n1")
+        frame = emitter.frame()
+        assert frame.source == "n1"
+        assert frame.seq == 1
+        assert frame.counters == {"requests": 5.0}
+
+    def test_subsequent_frames_carry_only_changes(self):
+        obs = Instrumentation()
+        obs.incr("requests", 5)
+        emitter = DeltaEmitter(obs)
+        emitter.frame()
+        obs.incr("requests", 2)
+        obs.incr("fresh")
+        frame = emitter.frame()
+        assert frame.seq == 2
+        assert frame.counters == {"requests": 2.0, "fresh": 1.0}
+        # Nothing changed since: the next frame is empty of counters.
+        assert emitter.frame().counters == {}
+
+    def test_timer_deltas_include_sketch_buckets(self):
+        obs = Instrumentation()
+        with obs.span("plan"):
+            time.sleep(0.001)
+        emitter = DeltaEmitter(obs)
+        frame = emitter.frame()
+        entry = frame.timers["plan"]
+        assert entry["count"] == 1
+        assert entry["sketch"]["buckets"]
+        with obs.span("plan"):
+            time.sleep(0.001)
+        second = emitter.frame().timers["plan"]
+        assert second["count"] == 1  # the delta, not the running total
+        assert sum(second["sketch"]["buckets"].values()) == 1
+
+    def test_gauges_and_active_are_current_not_deltas(self):
+        obs = Instrumentation()
+        obs.observe("queue", 4.0)
+        emitter = DeltaEmitter(obs)
+        assert emitter.frame().gauges == {"queue": 4.0}
+        obs.observe("queue", 1.0)
+        assert emitter.frame().gauges == {"queue": 1.0}
+
+
+class TestLiveAggregator:
+    def _frame(self, source, seq, counters=None, gauges=None):
+        return WatchFrame(source=source, seq=seq, t=0.0,
+                          counters=counters or {}, gauges=gauges or {})
+
+    def test_counters_sum_across_sources(self):
+        agg = LiveAggregator()
+        agg.ingest(self._frame("a", 1, counters={"req": 3.0}))
+        agg.ingest(self._frame("b", 1, counters={"req": 4.0}))
+        assert agg.totals == {"req": 7.0}
+
+    def test_gauges_per_source_plus_max_never_summed(self):
+        agg = LiveAggregator()
+        agg.ingest(self._frame("a", 1, gauges={"queue": 3.0}))
+        agg.ingest(self._frame("b", 1, gauges={"queue": 5.0}))
+        view = agg.gauge_view()
+        assert view["queue"]["max"] == 5.0
+        assert view["queue"]["per_shard"] == {"a": 3.0, "b": 5.0}
+        # The differential: aggregate must never exceed the shard max.
+        assert view["queue"]["max"] <= max(
+            g["queue"] for g in agg.gauges.values())
+
+    def test_sequence_gap_counts_dropped(self):
+        agg = LiveAggregator()
+        agg.ingest(self._frame("a", 1))
+        agg.ingest(self._frame("a", 4))
+        assert agg.dropped == 2
+
+    def test_restart_resets_gauges_but_keeps_counters(self):
+        agg = LiveAggregator()
+        agg.ingest(self._frame("a", 5, counters={"req": 10.0},
+                               gauges={"queue": 7.0}))
+        # Seq restarts from 1: a new incarnation of the same source.
+        agg.ingest(self._frame("a", 1, counters={"req": 2.0}))
+        assert agg.totals == {"req": 12.0}  # monotone across the restart
+        assert "queue" not in agg.gauge_view()
+        assert agg.dropped == 0  # a restart is not data loss
+
+    def test_counter_totals_monotone_over_any_frame_sequence(self):
+        agg = LiveAggregator()
+        last = 0.0
+        for seq, delta in [(1, 3.0), (2, 1.0), (1, 2.0), (2, 0.0), (3, 4.0)]:
+            agg.ingest(self._frame("a", seq, counters={"req": delta}))
+            assert agg.totals["req"] >= last
+            last = agg.totals["req"]
+
+    def test_mark_down_drops_instantaneous_keeps_cumulative(self):
+        agg = LiveAggregator()
+        agg.ingest(self._frame("a", 1, counters={"req": 5.0},
+                               gauges={"queue": 2.0}))
+        agg.mark_down("a")
+        frame = agg.frame()
+        assert frame.shards == {"a": "down"}
+        assert frame.counters == {"req": 5.0}
+        assert frame.gauges == {}
+
+    def test_aggregate_frame_merges_sketch_quantiles(self):
+        fast_sk, slow_sk = QuantileSketch(), QuantileSketch()
+        for _ in range(100):
+            fast_sk.add(0.001)
+            slow_sk.add(1.0)
+        agg = LiveAggregator()
+        for name, sk, seq in [("a", fast_sk, 1), ("b", slow_sk, 1)]:
+            agg.ingest(WatchFrame(
+                source=name, seq=seq, t=0.0,
+                timers={"plan": {"count": 100, "total": sk.count * 0.5,
+                                 "sketch": sk.to_dict()}}))
+        q = agg.quantile_view()["plan"]
+        assert q["count"] == 200
+        assert q["p99"] == pytest.approx(1.0, rel=0.02)
+        assert q["p50"] <= q["p99"]
+
+
+class TestMergeHelpers:
+    def test_counter_tables_sum(self):
+        merged = merge_counter_tables([{"a": 1.0}, {"a": 2.0, "b": 3.0}, None])
+        assert merged == {"a": 3.0, "b": 3.0}
+
+    def test_stat_tables_exact_merge_mean_recomputed(self):
+        merged = merge_stat_tables([
+            {"plan": {"count": 2, "total": 2.0, "mean": 1.0,
+                      "min": 0.5, "max": 1.5}},
+            {"plan": {"count": 2, "total": 6.0, "mean": 3.0,
+                      "min": 2.0, "max": 4.0}},
+        ])
+        plan = merged["plan"]
+        assert plan["count"] == 4
+        assert plan["total"] == 8.0
+        assert plan["mean"] == 2.0  # 8/4, NOT (1+3)/2 = 2 by luck — check min/max
+        assert plan["min"] == 0.5
+        assert plan["max"] == 4.0
+
+    def test_stat_tables_mean_not_averaged(self):
+        merged = merge_stat_tables([
+            {"t": {"count": 1, "total": 1.0, "mean": 1.0,
+                   "min": 1.0, "max": 1.0}},
+            {"t": {"count": 9, "total": 90.0, "mean": 10.0,
+                   "min": 10.0, "max": 10.0}},
+        ])
+        assert merged["t"]["mean"] == pytest.approx(9.1)  # not 5.5
+
+    def test_gauge_table_differential_vs_sum(self):
+        per_shard = {"s0": {"queue": 2.0}, "s1": {"queue": 3.0}}
+        table = gauge_table(per_shard)
+        summed = sum(g["queue"] for g in per_shard.values())
+        assert table["queue"]["max"] == 3.0
+        assert table["queue"]["max"] <= summed
+        assert table["queue"]["max"] == max(
+            g["queue"] for g in per_shard.values())
+
+    def test_sketch_tables_merge_then_quantiles(self):
+        a, b = QuantileSketch(), QuantileSketch()
+        for _ in range(50):
+            a.add(0.01)
+            b.add(2.0)
+        merged = merge_sketch_tables([{"plan": a.to_dict()},
+                                      {"plan": b.to_dict()}])
+        table = quantile_table(merged, {"plan": (100, 100.5)})
+        assert table["plan"]["count"] == 100
+        assert table["plan"]["mean"] == pytest.approx(1.005)
+        assert table["plan"]["p99"] == pytest.approx(2.0, rel=0.02)

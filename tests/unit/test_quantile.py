@@ -1,0 +1,123 @@
+"""QuantileSketch: accuracy bounds, merge = union, JSON round-trip.
+
+The sketch is the reason fleet-wide latency quantiles can be *merged*
+rather than averaged — so the properties that matter are (a) a relative
+accuracy bound against exact percentiles, and (b) merge(a, b) being
+indistinguishable from a sketch fed both streams.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.obs.quantile import QuantileSketch
+from repro.serve.client import percentile
+
+
+class TestAccuracy:
+    def test_relative_error_bounded_uniform(self):
+        rng = random.Random(7)
+        values = [rng.uniform(0.001, 10.0) for _ in range(5000)]
+        sk = QuantileSketch()
+        for v in values:
+            sk.add(v)
+        for q in (0.5, 0.9, 0.99):
+            exact = percentile(values, q * 100)
+            approx = sk.quantile(q)
+            assert approx == pytest.approx(exact, rel=0.05)
+
+    def test_relative_error_bounded_lognormal(self):
+        rng = random.Random(11)
+        values = [rng.lognormvariate(0.0, 2.0) for _ in range(5000)]
+        sk = QuantileSketch()
+        for v in values:
+            sk.add(v)
+        for q in (0.5, 0.9, 0.99):
+            exact = percentile(values, q * 100)
+            # Log-bucketing: relative error is bounded regardless of skew.
+            assert sk.quantile(q) == pytest.approx(exact, rel=0.05)
+
+    def test_single_value(self):
+        sk = QuantileSketch()
+        sk.add(3.5)
+        assert sk.quantile(0.0) == pytest.approx(3.5, rel=0.02)
+        assert sk.quantile(1.0) == pytest.approx(3.5, rel=0.02)
+
+    def test_empty_quantile_is_zero(self):
+        assert QuantileSketch().quantile(0.5) == 0.0
+
+    def test_zeros_and_negatives_land_in_zero_bucket(self):
+        sk = QuantileSketch()
+        sk.add(0.0)
+        sk.add(-1.0)
+        sk.add(10.0)
+        assert sk.count == 3
+        assert sk.quantile(0.0) == 0.0
+        assert sk.quantile(1.0) == pytest.approx(10.0, rel=0.02)
+
+
+class TestMerge:
+    def test_merge_equals_union(self):
+        rng = random.Random(3)
+        a_vals = [rng.uniform(0.01, 5.0) for _ in range(800)]
+        b_vals = [rng.uniform(1.0, 50.0) for _ in range(1200)]
+        a, b, union = QuantileSketch(), QuantileSketch(), QuantileSketch()
+        for v in a_vals:
+            a.add(v)
+            union.add(v)
+        for v in b_vals:
+            b.add(v)
+            union.add(v)
+        a.merge(b)
+        assert a.count == union.count
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert a.quantile(q) == union.quantile(q)
+
+    def test_merge_rejects_mismatched_alpha(self):
+        a = QuantileSketch(alpha=0.01)
+        b = QuantileSketch(alpha=0.02)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_quantiles_never_averaged(self):
+        # Two shards with disjoint latency bands: the merged p99 must sit
+        # in the slow shard's band, not between the bands (which is what
+        # averaging per-shard percentiles would produce).
+        fast, slow = QuantileSketch(), QuantileSketch()
+        for _ in range(1000):
+            fast.add(0.001)
+        for _ in range(1000):
+            slow.add(1.0)
+        fast.merge(slow)
+        assert fast.quantile(0.99) == pytest.approx(1.0, rel=0.02)
+        assert fast.quantile(0.25) == pytest.approx(0.001, rel=0.02)
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        rng = random.Random(9)
+        sk = QuantileSketch()
+        for _ in range(500):
+            sk.add(rng.uniform(0.0, 20.0))  # includes the zeros bucket
+        back = QuantileSketch.from_dict(sk.to_dict())
+        assert back.count == sk.count
+        for q in (0.5, 0.9, 0.99):
+            assert back.quantile(q) == sk.quantile(q)
+
+    def test_dict_is_json_safe(self):
+        import json
+
+        sk = QuantileSketch()
+        sk.add(1.0, count=3)
+        encoded = json.loads(json.dumps(sk.to_dict()))
+        assert QuantileSketch.from_dict(encoded).count == 3
+
+    def test_copy_is_independent(self):
+        sk = QuantileSketch()
+        sk.add(2.0)
+        cp = sk.copy()
+        cp.add(2.0)
+        assert cp.count == 2
+        assert sk.count == 1

@@ -1,0 +1,189 @@
+"""Trace hygiene regressions: pair-safe trimming and torn-tail reads.
+
+Satellite bugfixes of the live-observability PR:
+
+* ``trim_trace`` used to drop a raw prefix of the event list, which could
+  orphan a marked span — its ``BEGIN`` marker trimmed away while the end
+  record survived (or arrived later), leaving an unpairable half in any
+  dumped trace.
+* ``read_jsonl`` used to raise on a torn final line, which is exactly the
+  artefact a crashed append-only writer (a killed shard spilling events)
+  leaves behind — making the whole spill unreadable at the moment it
+  matters most.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.instrument import Instrumentation, trim_trace
+from repro.obs.trace import BEGIN, SPAN, read_jsonl, write_jsonl
+
+
+def _span_ids(events, kind):
+    return [e.attrs.get("span") for e in events if e.kind == kind]
+
+
+class TestTrimTrace:
+    def test_under_limit_is_a_noop(self):
+        obs = Instrumentation()
+        for _ in range(3):
+            with obs.span("work"):
+                pass
+        assert trim_trace(obs, 10) == 0
+        assert len(obs.events) == 3
+        assert "trace.truncated" not in obs.counters
+
+    def test_plain_prefix_trim(self):
+        obs = Instrumentation()
+        for i in range(10):
+            obs.event("e", i=i)
+        dropped = trim_trace(obs, 4)
+        assert dropped == 6
+        assert len(obs.events) == 4
+        assert [e.attrs["i"] for e in obs.events] == [6, 7, 8, 9]
+        assert obs.counters["trace.truncated"] == 6
+
+    def test_completed_pair_with_trimmed_begin_drops_the_end_too(self):
+        obs = Instrumentation()
+        with obs.span("req", _mark=True):
+            pass  # BEGIN at index 0, end record at index 1
+        for i in range(10):
+            obs.event("filler", i=i)
+        # Trim just the BEGIN: the surviving end record must go as well.
+        dropped = trim_trace(obs, 11)
+        assert dropped == 2
+        assert _span_ids(obs.events, BEGIN) == []
+        assert [e for e in obs.events if e.kind == SPAN
+                and "span" in e.attrs] == []
+        assert len(obs.events) == 10
+        assert obs.counters["trace.truncated"] == 2
+
+    def test_open_span_crossing_trim_point_is_muted_not_orphaned(self):
+        obs = Instrumentation()
+        span = obs.span("req", _mark=True)
+        span.__enter__()  # long-lived request: BEGIN filed, end pending
+        for i in range(20):
+            obs.event("filler", i=i)
+        trim_trace(obs, 5)  # the BEGIN is in the trimmed prefix
+        span.__exit__(None, None, None)
+        # The end record must be suppressed: no SPAN record pairing a
+        # trimmed BEGIN may appear in the trace.
+        begin_ids = set(_span_ids(obs.events, BEGIN))
+        for e in obs.events:
+            if e.kind == SPAN and "span" in e.attrs:
+                assert e.attrs["span"] in begin_ids
+        # ... but the measurement itself survives in the timer/sketch.
+        assert obs.timers["req"].count == 1
+        assert obs.sketches["req"].count == 1
+
+    def test_surviving_pairs_stay_intact(self):
+        obs = Instrumentation()
+        for i in range(6):
+            obs.event("filler", i=i)
+        with obs.span("req", _mark=True):
+            pass
+        trim_trace(obs, 4)  # trims filler only; the pair is in the suffix
+        begins = _span_ids(obs.events, BEGIN)
+        ends = [e.attrs.get("span") for e in obs.events
+                if e.kind == SPAN and "span" in e.attrs]
+        assert begins == ends  # still paired
+        assert len(begins) == 1
+
+    def test_unmarked_spans_unaffected(self):
+        obs = Instrumentation()
+        for i in range(10):
+            with obs.span("lib"):
+                pass
+        trim_trace(obs, 4)
+        assert len(obs.events) == 4
+        assert all(e.kind == SPAN for e in obs.events)
+
+    def test_server_trims_on_pair_boundaries_under_load(self):
+        """End-to-end: a serve node with a tiny trace budget never leaves
+        an orphaned end record, even with requests crossing the trim."""
+        from repro.network.builder import build_paper_network
+        from repro.io.network_json import network_to_dict
+        from repro.obs import Instrumentation as Obs
+        from repro.serve import ServeClient, ServeConfig, ServerThread
+
+        obs = Obs()
+        net = network_to_dict(build_paper_network(n=12, q=2, seed=3))
+        config = ServeConfig(executor="thread", workers=2, queue_limit=16,
+                             default_deadline=60.0, max_trace_events=8)
+        with ServerThread(config, obs=obs) as srv:
+            with ServeClient(*srv.address) as client:
+                for _ in range(12):
+                    client.health()
+                client.plan(net, 100.0)
+        begin_ids = set(_span_ids(obs.events, BEGIN))
+        orphaned = [e for e in obs.events
+                    if e.kind == SPAN and "span" in e.attrs
+                    and e.attrs["span"] not in begin_ids]
+        assert orphaned == []
+        assert obs.counters.get("trace.truncated", 0) >= 1
+
+
+class TestTornTailReads:
+    def _write_trace(self, tmp_path, n=3):
+        obs = Instrumentation()
+        for i in range(n):
+            obs.event("e", i=i)
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(obs.events, path)
+        return path
+
+    def test_clean_file_round_trips_untruncated(self, tmp_path):
+        path = self._write_trace(tmp_path)
+        trace = read_jsonl(path)
+        assert len(trace) == 3
+        assert trace.truncated is False
+        assert trace.partial_line is None
+
+    def test_torn_final_line_skipped_and_surfaced(self, tmp_path):
+        path = self._write_trace(tmp_path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"name": "e", "kind": "event", "t": 9.')  # torn write
+        trace = read_jsonl(path)
+        assert len(trace) == 3  # the complete records all load
+        assert trace.truncated is True
+        assert trace.partial_line.startswith('{"name": "e"')
+
+    def test_torn_final_line_strict_still_raises(self, tmp_path):
+        path = self._write_trace(tmp_path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"half": ')
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(path, strict=True)
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        path = self._write_trace(tmp_path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:5]  # truncate a record that is NOT last
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(path)
+
+    def test_well_formed_json_that_is_not_a_record_raises_midfile(self, tmp_path):
+        path = self._write_trace(tmp_path)
+        lines = path.read_text().splitlines()
+        lines[0] = '{"not": "a trace record"}'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(KeyError):
+            read_jsonl(path)
+
+    def test_trailing_blank_lines_do_not_mask_the_tail(self, tmp_path):
+        path = self._write_trace(tmp_path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"torn": \n\n\n')  # torn line, then blank padding
+        trace = read_jsonl(path)
+        assert trace.truncated is True
+        assert len(trace) == 3
+
+    def test_result_is_still_a_plain_list(self, tmp_path):
+        path = self._write_trace(tmp_path)
+        trace = read_jsonl(path)
+        assert isinstance(trace, list)
+        assert list(trace) == trace[:]  # existing list(...) callers unaffected
